@@ -1,0 +1,180 @@
+package trimcaching
+
+// The benchmark harness regenerates every table and figure of the paper
+// (§VII). One testing.B benchmark per figure drives the corresponding
+// experiment at reduced fidelity (benchmarks measure the machinery; the CLI
+// reproduces the full curves: `go run ./cmd/trimcaching all`), plus
+// micro-benchmarks for the placement algorithms and the Monte-Carlo
+// evaluator.
+
+import (
+	"testing"
+
+	"trimcaching/internal/experiments"
+	"trimcaching/internal/placement"
+	"trimcaching/internal/rng"
+	"trimcaching/internal/scenario"
+	"trimcaching/internal/sim"
+)
+
+// benchOptions keeps per-iteration cost low while exercising the full
+// pipeline of each figure.
+func benchOptions() experiments.Options {
+	opt := experiments.DefaultOptions()
+	opt.Topologies = 2
+	opt.Realizations = 20
+	opt.LibraryPoolPerFamily = 20
+	opt.Workers = 1
+	return opt
+}
+
+func benchFigure(b *testing.B, name string) {
+	b.Helper()
+	r, err := experiments.ByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := benchOptions()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		if _, err := r.Run(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// One benchmark per paper figure.
+
+func BenchmarkFig1(b *testing.B)  { benchFigure(b, "fig1") }
+func BenchmarkFig4a(b *testing.B) { benchFigure(b, "fig4a") }
+func BenchmarkFig4b(b *testing.B) { benchFigure(b, "fig4b") }
+func BenchmarkFig4c(b *testing.B) { benchFigure(b, "fig4c") }
+func BenchmarkFig5a(b *testing.B) { benchFigure(b, "fig5a") }
+func BenchmarkFig5b(b *testing.B) { benchFigure(b, "fig5b") }
+func BenchmarkFig5c(b *testing.B) { benchFigure(b, "fig5c") }
+func BenchmarkFig6a(b *testing.B) { benchFigure(b, "fig6a") }
+func BenchmarkFig6b(b *testing.B) { benchFigure(b, "fig6b") }
+func BenchmarkFig7(b *testing.B)  { benchFigure(b, "fig7") }
+
+// Ablation benchmarks for the design choices called out in DESIGN.md.
+
+func BenchmarkAblateEpsilon(b *testing.B)   { benchFigure(b, "ablate-epsilon") }
+func BenchmarkAblateZipf(b *testing.B)      { benchFigure(b, "ablate-zipf") }
+func BenchmarkAblateSharing(b *testing.B)   { benchFigure(b, "ablate-sharing") }
+func BenchmarkAblateLazy(b *testing.B)      { benchFigure(b, "ablate-lazy") }
+func BenchmarkAblateRatio(b *testing.B)     { benchFigure(b, "ablate-ratio") }
+func BenchmarkAblateDeadline(b *testing.B)  { benchFigure(b, "ablate-deadline") }
+func BenchmarkAblateShadowing(b *testing.B) { benchFigure(b, "ablate-shadowing") }
+func BenchmarkAblateHetero(b *testing.B)    { benchFigure(b, "ablate-hetero") }
+func BenchmarkAblateLayout(b *testing.B)    { benchFigure(b, "ablate-layout") }
+func BenchmarkFig7Replace(b *testing.B)     { benchFigure(b, "fig7-replace") }
+func BenchmarkServeLoad(b *testing.B)       { benchFigure(b, "serve-load") }
+
+// benchScenario builds a fixed paper-sized instance for micro-benchmarks.
+func benchScenario(b *testing.B) *Scenario {
+	b.Helper()
+	lib, err := NewSpecialLibrary(10, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultScenarioConfig()
+	cfg.CapacityBytes = 750_000_000
+	sc, err := BuildScenario(lib, cfg, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sc
+}
+
+func benchPlace(b *testing.B, alg string) {
+	b.Helper()
+	sc := benchScenario(b)
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		if _, _, err := sc.Place(alg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Placement algorithm micro-benchmarks (M=10, K=30, I=30, Q=0.75 GB).
+
+func BenchmarkPlaceSpec(b *testing.B)        { benchPlace(b, "spec") }
+func BenchmarkPlaceGenLazy(b *testing.B)     { benchPlace(b, "gen") }
+func BenchmarkPlaceGenNaive(b *testing.B)    { benchPlace(b, "gen-naive") }
+func BenchmarkPlaceIndependent(b *testing.B) { benchPlace(b, "independent") }
+func BenchmarkPlacePopularity(b *testing.B)  { benchPlace(b, "popularity") }
+
+func BenchmarkHitRatio(b *testing.B) {
+	sc := benchScenario(b)
+	p, _, err := sc.Place("gen")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		if _, err := sc.HitRatio(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFadingEvaluation(b *testing.B) {
+	sc := benchScenario(b)
+	p, _, err := sc.Place("gen")
+	if err != nil {
+		b.Fatal(err)
+	}
+	eval := sc.evaluator
+	placements := []*placement.Placement{p}
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		if _, err := sim.EvaluateUnderFading(eval, placements, 10, rng.New(uint64(n))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFadedReach(b *testing.B) {
+	sc := benchScenario(b)
+	ins := sc.instance
+	buf := ins.MakeReachBuffer()
+	gains := scenario.SampleGains(ins.NumServers(), ins.NumUsers(), rng.New(3))
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		if _, err := ins.FadedReach(gains, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLibraryGenerationSpecial(b *testing.B) {
+	for n := 0; n < b.N; n++ {
+		if _, err := NewSpecialLibrary(100, uint64(n)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLibraryGenerationGeneral(b *testing.B) {
+	for n := 0; n < b.N; n++ {
+		if _, err := NewGeneralLibrary(30, uint64(n)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkServe(b *testing.B) {
+	sc := benchScenario(b)
+	p, _, err := sc.Place("gen")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultServeConfig()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		if _, err := sc.Serve(p, cfg, uint64(n)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"trimcaching/internal/modellib"
+)
+
+func TestRunSpecial(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-kind", "special", "-per-family", "5"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"models:          15", "sharing ratio:", "families:        3"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunGeneralAndLoRA(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-kind", "general"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "models:          279") {
+		t.Fatalf("general library size:\n%s", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"-kind", "lora", "-adapters", "7"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "models:          7") {
+		t.Fatalf("lora library size:\n%s", out.String())
+	}
+}
+
+func TestRunTake(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-kind", "special", "-per-family", "10", "-take", "9"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "models:          9") {
+		t.Fatalf("take output:\n%s", out.String())
+	}
+}
+
+func TestRunUnknownKind(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-kind", "nope"}, &out); err == nil {
+		t.Fatal("unknown kind must error")
+	}
+}
+
+func TestRunWritesValidJSON(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "lib.json")
+	var out bytes.Buffer
+	if err := run([]string{"-kind", "special", "-per-family", "3", "-o", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lib modellib.Library
+	if err := json.Unmarshal(data, &lib); err != nil {
+		t.Fatalf("written library does not round-trip: %v", err)
+	}
+	if lib.NumModels() != 9 {
+		t.Fatalf("round-tripped library has %d models", lib.NumModels())
+	}
+}

@@ -1,0 +1,135 @@
+// Command servesim runs the event-driven serving simulator end to end:
+// build a library and scenario, place models with a chosen algorithm,
+// generate (or replay) a Poisson request trace, and report route counts,
+// QoS hit ratio, and latency percentiles under processor-shared spectrum.
+//
+// Usage:
+//
+//	servesim -alg gen -rate 60 -duration 1800
+//	servesim -alg independent -trace requests.jsonl
+//	servesim -alg gen -save-trace requests.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"text/tabwriter"
+
+	"trimcaching/internal/cachesim"
+	"trimcaching/internal/libgen"
+	"trimcaching/internal/placement"
+	"trimcaching/internal/rng"
+	"trimcaching/internal/scenario"
+	"trimcaching/internal/topology"
+	"trimcaching/internal/trace"
+	"trimcaching/internal/wireless"
+	"trimcaching/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "servesim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("servesim", flag.ContinueOnError)
+	alg := fs.String("alg", "gen", "placement algorithm: spec, gen, gen-ratio, independent, popularity")
+	servers := fs.Int("servers", 10, "edge servers M")
+	users := fs.Int("users", 30, "users K")
+	models := fs.Int("models", 30, "library size I")
+	capacityGB := fs.Float64("capacity", 0.75, "per-server storage in GB")
+	rate := fs.Float64("rate", 30, "requests per user per hour")
+	duration := fs.Float64("duration", 1800, "trace horizon in seconds")
+	seed := fs.Uint64("seed", 1, "random seed")
+	traceIn := fs.String("trace", "", "replay this JSONL trace instead of generating one")
+	traceOut := fs.String("save-trace", "", "write the generated trace to this JSONL file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	algorithm, err := placement.ByName(*alg)
+	if err != nil {
+		return err
+	}
+	src := rng.New(*seed)
+	pool, err := libgen.GenerateSpecial(libgen.DefaultSpecialConfig(100), src.Split("pool"))
+	if err != nil {
+		return err
+	}
+	lib, err := libgen.TakeStratified(pool, *models, src.Split("take"))
+	if err != nil {
+		return err
+	}
+	w := wireless.DefaultConfig()
+	w.BackhaulBps = 1e9
+	ins, err := scenario.Generate(lib, scenario.GenConfig{
+		Topology: topology.Config{AreaSideM: 1000, NumServers: *servers, NumUsers: *users, CoverageRadiusM: w.CoverageRadiusM},
+		Wireless: w,
+		Workload: workload.DefaultConfig(),
+	}, src.Split("instance"))
+	if err != nil {
+		return err
+	}
+	eval, err := placement.NewEvaluator(ins)
+	if err != nil {
+		return err
+	}
+	caps := placement.UniformCapacities(ins.NumServers(), int64(*capacityGB*1e9))
+	p, err := algorithm.Place(eval, caps)
+	if err != nil {
+		return err
+	}
+
+	var tr *trace.Trace
+	if *traceIn != "" {
+		f, err := os.Open(*traceIn)
+		if err != nil {
+			return fmt.Errorf("open trace: %w", err)
+		}
+		defer f.Close()
+		tr, err = trace.ReadJSONL(f)
+		if err != nil {
+			return err
+		}
+	} else {
+		tr, err = trace.Generate(ins.Workload(), *rate, *duration, src.Split("trace"))
+		if err != nil {
+			return err
+		}
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				return fmt.Errorf("create trace file: %w", err)
+			}
+			if err := tr.WriteJSONL(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "wrote %d requests to %s\n", len(tr.Requests), *traceOut)
+		}
+	}
+
+	res, err := cachesim.ServeTrace(ins, p, tr, cachesim.DefaultEventConfig(), src.Split("serve"))
+	if err != nil {
+		return err
+	}
+
+	tw := tabwriter.NewWriter(stdout, 0, 0, 2, ' ', 0)
+	fmt.Fprintf(tw, "algorithm\t%s\n", algorithm.Name())
+	fmt.Fprintf(tw, "scenario\tM=%d K=%d I=%d Q=%.2fGB\n", ins.NumServers(), ins.NumUsers(), ins.NumModels(), *capacityGB)
+	fmt.Fprintf(tw, "requests\t%d\n", res.Requests)
+	fmt.Fprintf(tw, "routes\tdirect=%d relay=%d cloud=%d failed=%d\n", res.Direct, res.Relay, res.Cloud, res.Failed)
+	fmt.Fprintf(tw, "QoS hit ratio\t%.4f\n", res.HitRatio)
+	fmt.Fprintf(tw, "latency\tmean=%v p50=%v p95=%v p99=%v\n",
+		res.MeanLatency.Round(1_000_000), res.P50Latency.Round(1_000_000),
+		res.P95Latency.Round(1_000_000), res.P99Latency.Round(1_000_000))
+	fmt.Fprintf(tw, "peak concurrency\t%d downloads on one server\n", res.PeakConcurrency)
+	return tw.Flush()
+}

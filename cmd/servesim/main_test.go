@@ -1,0 +1,61 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunGenerateAndServe(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-alg", "gen", "-servers", "5", "-users", "10", "-models", "10",
+		"-rate", "20", "-duration", "600"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"TrimCaching Gen", "QoS hit ratio", "latency", "peak concurrency"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunSaveAndReplayTrace(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.jsonl")
+	var out bytes.Buffer
+	err := run([]string{"-alg", "popularity", "-servers", "4", "-users", "8", "-models", "9",
+		"-rate", "15", "-duration", "600", "-save-trace", path}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("trace not written: %v", err)
+	}
+	// Replay the same trace with a different algorithm.
+	out.Reset()
+	err = run([]string{"-alg", "independent", "-servers", "4", "-users", "8", "-models", "9",
+		"-trace", path}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Independent Caching") {
+		t.Fatalf("replay output:\n%s", out.String())
+	}
+}
+
+func TestRunUnknownAlgorithm(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-alg", "nope"}, &out); err == nil {
+		t.Fatal("unknown algorithm must error")
+	}
+}
+
+func TestRunBadTraceFile(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-trace", "/nonexistent/trace.jsonl"}, &out); err == nil {
+		t.Fatal("missing trace file must error")
+	}
+}

@@ -1,0 +1,65 @@
+// Mobility robustness (the paper's Fig. 7 scenario as a library user would
+// run it): place models once, let pedestrians, bikes, and vehicles move for
+// two hours, and watch how well the frozen placement keeps serving.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"trimcaching"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "mobility:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	lib, err := trimcaching.NewSpecialLibrary(10, 1)
+	if err != nil {
+		return err
+	}
+	cfg := trimcaching.DefaultScenarioConfig()
+	cfg.Users = 10 // the paper's Fig. 7 uses K = 10
+	sc, err := trimcaching.BuildScenario(lib, cfg, 99)
+	if err != nil {
+		return err
+	}
+
+	// Place once at t = 0 with TrimCaching Spec; never replace.
+	p, _, err := sc.Place("spec")
+	if err != nil {
+		return err
+	}
+	initial, err := sc.HitRatioUnderFading(p, 400, 5)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("t=  0 min: cache hit ratio %.4f (placement frozen from here on)\n", initial)
+
+	walk, err := sc.StartWalk(123)
+	if err != nil {
+		return err
+	}
+	for minute := 10; minute <= 120; minute += 10 {
+		if err := walk.Advance(600); err != nil { // 10 minutes
+			return err
+		}
+		snapshot, err := walk.Scenario()
+		if err != nil {
+			return err
+		}
+		hr, err := snapshot.HitRatioUnderFading(p, 400, 5)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("t=%3d min: cache hit ratio %.4f (%+.1f%% vs t=0)\n",
+			minute, hr, 100*(hr-initial)/initial)
+	}
+	fmt.Println("\nThe placement degrades only mildly over two hours of movement, so")
+	fmt.Println("model replacement does not need to run frequently (§VII-E).")
+	return nil
+}

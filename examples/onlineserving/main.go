@@ -1,0 +1,61 @@
+// Online serving: replay a Poisson stream of model-download requests
+// against optimized and baseline placements, reporting the request routes
+// (direct / backhaul relay / cloud fallback) and download latency
+// percentiles. This exercises a placement as a running system rather than
+// as an objective value.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"trimcaching"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "onlineserving:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	lib, err := trimcaching.NewSpecialLibrary(10, 2)
+	if err != nil {
+		return err
+	}
+	cfg := trimcaching.DefaultScenarioConfig()
+	cfg.CapacityBytes = 750_000_000
+	sc, err := trimcaching.BuildScenario(lib, cfg, 21)
+	if err != nil {
+		return err
+	}
+
+	serve := trimcaching.DefaultServeConfig()
+	serve.RequestsPerUserPerHour = 30
+	serve.DurationS = 2 * 3600
+
+	fmt.Printf("replaying ~%d requests over %v hours against M=%d servers\n\n",
+		int(serve.RequestsPerUserPerHour*serve.DurationS/3600)*sc.Users(),
+		serve.DurationS/3600, sc.Servers())
+	fmt.Printf("%-14s %8s %8s %8s %8s %10s %9s %9s %9s\n",
+		"algorithm", "direct", "relay", "cloud", "QoS-hit", "hit ratio", "p50", "p95", "p99")
+
+	for _, name := range []string{"gen", "independent", "popularity"} {
+		p, _, err := sc.Place(name)
+		if err != nil {
+			return err
+		}
+		res, err := sc.Serve(p, serve, 77)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-14s %8d %8d %8d %8d %10.4f %9s %9s %9s\n",
+			name, res.Direct, res.Relay, res.Cloud, res.QoSHits, res.HitRatio,
+			res.P50Latency.Round(1_000_000), res.P95Latency.Round(1_000_000),
+			res.P99Latency.Round(1_000_000))
+	}
+	fmt.Println("\nTrimCaching turns cloud fallbacks into direct edge downloads, which is")
+	fmt.Println("exactly where the latency percentiles and the QoS hit ratio improve.")
+	return nil
+}

@@ -1,0 +1,61 @@
+// Quickstart: build a parameter-sharing model library, sample a wireless
+// edge deployment, place models with every algorithm, and compare cache hit
+// ratios. This is the minimal end-to-end tour of the public API.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"trimcaching"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// 30 downstream models fine-tuned from ResNet-18/34/50 by bottom-layer
+	// freezing — the paper's special case.
+	lib, err := trimcaching.NewSpecialLibrary(10, 1)
+	if err != nil {
+		return err
+	}
+	st := lib.Stats()
+	fmt.Printf("library: %d models, %.2f GB as independent files, %.2f GB deduplicated (%.0f%% shared on average)\n",
+		st.NumModels, float64(st.SumModelBytes)/1e9, float64(st.UniqueBytes)/1e9, 100*st.MeanSharedFrac)
+
+	// A 10-server, 30-user deployment with 0.75 GB of storage per server —
+	// tight enough that placement decisions matter.
+	cfg := trimcaching.DefaultScenarioConfig()
+	cfg.CapacityBytes = 750_000_000
+	sc, err := trimcaching.BuildScenario(lib, cfg, 42)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("scenario: M=%d servers, K=%d users, I=%d models, Q=%.2f GB/server\n\n",
+		sc.Servers(), sc.Users(), sc.Models(), float64(cfg.CapacityBytes)/1e9)
+
+	fmt.Printf("%-22s %10s %14s %12s\n", "algorithm", "hit ratio", "under fading", "time")
+	for _, name := range []string{"spec", "gen", "independent", "popularity"} {
+		p, elapsed, err := sc.Place(name)
+		if err != nil {
+			return err
+		}
+		hr, err := sc.HitRatio(p)
+		if err != nil {
+			return err
+		}
+		faded, err := sc.HitRatioUnderFading(p, 500, 7)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-22s %10.4f %14.4f %12s\n", name, hr, faded, elapsed.Round(10_000))
+	}
+	fmt.Println("\nTrimCaching stores shared parameter blocks once per server, so it fits")
+	fmt.Println("more models into the same storage and serves more requests in time.")
+	return nil
+}

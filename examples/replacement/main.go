@@ -1,0 +1,86 @@
+// Replacement control loop: the paper decides placement on a snapshot of
+// user locations and re-initiates it only when performance degrades (§IV),
+// because every replacement ships gigabytes over the backbone. This example
+// runs that loop with the public API: walk users for three hours, watch the
+// frozen placement degrade, and re-place only when the hit ratio drops more
+// than 10% below its post-placement baseline.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"trimcaching"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "replacement:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	lib, err := trimcaching.NewSpecialLibrary(10, 3)
+	if err != nil {
+		return err
+	}
+	cfg := trimcaching.DefaultScenarioConfig()
+	cfg.Users = 12
+	sc, err := trimcaching.BuildScenario(lib, cfg, 77)
+	if err != nil {
+		return err
+	}
+
+	const (
+		realizations = 300
+		threshold    = 0.10 // replace on 10% degradation
+	)
+	p, _, err := sc.Place("gen")
+	if err != nil {
+		return err
+	}
+	baseline, err := sc.HitRatioUnderFading(p, realizations, 5)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("t=  0 min: hit ratio %.4f (initial placement)\n", baseline)
+
+	walk, err := sc.StartWalk(31)
+	if err != nil {
+		return err
+	}
+	replacements := 0
+	for minute := 15; minute <= 180; minute += 15 {
+		if err := walk.Advance(900); err != nil {
+			return err
+		}
+		snapshot, err := walk.Scenario()
+		if err != nil {
+			return err
+		}
+		hr, err := snapshot.HitRatioUnderFading(p, realizations, 5)
+		if err != nil {
+			return err
+		}
+		marker := ""
+		if hr < (1-threshold)*baseline {
+			// Re-place on the current snapshot and reset the baseline.
+			p, _, err = snapshot.Place("gen")
+			if err != nil {
+				return err
+			}
+			hr, err = snapshot.HitRatioUnderFading(p, realizations, 5)
+			if err != nil {
+				return err
+			}
+			baseline = hr
+			replacements++
+			marker = "  <- replaced"
+		}
+		fmt.Printf("t=%3d min: hit ratio %.4f%s\n", minute, hr, marker)
+	}
+	fmt.Printf("\n%d replacements in 3 hours — the placement survives long\n", replacements)
+	fmt.Println("stretches of mobility, so backbone bandwidth is spent rarely (§IV, §VII-E).")
+	return nil
+}

@@ -1,0 +1,334 @@
+package cachesim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"trimcaching/internal/placement"
+	"trimcaching/internal/rng"
+	"trimcaching/internal/scenario"
+	"trimcaching/internal/stats"
+	"trimcaching/internal/trace"
+)
+
+// EventConfig parameterizes the event-driven serving simulator.
+type EventConfig struct {
+	// CloudRateBps is the per-download rate of the cloud fallback path.
+	CloudRateBps float64
+	// Fading draws a Rayleigh gain per download; otherwise average-channel
+	// spectral efficiencies are used.
+	Fading bool
+}
+
+// DefaultEventConfig returns a 200 Mb/s cloud path with per-download fading.
+func DefaultEventConfig() EventConfig {
+	return EventConfig{CloudRateBps: 200e6, Fading: true}
+}
+
+// Validate reports the first invalid field, if any.
+func (c EventConfig) Validate() error {
+	if c.CloudRateBps <= 0 {
+		return fmt.Errorf("cachesim: CloudRateBps must be positive, got %v", c.CloudRateBps)
+	}
+	return nil
+}
+
+// EventResult summarizes an event-driven run. Unlike Result (the closed-form
+// replay), downloads here contend for each server's spectrum: a server's
+// bandwidth is processor-shared equally among its concurrently active
+// downloads, so latency grows with instantaneous load.
+type EventResult struct {
+	Requests    int           `json:"requests"`
+	Direct      int           `json:"direct"`
+	Relay       int           `json:"relay"`
+	Cloud       int           `json:"cloud"`
+	Failed      int           `json:"failed"`
+	QoSHits     int           `json:"qosHits"`
+	HitRatio    float64       `json:"hitRatio"`
+	MeanLatency time.Duration `json:"meanLatency"`
+	P50Latency  time.Duration `json:"p50Latency"`
+	P95Latency  time.Duration `json:"p95Latency"`
+	P99Latency  time.Duration `json:"p99Latency"`
+	// PeakConcurrency is the maximum number of simultaneous downloads
+	// observed on any single server.
+	PeakConcurrency int `json:"peakConcurrency"`
+}
+
+// flow is one active radio download at a server.
+type flow struct {
+	remainingBits float64
+	// seBitsPerHz is the flow's spectral efficiency; its instantaneous rate
+	// is seBitsPerHz * B / n with n flows active at the server.
+	seBitsPerHz float64
+	reqIdx      int
+}
+
+// serverState tracks a server's active processor-shared downloads.
+type serverState struct {
+	flows []*flow
+}
+
+// event is a simulator event: a request arrival or a radio-phase start
+// (after a backhaul or cloud prefetch hop).
+type event struct {
+	timeS  float64
+	kind   eventKind
+	reqIdx int
+	seq    int // tie-breaker for determinism
+}
+
+type eventKind int
+
+const (
+	evArrival    eventKind = iota + 1 // request enters the system
+	evRadioStart                      // prefetch done; radio download begins
+)
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(a, b int) bool {
+	if h[a].timeS != h[b].timeS {
+		return h[a].timeS < h[b].timeS
+	}
+	return h[a].seq < h[b].seq
+}
+func (h eventHeap) Swap(a, b int) { h[a], h[b] = h[b], h[a] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// reqState tracks a request through the simulator.
+type reqState struct {
+	route    Route
+	server   int // radio server
+	arrival  float64
+	finished float64
+	se       float64 // spectral efficiency of the radio hop
+	done     bool
+}
+
+// ServeTrace runs the event-driven simulation of a request trace against a
+// placement. Each server's bandwidth is shared equally among its active
+// downloads (processor sharing); relayed and cloud downloads first traverse
+// a fixed-rate prefetch hop, then join the radio queue of the user's best
+// covering server.
+func ServeTrace(ins *scenario.Instance, p *placement.Placement, tr *trace.Trace, cfg EventConfig, src *rng.Source) (EventResult, error) {
+	var res EventResult
+	if ins == nil || p == nil || tr == nil {
+		return res, fmt.Errorf("cachesim: instance, placement, and trace are required")
+	}
+	if err := cfg.Validate(); err != nil {
+		return res, err
+	}
+	if p.NumServers() != ins.NumServers() || p.NumModels() != ins.NumModels() {
+		return res, fmt.Errorf("cachesim: placement dims %dx%d, instance %dx%d",
+			p.NumServers(), p.NumModels(), ins.NumServers(), ins.NumModels())
+	}
+	if err := tr.Validate(ins.NumUsers(), ins.NumModels()); err != nil {
+		return res, err
+	}
+
+	topo := ins.Topology()
+	wcfg := ins.Wireless()
+	reqs := make([]reqState, len(tr.Requests))
+	servers := make([]serverState, ins.NumServers())
+
+	var h eventHeap
+	seq := 0
+	push := func(t float64, kind eventKind, idx int) {
+		heap.Push(&h, event{timeS: t, kind: kind, reqIdx: idx, seq: seq})
+		seq++
+	}
+	for idx, r := range tr.Requests {
+		reqs[idx].arrival = r.TimeS
+		push(r.TimeS, evArrival, idx)
+	}
+
+	// spectralEff computes a download's bits/s/Hz on the m→k link, with an
+	// optional per-download Rayleigh draw.
+	spectralEff := func(m, k int) float64 {
+		gain := 1.0
+		if cfg.Fading {
+			gain = src.Exp()
+		}
+		snr, err := wcfg.SNR(topo.Distance(m, k), topo.Load(m))
+		if err != nil {
+			return 0
+		}
+		return math.Log2(1 + snr*gain)
+	}
+
+	now := 0.0
+	// advance progresses all active flows from now to target, completing
+	// flows as they drain. Flow completions within the window are processed
+	// in time order per server.
+	var latencies []float64
+	complete := func(m int, fi int, at float64) {
+		st := &servers[m]
+		f := st.flows[fi]
+		st.flows = append(st.flows[:fi], st.flows[fi+1:]...)
+		r := &reqs[f.reqIdx]
+		r.finished = at
+		r.done = true
+		lat := at - r.arrival + ins.Workload().InferS(tr.Requests[f.reqIdx].User, tr.Requests[f.reqIdx].Model)
+		latencies = append(latencies, lat)
+	}
+	advance := func(target float64) {
+		for now < target {
+			// Find the earliest flow completion across servers before target.
+			bestT := target
+			bestM, bestF := -1, -1
+			for m := range servers {
+				n := float64(len(servers[m].flows))
+				if n == 0 {
+					continue
+				}
+				perFlowBw := wcfg.BandwidthHz / n
+				for fi, f := range servers[m].flows {
+					rate := f.seBitsPerHz * perFlowBw
+					if rate <= 0 {
+						continue
+					}
+					t := now + f.remainingBits/rate
+					if t < bestT {
+						bestT, bestM, bestF = t, m, fi
+					}
+				}
+			}
+			// Drain all flows by the elapsed window.
+			dt := bestT - now
+			for m := range servers {
+				n := float64(len(servers[m].flows))
+				if n == 0 {
+					continue
+				}
+				perFlowBw := wcfg.BandwidthHz / n
+				for _, f := range servers[m].flows {
+					f.remainingBits -= f.seBitsPerHz * perFlowBw * dt
+					if f.remainingBits < 0 {
+						f.remainingBits = 0
+					}
+				}
+			}
+			now = bestT
+			if bestM >= 0 {
+				complete(bestM, bestF, now)
+			}
+		}
+	}
+
+	startRadio := func(idx int) {
+		r := &reqs[idx]
+		i := tr.Requests[idx].Model
+		st := &servers[r.server]
+		st.flows = append(st.flows, &flow{
+			remainingBits: 8 * float64(ins.Library().ModelSize(i)),
+			seBitsPerHz:   r.se,
+			reqIdx:        idx,
+		})
+		if len(st.flows) > res.PeakConcurrency {
+			res.PeakConcurrency = len(st.flows)
+		}
+	}
+
+	for h.Len() > 0 {
+		ev := heap.Pop(&h).(event)
+		advance(ev.timeS)
+		switch ev.kind {
+		case evArrival:
+			idx := ev.reqIdx
+			k := tr.Requests[idx].User
+			i := tr.Requests[idx].Model
+			res.Requests++
+			covering := topo.ServersCovering(k)
+			if len(covering) == 0 {
+				reqs[idx].route = RouteFailed
+				res.Failed++
+				continue
+			}
+			// Pick the best covering server by spectral efficiency; prefer
+			// one that caches the model (direct).
+			bestSE, bestM := -1.0, -1
+			bestCachedSE, bestCachedM := -1.0, -1
+			for _, m := range covering {
+				se := spectralEff(m, k)
+				if se > bestSE {
+					bestSE, bestM = se, m
+				}
+				if p.Has(m, i) && se > bestCachedSE {
+					bestCachedSE, bestCachedM = se, m
+				}
+			}
+			r := &reqs[idx]
+			switch {
+			case bestCachedM >= 0:
+				r.route = RouteDirect
+				r.server = bestCachedM
+				r.se = bestCachedSE
+				res.Direct++
+				startRadio(idx)
+			case cachedAnywhere(p, i):
+				r.route = RouteRelay
+				r.server = bestM
+				r.se = bestSE
+				res.Relay++
+				prefetch := 8 * float64(ins.Library().ModelSize(i)) / wcfg.BackhaulBps
+				push(ev.timeS+prefetch, evRadioStart, idx)
+			default:
+				r.route = RouteCloud
+				r.server = bestM
+				r.se = bestSE
+				res.Cloud++
+				prefetch := 8 * float64(ins.Library().ModelSize(i)) / cfg.CloudRateBps
+				push(ev.timeS+prefetch, evRadioStart, idx)
+			}
+		case evRadioStart:
+			startRadio(ev.reqIdx)
+		}
+	}
+	// Drain remaining flows.
+	advance(math.Inf(1))
+
+	for idx := range reqs {
+		r := &reqs[idx]
+		if !r.done {
+			continue
+		}
+		k := tr.Requests[idx].User
+		i := tr.Requests[idx].Model
+		e2e := r.finished - r.arrival + ins.Workload().InferS(k, i)
+		if (r.route == RouteDirect || r.route == RouteRelay) && e2e <= ins.Workload().DeadlineS(k, i) {
+			res.QoSHits++
+		}
+	}
+	if res.Requests > 0 {
+		res.HitRatio = float64(res.QoSHits) / float64(res.Requests)
+	}
+	if len(latencies) > 0 {
+		res.MeanLatency = secToDur(stats.Mean(latencies))
+		sort.Float64s(latencies)
+		res.P50Latency = secToDur(stats.Quantile(latencies, 0.50))
+		res.P95Latency = secToDur(stats.Quantile(latencies, 0.95))
+		res.P99Latency = secToDur(stats.Quantile(latencies, 0.99))
+	}
+	return res, nil
+}
+
+// cachedAnywhere reports whether any server caches model i.
+func cachedAnywhere(p *placement.Placement, i int) bool {
+	for m := 0; m < p.NumServers(); m++ {
+		if p.Has(m, i) {
+			return true
+		}
+	}
+	return false
+}

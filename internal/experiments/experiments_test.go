@@ -1,0 +1,310 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyOptions returns the smallest options that still exercise the full
+// pipeline, keeping the test suite fast.
+func tinyOptions() Options {
+	opt := DefaultOptions()
+	opt.Topologies = 3
+	opt.Realizations = 15
+	opt.LibraryPoolPerFamily = 20
+	return opt
+}
+
+func TestOptionsValidate(t *testing.T) {
+	if err := DefaultOptions().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	muts := []func(*Options){
+		func(o *Options) { o.Topologies = 0 },
+		func(o *Options) { o.Realizations = 0 },
+		func(o *Options) { o.Epsilon = -1 },
+		func(o *Options) { o.Epsilon = 2 },
+		func(o *Options) { o.LibraryModels = 0 },
+		func(o *Options) { o.LibraryPoolPerFamily = 0 },
+	}
+	for i, mut := range muts {
+		o := DefaultOptions()
+		mut(&o)
+		if err := o.Validate(); err == nil {
+			t.Fatalf("mutation %d: expected error", i)
+		}
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	all := All()
+	if len(all) < 10 {
+		t.Fatalf("only %d experiments registered", len(all))
+	}
+	seen := map[string]bool{}
+	for _, r := range all {
+		if r.Name == "" || r.Description == "" || r.Run == nil {
+			t.Fatalf("incomplete runner %+v", r)
+		}
+		if seen[r.Name] {
+			t.Fatalf("duplicate runner %q", r.Name)
+		}
+		seen[r.Name] = true
+	}
+	for _, want := range []string{"fig1", "fig4a", "fig4b", "fig4c", "fig5a", "fig5b", "fig5c", "fig6a", "fig6b", "fig7"} {
+		if !seen[want] {
+			t.Fatalf("missing experiment %q", want)
+		}
+	}
+	if _, err := ByName("fig4a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown experiment must error")
+	}
+}
+
+func TestFig4aShape(t *testing.T) {
+	tbl, err := Fig4a(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Series) != 4 {
+		t.Fatalf("%d series", len(tbl.Series))
+	}
+	byName := map[string]int{}
+	for a, s := range tbl.Series {
+		byName[s.Label] = a
+		if len(s.X) != len(capacitySweepGB) {
+			t.Fatalf("%s has %d points", s.Label, len(s.X))
+		}
+	}
+	spec := tbl.Series[byName["TrimCaching Spec"]]
+	ind := tbl.Series[byName["Independent Caching"]]
+	pop := tbl.Series[byName["Popularity Caching"]]
+	// Paper shape: TrimCaching dominates the baselines at every capacity,
+	// and hit ratio grows from the smallest to the largest capacity.
+	for pi := range spec.Points {
+		if spec.Points[pi].Mean < ind.Points[pi].Mean-0.02 {
+			t.Fatalf("Q=%v: Spec %v below Independent %v", spec.X[pi],
+				spec.Points[pi].Mean, ind.Points[pi].Mean)
+		}
+		if ind.Points[pi].Mean < pop.Points[pi].Mean-0.02 {
+			t.Fatalf("Q=%v: Independent %v below Popularity %v", spec.X[pi],
+				ind.Points[pi].Mean, pop.Points[pi].Mean)
+		}
+	}
+	last := len(spec.Points) - 1
+	if spec.Points[last].Mean <= spec.Points[0].Mean {
+		t.Fatalf("hit ratio not increasing in Q: %v -> %v",
+			spec.Points[0].Mean, spec.Points[last].Mean)
+	}
+	if out := tbl.Render(); !strings.Contains(out, "Q (GB)") {
+		t.Fatal("render missing x label")
+	}
+}
+
+func TestFig4cDecreasingInUsers(t *testing.T) {
+	opt := tinyOptions()
+	tbl, err := Fig4c(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := tbl.Series[0]
+	first, last := spec.Points[0].Mean, spec.Points[len(spec.Points)-1].Mean
+	// Paper: more users share the spectrum, so the hit ratio declines.
+	if last >= first {
+		t.Fatalf("hit ratio not decreasing in K: K=10 %v vs K=50 %v", first, last)
+	}
+}
+
+func TestFig5aShape(t *testing.T) {
+	tbl, err := Fig5a(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Series) != 3 {
+		t.Fatalf("%d series", len(tbl.Series))
+	}
+	gen := tbl.Series[0]
+	ind := tbl.Series[1]
+	if gen.Label != "TrimCaching Gen" || ind.Label != "Independent Caching" {
+		t.Fatalf("unexpected series: %v / %v", gen.Label, ind.Label)
+	}
+	var genSum, indSum float64
+	for pi := range gen.Points {
+		genSum += gen.Points[pi].Mean
+		indSum += ind.Points[pi].Mean
+	}
+	if genSum <= indSum {
+		t.Fatalf("general case: Gen total %v not above Independent %v", genSum, indSum)
+	}
+}
+
+func TestFig6aOrdering(t *testing.T) {
+	opt := tinyOptions()
+	tbl, err := Fig6a(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Series) != 2 {
+		t.Fatalf("%d series", len(tbl.Series))
+	}
+	times := tbl.Series[1]
+	// Runtime ordering: Gen < Spec < exhaustive.
+	if !(times.Points[0].Mean < times.Points[1].Mean && times.Points[1].Mean < times.Points[2].Mean) {
+		t.Fatalf("runtime ordering violated: %v", times.Points)
+	}
+	hits := tbl.Series[0]
+	// The optimum bounds both heuristics under the average channel, but
+	// fading evaluation adds noise; allow small slack.
+	for a := 0; a < 2; a++ {
+		if hits.Points[a].Mean > hits.Points[2].Mean+0.05 {
+			t.Fatalf("heuristic %d hit %v above optimal %v", a, hits.Points[a].Mean, hits.Points[2].Mean)
+		}
+	}
+}
+
+func TestFig6bGenMuchFaster(t *testing.T) {
+	opt := tinyOptions()
+	tbl, err := Fig6b(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	times := tbl.Series[1]
+	genTime, specTime := times.Points[0].Mean, times.Points[1].Mean
+	// The paper reports Gen ~3,900x faster in the general case; require at
+	// least two orders of magnitude.
+	if specTime < 100*genTime {
+		t.Fatalf("general case: Spec %vs only %.0fx slower than Gen %vs",
+			specTime, specTime/genTime, genTime)
+	}
+	hits := tbl.Series[0]
+	if diff := hits.Points[0].Mean - hits.Points[1].Mean; diff > 0.1 || diff < -0.1 {
+		t.Fatalf("Gen and Spec hit ratios far apart: %v", hits.Points)
+	}
+}
+
+func TestFig7Robustness(t *testing.T) {
+	opt := tinyOptions()
+	tbl, err := Fig7(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Series) != 2 {
+		t.Fatalf("%d series", len(tbl.Series))
+	}
+	for _, s := range tbl.Series {
+		if len(s.X) != 13 {
+			t.Fatalf("%s has %d checkpoints, want 13", s.Label, len(s.X))
+		}
+		if s.X[0] != 0 || s.X[12] != 120 {
+			t.Fatalf("checkpoint axis wrong: %v", s.X)
+		}
+		first := s.Points[0].Mean
+		for pi, pt := range s.Points {
+			// Placement stays useful: no checkpoint collapses to zero and
+			// degradation never exceeds half the initial ratio.
+			if pt.Mean < first*0.5 {
+				t.Fatalf("%s: hit ratio collapsed at checkpoint %d: %v -> %v",
+					s.Label, pi, first, pt.Mean)
+			}
+		}
+	}
+}
+
+func TestFig1Shape(t *testing.T) {
+	tbl, err := Fig1(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Series) != 2 {
+		t.Fatalf("%d series", len(tbl.Series))
+	}
+	for _, s := range tbl.Series {
+		first := s.Points[0].Mean
+		last := s.Points[len(s.Points)-1].Mean
+		if first < 0.9 {
+			t.Fatalf("%s: base accuracy %v implausible", s.Label, first)
+		}
+		deg := first - last
+		if deg < 0.02 || deg > 0.12 {
+			t.Fatalf("%s: total degradation %v outside the paper's band", s.Label, deg)
+		}
+	}
+}
+
+func TestAblationEpsilonRuns(t *testing.T) {
+	tbl, err := AblationEpsilon(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Series) != 2 || len(tbl.Series[0].X) != 5 {
+		t.Fatalf("unexpected shape: %d series", len(tbl.Series))
+	}
+}
+
+func TestAblationZipfRuns(t *testing.T) {
+	tbl, err := AblationZipf(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Series) != 2 {
+		t.Fatalf("%d series", len(tbl.Series))
+	}
+}
+
+func TestAblationSharingGainGrowsWithSharing(t *testing.T) {
+	opt := tinyOptions()
+	tbl, err := AblationSharing(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, ind := tbl.Series[0], tbl.Series[1]
+	// The TrimCaching advantage at the paper's sharing level must exceed
+	// the advantage at the lowest sharing level.
+	firstGain := gen.Points[0].Mean - ind.Points[0].Mean
+	lastGain := gen.Points[len(gen.Points)-1].Mean - ind.Points[len(ind.Points)-1].Mean
+	if lastGain < firstGain-0.03 {
+		t.Fatalf("sharing gain shrank: %v -> %v", firstGain, lastGain)
+	}
+	// X axis must be increasing shared fraction.
+	for pi := 1; pi < len(gen.X); pi++ {
+		if gen.X[pi] <= gen.X[pi-1] {
+			t.Fatalf("shared fraction not increasing: %v", gen.X)
+		}
+	}
+}
+
+func TestAblationLazyMatchesAndFaster(t *testing.T) {
+	tbl, err := AblationLazy(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, times := tbl.Series[0], tbl.Series[1]
+	if diff := hits.Points[0].Mean - hits.Points[1].Mean; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("lazy and naive hit ratios differ: %v", hits.Points)
+	}
+	if times.Points[0].Mean >= times.Points[1].Mean {
+		t.Fatalf("lazy %v not faster than naive %v", times.Points[0].Mean, times.Points[1].Mean)
+	}
+}
+
+func TestExperimentsDeterministic(t *testing.T) {
+	opt := tinyOptions()
+	a, err := Fig4b(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fig4b(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for si := range a.Series {
+		for pi := range a.Series[si].Points {
+			if a.Series[si].Points[pi].Mean != b.Series[si].Points[pi].Mean {
+				t.Fatal("same options produced different results")
+			}
+		}
+	}
+}

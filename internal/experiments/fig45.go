@@ -1,0 +1,222 @@
+package experiments
+
+import (
+	"fmt"
+
+	"trimcaching/internal/modellib"
+	"trimcaching/internal/placement"
+	"trimcaching/internal/rng"
+	"trimcaching/internal/sim"
+	"trimcaching/internal/stats"
+)
+
+// sweepPoint is one x-axis value of a figure sweep.
+type sweepPoint struct {
+	x   float64
+	cfg sim.TrialConfig
+}
+
+// runSweep executes sim.Run per point and assembles one series per
+// algorithm. Every point reuses the same algorithm list (order defines
+// series order).
+func runSweep(title, xLabel string, points []sweepPoint, notes []string) (*stats.Table, error) {
+	if len(points) == 0 {
+		return nil, fmt.Errorf("experiments: empty sweep")
+	}
+	var series []stats.Series
+	for pi, pt := range points {
+		results, err := sim.Run(pt.cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s at x=%v: %w", title, pt.x, err)
+		}
+		if pi == 0 {
+			series = make([]stats.Series, len(results))
+			for a, r := range results {
+				series[a].Label = r.Name
+			}
+		}
+		for a, r := range results {
+			series[a].Append(pt.x, r.HitRatio)
+		}
+	}
+	return &stats.Table{
+		Title:  title,
+		XLabel: xLabel,
+		YLabel: "cache hit ratio",
+		Series: series,
+		Notes:  notes,
+	}, nil
+}
+
+// capacitySweepGB is the paper's Q axis: 0.5 to 1.5 GB.
+var capacitySweepGB = []float64{0.5, 0.75, 1.0, 1.25, 1.5}
+
+// serverSweep is the paper's M axis.
+var serverSweep = []int{6, 8, 10, 12, 14}
+
+// userSweep is the paper's K axis.
+var userSweep = []int{10, 20, 30, 40, 50}
+
+// Defaults held fixed on the non-swept axes (captions of Figs. 4–5; K is
+// not stated in the paper and documented as 30 in EXPERIMENTS.md).
+const (
+	defaultServers = 10
+	defaultUsers   = 30
+	defaultQGB     = 1.0
+)
+
+// figTrial builds the common sim.TrialConfig for Figs. 4–5.
+func figTrial(opt Options, lib *modellib.Library, m, k int, qGB float64, algs []placement.Algorithm, pointSalt string) sim.TrialConfig {
+	return sim.TrialConfig{
+		Library:       lib,
+		Scenario:      paperScenario(m, k),
+		CapacityBytes: int64(qGB * GB),
+		Algorithms:    algs,
+		Topologies:    opt.Topologies,
+		Realizations:  opt.Realizations,
+		Workers:       opt.Workers,
+		Seed:          rng.SaltSeed(opt.Seed, pointSalt),
+	}
+}
+
+// specialAlgs is the Fig. 4 algorithm set.
+func specialAlgs(opt Options) []placement.Algorithm {
+	return []placement.Algorithm{specAlgorithm(opt), genAlgorithm(), placement.IndependentAlgorithm{}, placement.PopularityAlgorithm{}}
+}
+
+// generalAlgs is the Fig. 5 algorithm set.
+func generalAlgs() []placement.Algorithm {
+	return []placement.Algorithm{genAlgorithm(), placement.IndependentAlgorithm{}, placement.PopularityAlgorithm{}}
+}
+
+// Fig4a reproduces Fig. 4(a): special case, hit ratio vs Q (M=10, I=30).
+func Fig4a(opt Options) (*stats.Table, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	lib, err := specialLibrary(opt)
+	if err != nil {
+		return nil, err
+	}
+	var points []sweepPoint
+	for _, q := range capacitySweepGB {
+		points = append(points, sweepPoint{
+			x:   q,
+			cfg: figTrial(opt, lib, defaultServers, defaultUsers, q, specialAlgs(opt), fmt.Sprintf("fig4a/q=%v", q)),
+		})
+	}
+	return runSweep("Fig. 4(a) special case: cache hit ratio vs edge server capacity",
+		"Q (GB)", points, []string{
+			fmt.Sprintf("M=%d, K=%d, I=%d, eps=%v", defaultServers, defaultUsers, lib.NumModels(), opt.Epsilon),
+		})
+}
+
+// Fig4b reproduces Fig. 4(b): special case, hit ratio vs M (Q=1GB, I=30).
+func Fig4b(opt Options) (*stats.Table, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	lib, err := specialLibrary(opt)
+	if err != nil {
+		return nil, err
+	}
+	var points []sweepPoint
+	for _, m := range serverSweep {
+		points = append(points, sweepPoint{
+			x:   float64(m),
+			cfg: figTrial(opt, lib, m, defaultUsers, defaultQGB, specialAlgs(opt), fmt.Sprintf("fig4b/m=%d", m)),
+		})
+	}
+	return runSweep("Fig. 4(b) special case: cache hit ratio vs number of edge servers",
+		"M", points, []string{
+			fmt.Sprintf("Q=%v GB, K=%d, I=%d, eps=%v", defaultQGB, defaultUsers, lib.NumModels(), opt.Epsilon),
+		})
+}
+
+// Fig4c reproduces Fig. 4(c): special case, hit ratio vs K (Q=1GB, M=10).
+func Fig4c(opt Options) (*stats.Table, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	lib, err := specialLibrary(opt)
+	if err != nil {
+		return nil, err
+	}
+	var points []sweepPoint
+	for _, k := range userSweep {
+		points = append(points, sweepPoint{
+			x:   float64(k),
+			cfg: figTrial(opt, lib, defaultServers, k, defaultQGB, specialAlgs(opt), fmt.Sprintf("fig4c/k=%d", k)),
+		})
+	}
+	return runSweep("Fig. 4(c) special case: cache hit ratio vs number of users",
+		"K", points, []string{
+			fmt.Sprintf("Q=%v GB, M=%d, I=%d, eps=%v", defaultQGB, defaultServers, lib.NumModels(), opt.Epsilon),
+		})
+}
+
+// Fig5a reproduces Fig. 5(a): general case, hit ratio vs Q.
+func Fig5a(opt Options) (*stats.Table, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	lib, err := generalLibrary(opt, opt.LibraryModels)
+	if err != nil {
+		return nil, err
+	}
+	var points []sweepPoint
+	for _, q := range capacitySweepGB {
+		points = append(points, sweepPoint{
+			x:   q,
+			cfg: figTrial(opt, lib, defaultServers, defaultUsers, q, generalAlgs(), fmt.Sprintf("fig5a/q=%v", q)),
+		})
+	}
+	return runSweep("Fig. 5(a) general case: cache hit ratio vs edge server capacity",
+		"Q (GB)", points, []string{
+			fmt.Sprintf("M=%d, K=%d, I=%d", defaultServers, defaultUsers, lib.NumModels()),
+		})
+}
+
+// Fig5b reproduces Fig. 5(b): general case, hit ratio vs M.
+func Fig5b(opt Options) (*stats.Table, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	lib, err := generalLibrary(opt, opt.LibraryModels)
+	if err != nil {
+		return nil, err
+	}
+	var points []sweepPoint
+	for _, m := range serverSweep {
+		points = append(points, sweepPoint{
+			x:   float64(m),
+			cfg: figTrial(opt, lib, m, defaultUsers, defaultQGB, generalAlgs(), fmt.Sprintf("fig5b/m=%d", m)),
+		})
+	}
+	return runSweep("Fig. 5(b) general case: cache hit ratio vs number of edge servers",
+		"M", points, []string{
+			fmt.Sprintf("Q=%v GB, K=%d, I=%d", defaultQGB, defaultUsers, lib.NumModels()),
+		})
+}
+
+// Fig5c reproduces Fig. 5(c): general case, hit ratio vs K.
+func Fig5c(opt Options) (*stats.Table, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	lib, err := generalLibrary(opt, opt.LibraryModels)
+	if err != nil {
+		return nil, err
+	}
+	var points []sweepPoint
+	for _, k := range userSweep {
+		points = append(points, sweepPoint{
+			x:   float64(k),
+			cfg: figTrial(opt, lib, defaultServers, k, defaultQGB, generalAlgs(), fmt.Sprintf("fig5c/k=%d", k)),
+		})
+	}
+	return runSweep("Fig. 5(c) general case: cache hit ratio vs number of users",
+		"K", points, []string{
+			fmt.Sprintf("Q=%v GB, M=%d, I=%d", defaultQGB, defaultServers, lib.NumModels()),
+		})
+}

@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"trimcaching/internal/mobility"
+	"trimcaching/internal/modellib"
+	"trimcaching/internal/placement"
+	"trimcaching/internal/rng"
+	"trimcaching/internal/scenario"
+	"trimcaching/internal/sim"
+	"trimcaching/internal/stats"
+)
+
+// Fig. 7 parameters (§VII-E): M = 10, K = 10, Q = 1 GB, special case,
+// 5-second slots over 2 hours with checkpoints every 10 minutes.
+const (
+	fig7Servers       = 10
+	fig7Users         = 10
+	fig7SlotS         = 5
+	fig7DurationMin   = 120
+	fig7CheckpointMin = 10
+)
+
+// Fig7 reproduces Fig. 7: models are placed once at t = 0 (Spec and Gen),
+// users then move per the pedestrian/bike/vehicle model, and the cache hit
+// ratio is re-evaluated under fading at each checkpoint without replacing
+// models. The paper reports only ~5-6% degradation over 2 h.
+func Fig7(opt Options) (*stats.Table, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	lib, err := specialLibrary(opt)
+	if err != nil {
+		return nil, err
+	}
+	algs := []placement.Algorithm{specAlgorithm(opt), genAlgorithm()}
+	checkpoints := fig7DurationMin/fig7CheckpointMin + 1 // t = 0 included
+	// Fading realizations per checkpoint: cheaper than the main figures
+	// because the trial re-evaluates 13 times.
+	perCheckpoint := opt.Realizations / 4
+	if perCheckpoint < 10 {
+		perCheckpoint = 10
+	}
+
+	outcomes := make([]fig7Outcome, opt.Topologies)
+	root := rng.New(rng.SaltSeed(opt.Seed, "fig7"))
+
+	workers := opt.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > opt.Topologies {
+		workers = opt.Topologies
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range next {
+				outcomes[t] = fig7Trial(lib, algs, checkpoints, perCheckpoint, root.SplitIndex("trial", t))
+			}
+		}()
+	}
+	for t := 0; t < opt.Topologies; t++ {
+		next <- t
+	}
+	close(next)
+	wg.Wait()
+
+	acc := make([][]stats.Accumulator, len(algs))
+	for a := range acc {
+		acc[a] = make([]stats.Accumulator, checkpoints)
+	}
+	for t := range outcomes {
+		if outcomes[t].err != nil {
+			return nil, fmt.Errorf("experiments: fig7 trial %d: %w", t, outcomes[t].err)
+		}
+		for a := range algs {
+			for cp := 0; cp < checkpoints; cp++ {
+				acc[a][cp].Add(outcomes[t].hit[a][cp])
+			}
+		}
+	}
+
+	series := make([]stats.Series, len(algs))
+	for a, alg := range algs {
+		series[a].Label = alg.Name()
+		for cp := 0; cp < checkpoints; cp++ {
+			series[a].Append(float64(cp*fig7CheckpointMin), acc[a][cp].Summarize())
+		}
+	}
+	notes := []string{
+		fmt.Sprintf("M=%d, K=%d, Q=1GB, slot=%ds, classes: pedestrian/bike/vehicle", fig7Servers, fig7Users, fig7SlotS),
+	}
+	for a := range series {
+		first := series[a].Points[0].Mean
+		last := series[a].Points[len(series[a].Points)-1].Mean
+		if first > 0 {
+			notes = append(notes, fmt.Sprintf("%s degradation over 2h: %.2f%%", series[a].Label, 100*(first-last)/first))
+		}
+	}
+	return &stats.Table{
+		Title:  "Fig. 7 cache hit ratio over time under user mobility",
+		XLabel: "time (min)",
+		YLabel: "cache hit ratio",
+		Series: series,
+		Notes:  notes,
+	}, nil
+}
+
+// fig7Outcome is one topology's hit-ratio trajectory per algorithm.
+type fig7Outcome struct {
+	hit [][]float64 // hit[a][checkpoint]
+	err error
+}
+
+// fig7Trial runs one topology: place at t = 0, then walk users and
+// re-evaluate the frozen placements at every checkpoint.
+func fig7Trial(lib *modellib.Library, algs []placement.Algorithm, checkpoints, perCheckpoint int, src *rng.Source) fig7Outcome {
+	out := fig7Outcome{hit: make([][]float64, len(algs))}
+	for a := range out.hit {
+		out.hit[a] = make([]float64, checkpoints)
+	}
+
+	cfg := paperScenario(fig7Servers, fig7Users)
+	ins, err := scenario.Generate(lib, cfg, src.Split("instance"))
+	if err != nil {
+		out.err = err
+		return out
+	}
+	eval, err := placement.NewEvaluator(ins)
+	if err != nil {
+		out.err = err
+		return out
+	}
+	caps := placement.UniformCapacities(fig7Servers, int64(defaultQGB*GB))
+	placements := make([]*placement.Placement, len(algs))
+	for a, alg := range algs {
+		p, err := alg.Place(eval, caps)
+		if err != nil {
+			out.err = fmt.Errorf("%s: %w", alg.Name(), err)
+			return out
+		}
+		placements[a] = p
+	}
+
+	pop, err := mobility.NewPopulation(ins.Topology().Area(), ins.Topology().UserPositions(), src.Split("mobility"))
+	if err != nil {
+		out.err = err
+		return out
+	}
+
+	walkSrc := src.Split("walk")
+	slotsPerCheckpoint := fig7CheckpointMin * 60 / fig7SlotS
+	cur := ins
+	curEval := eval
+	for cp := 0; cp < checkpoints; cp++ {
+		if cp > 0 {
+			for s := 0; s < slotsPerCheckpoint; s++ {
+				if err := pop.Step(fig7SlotS, walkSrc); err != nil {
+					out.err = err
+					return out
+				}
+			}
+			topo, err := ins.Topology().WithUserPositions(pop.Positions())
+			if err != nil {
+				out.err = err
+				return out
+			}
+			cur, err = scenario.New(topo, lib, ins.Workload(), ins.Wireless())
+			if err != nil {
+				out.err = err
+				return out
+			}
+			curEval, err = placement.NewEvaluator(cur)
+			if err != nil {
+				out.err = err
+				return out
+			}
+		}
+		hits, err := sim.EvaluateUnderFading(curEval, placements, perCheckpoint, src.SplitIndex("fading", cp))
+		if err != nil {
+			out.err = err
+			return out
+		}
+		for a := range algs {
+			out.hit[a][cp] = hits[a]
+		}
+	}
+	return out
+}

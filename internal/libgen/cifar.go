@@ -1,0 +1,78 @@
+package libgen
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CIFAR100Superclasses maps each of the 20 CIFAR-100 superclasses to its 5
+// classes. The paper's downstream tasks are per-class classifiers (§VII-A),
+// and the general-case library derives models along this hierarchy
+// (Table I).
+var CIFAR100Superclasses = map[string][]string{
+	"aquatic mammals":                {"beaver", "dolphin", "otter", "seal", "whale"},
+	"fish":                           {"aquarium fish", "flatfish", "ray", "shark", "trout"},
+	"flowers":                        {"orchids", "poppies", "roses", "sunflowers", "tulips"},
+	"food containers":                {"bottles", "bowls", "cans", "cups", "plates"},
+	"fruit and vegetables":           {"apples", "mushrooms", "oranges", "pears", "sweet peppers"},
+	"household electrical devices":   {"clock", "computer keyboard", "lamp", "telephone", "television"},
+	"household furniture":            {"bed", "chair", "couch", "table", "wardrobe"},
+	"insects":                        {"bee", "beetle", "butterfly", "caterpillar", "cockroach"},
+	"large carnivores":               {"bear", "leopard", "lion", "tiger", "wolf"},
+	"large man-made outdoor things":  {"bridge", "castle", "house", "road", "skyscraper"},
+	"large natural outdoor scenes":   {"cloud", "forest", "mountain", "plain", "sea"},
+	"large omnivores and herbivores": {"camel", "cattle", "chimpanzee", "elephant", "kangaroo"},
+	"medium-sized mammals":           {"fox", "porcupine", "possum", "raccoon", "skunk"},
+	"non-insect invertebrates":       {"crab", "lobster", "snail", "spider", "worm"},
+	"people":                         {"baby", "boy", "girl", "man", "woman"},
+	"reptiles":                       {"crocodile", "dinosaur", "lizard", "snake", "turtle"},
+	"small mammals":                  {"hamster", "mouse", "rabbit", "shrew", "squirrel"},
+	"trees":                          {"maple", "oak", "palm", "pine", "willow"},
+	"vehicles 1":                     {"bicycle", "bus", "motorcycle", "pickup truck", "train"},
+	"vehicles 2":                     {"lawn-mower", "rocket", "streetcar", "tank", "tractor"},
+}
+
+// TableI is the paper's Table I: the general case first fully fine-tunes a
+// model per first-round superclass, then derives per-class models for the
+// related second-round superclasses by bottom-layer freezing from that
+// first-round model.
+var TableI = map[string][]string{
+	"fruit and vegetables": {"flowers", "trees"},
+	"medium-sized mammals": {
+		"large carnivores", "large omnivores and herbivores",
+		"people", "reptiles", "small mammals",
+	},
+	"vehicles 2": {"large man-made outdoor things", "vehicles 1"},
+}
+
+// CIFAR100Classes returns all 100 class names, ordered by superclass name
+// then class position — a deterministic ordering for library generation.
+func CIFAR100Classes() []string {
+	supers := make([]string, 0, len(CIFAR100Superclasses))
+	for s := range CIFAR100Superclasses {
+		supers = append(supers, s)
+	}
+	sort.Strings(supers)
+	classes := make([]string, 0, 100)
+	for _, s := range supers {
+		classes = append(classes, CIFAR100Superclasses[s]...)
+	}
+	return classes
+}
+
+// validateTableI checks that every superclass named by Table I exists in the
+// CIFAR-100 hierarchy. It is exercised by tests and by the general-case
+// generator.
+func validateTableI() error {
+	for first, seconds := range TableI {
+		if _, ok := CIFAR100Superclasses[first]; !ok {
+			return fmt.Errorf("libgen: Table I first-round superclass %q not in CIFAR-100", first)
+		}
+		for _, s := range seconds {
+			if _, ok := CIFAR100Superclasses[s]; !ok {
+				return fmt.Errorf("libgen: Table I second-round superclass %q not in CIFAR-100", s)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,144 @@
+package libgen
+
+import (
+	"fmt"
+	"sort"
+
+	"trimcaching/internal/modellib"
+	"trimcaching/internal/rng"
+)
+
+// GeneralConfig configures the general-case library of §VII-A: two rounds
+// of fine-tuning per Table I. Every first-round superclass gets a fully
+// fine-tuned parent per family; second-round per-class models freeze a
+// bottom prefix of their parent. The set of shared blocks therefore grows
+// with the number of parents, i.e. with the library scale — the regime in
+// which TrimCaching Spec becomes exponential and TrimCaching Gen is needed.
+type GeneralConfig struct {
+	// Families lists the pre-trained backbones. Default: ResNet-18/34/50.
+	Families []ResNetVariant
+	// FirstRound lists the first-round superclasses (default: Table I keys).
+	FirstRound []string
+	// VariantsPerClass is how many second-round models to derive per
+	// (parent, class) pair.
+	VariantsPerClass int
+	// IncludeParents adds the first-round models themselves to the library.
+	IncludeParents bool
+	// NumClasses sizes the classification head.
+	NumClasses int
+	// BytesPerParam is the storage per parameter.
+	BytesPerParam int64
+}
+
+// DefaultGeneralConfig returns the paper's Table I general-case settings.
+func DefaultGeneralConfig() GeneralConfig {
+	first := make([]string, 0, len(TableI))
+	for s := range TableI {
+		first = append(first, s)
+	}
+	sort.Strings(first)
+	return GeneralConfig{
+		Families:         []ResNetVariant{ResNet18, ResNet34, ResNet50},
+		FirstRound:       first,
+		VariantsPerClass: 2,
+		IncludeParents:   true,
+		NumClasses:       100,
+		BytesPerParam:    BytesPerParamFP32,
+	}
+}
+
+// GenerateGeneral builds a general-case parameter-sharing library following
+// Table I.
+func GenerateGeneral(cfg GeneralConfig, src *rng.Source) (*modellib.Library, error) {
+	if err := validateTableI(); err != nil {
+		return nil, err
+	}
+	if len(cfg.Families) == 0 {
+		return nil, fmt.Errorf("libgen: at least one family required")
+	}
+	if len(cfg.FirstRound) == 0 {
+		return nil, fmt.Errorf("libgen: at least one first-round superclass required")
+	}
+	if cfg.VariantsPerClass <= 0 {
+		return nil, fmt.Errorf("libgen: VariantsPerClass must be positive, got %d", cfg.VariantsPerClass)
+	}
+	if cfg.NumClasses <= 0 || cfg.BytesPerParam <= 0 {
+		return nil, fmt.Errorf("libgen: NumClasses and BytesPerParam must be positive")
+	}
+	for _, s := range cfg.FirstRound {
+		if _, ok := TableI[s]; !ok {
+			return nil, fmt.Errorf("libgen: first-round superclass %q not in Table I", s)
+		}
+	}
+
+	var blocks []modellib.Block
+	var models []modellib.Model
+	newBlock := func(label string, params int64) int {
+		id := len(blocks)
+		blocks = append(blocks, modellib.Block{
+			ID:        id,
+			SizeBytes: params * cfg.BytesPerParam,
+			Label:     label,
+		})
+		return id
+	}
+
+	for _, fam := range cfg.Families {
+		layers, err := ResNetLayers(fam, cfg.NumClasses)
+		if err != nil {
+			return nil, fmt.Errorf("libgen: %s layers: %w", fam, err)
+		}
+		fr, err := PaperFreezeRange(fam)
+		if err != nil {
+			return nil, err
+		}
+
+		for _, first := range cfg.FirstRound {
+			// Round 1: fully fine-tuned parent — all layers are fresh
+			// blocks; its bottom prefix will be shared with its children.
+			parentBlocks := make([]int, len(layers))
+			for l, layer := range layers {
+				parentBlocks[l] = newBlock(
+					fmt.Sprintf("%s/%s/%s", fam, first, layer.Label), layer.Params)
+			}
+			if cfg.IncludeParents {
+				ids := make([]int, len(parentBlocks))
+				copy(ids, parentBlocks)
+				models = append(models, modellib.Model{
+					ID:     len(models),
+					Name:   fmt.Sprintf("%s/%s/parent", fam, first),
+					Family: fam.String(),
+					Blocks: ids,
+				})
+			}
+
+			// Round 2: per-class children of the mapped superclasses.
+			for _, second := range TableI[first] {
+				for _, class := range CIFAR100Superclasses[second] {
+					for v := 0; v < cfg.VariantsPerClass; v++ {
+						depth := src.IntRange(fr.Min, fr.Max)
+						ids := make([]int, 0, len(layers))
+						ids = append(ids, parentBlocks[:depth]...)
+						for l := depth; l < len(layers); l++ {
+							ids = append(ids, newBlock(
+								fmt.Sprintf("%s/%s/%s#%d/%s", fam, second, class, v, layers[l].Label),
+								layers[l].Params))
+						}
+						models = append(models, modellib.Model{
+							ID:     len(models),
+							Name:   fmt.Sprintf("%s/%s/%s#%d", fam, second, class, v),
+							Family: fam.String(),
+							Blocks: ids,
+						})
+					}
+				}
+			}
+		}
+	}
+
+	lib, err := modellib.New(blocks, models)
+	if err != nil {
+		return nil, fmt.Errorf("libgen: assemble general library: %w", err)
+	}
+	return lib, nil
+}

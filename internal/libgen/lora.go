@@ -1,0 +1,103 @@
+package libgen
+
+import (
+	"fmt"
+
+	"trimcaching/internal/modellib"
+)
+
+// LoRAConfig configures an LLM-style parameter-sharing library where every
+// downstream model is a frozen foundation model plus a small LoRA adapter.
+// The paper motivates TrimCaching with exactly this structure (>99% of
+// parameters shared under LoRA, §I); this generator is used by the llmedge
+// example and by extension experiments.
+type LoRAConfig struct {
+	// FoundationParams is the total parameter count of the foundation model
+	// (e.g. Gemini Nano-2: 3.25e9, §I).
+	FoundationParams int64
+	// NumLayers is the number of transformer blocks the foundation model is
+	// split into (each is one parameter block).
+	NumLayers int
+	// NumAdapters is the number of downstream fine-tuned models.
+	NumAdapters int
+	// AdapterFraction is each adapter's size relative to the foundation
+	// model (LoRA: well under 1%).
+	AdapterFraction float64
+	// BytesPerParam is the storage per parameter (fp16: 2).
+	BytesPerParam int64
+}
+
+// DefaultLoRAConfig returns a Gemini-Nano-2-sized foundation model with
+// numAdapters LoRA-tuned downstream models at 0.5% adapter size.
+func DefaultLoRAConfig(numAdapters int) LoRAConfig {
+	return LoRAConfig{
+		FoundationParams: 3_250_000_000,
+		NumLayers:        32,
+		NumAdapters:      numAdapters,
+		AdapterFraction:  0.005,
+		BytesPerParam:    2,
+	}
+}
+
+// GenerateLoRA builds the LoRA-style library: NumLayers shared foundation
+// blocks plus one specific adapter block per downstream model.
+func GenerateLoRA(cfg LoRAConfig) (*modellib.Library, error) {
+	if cfg.FoundationParams <= 0 || cfg.NumLayers <= 0 || cfg.NumAdapters <= 0 {
+		return nil, fmt.Errorf("libgen: lora config must have positive sizes: %+v", cfg)
+	}
+	if cfg.AdapterFraction <= 0 || cfg.AdapterFraction >= 1 {
+		return nil, fmt.Errorf("libgen: AdapterFraction must be in (0,1), got %v", cfg.AdapterFraction)
+	}
+	if cfg.BytesPerParam <= 0 {
+		return nil, fmt.Errorf("libgen: BytesPerParam must be positive")
+	}
+	// NumAdapters == 1 would make the foundation blocks technically
+	// unshared, which is fine: the library degenerates to independent
+	// caching, and tests cover it.
+
+	perLayer := cfg.FoundationParams / int64(cfg.NumLayers)
+	if perLayer <= 0 {
+		return nil, fmt.Errorf("libgen: foundation params %d too small for %d layers",
+			cfg.FoundationParams, cfg.NumLayers)
+	}
+	adapterParams := int64(float64(cfg.FoundationParams) * cfg.AdapterFraction)
+	if adapterParams <= 0 {
+		adapterParams = 1
+	}
+
+	var blocks []modellib.Block
+	foundation := make([]int, cfg.NumLayers)
+	for l := 0; l < cfg.NumLayers; l++ {
+		foundation[l] = len(blocks)
+		blocks = append(blocks, modellib.Block{
+			ID:        len(blocks),
+			SizeBytes: perLayer * cfg.BytesPerParam,
+			Label:     fmt.Sprintf("foundation/layer%03d", l),
+		})
+	}
+
+	models := make([]modellib.Model, 0, cfg.NumAdapters)
+	for a := 0; a < cfg.NumAdapters; a++ {
+		adapterID := len(blocks)
+		blocks = append(blocks, modellib.Block{
+			ID:        adapterID,
+			SizeBytes: adapterParams * cfg.BytesPerParam,
+			Label:     fmt.Sprintf("adapter%03d", a),
+		})
+		ids := make([]int, 0, cfg.NumLayers+1)
+		ids = append(ids, foundation...)
+		ids = append(ids, adapterID)
+		models = append(models, modellib.Model{
+			ID:     a,
+			Name:   fmt.Sprintf("llm/adapter%03d", a),
+			Family: "foundation",
+			Blocks: ids,
+		})
+	}
+
+	lib, err := modellib.New(blocks, models)
+	if err != nil {
+		return nil, fmt.Errorf("libgen: assemble lora library: %w", err)
+	}
+	return lib, nil
+}

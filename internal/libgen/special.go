@@ -1,0 +1,136 @@
+package libgen
+
+import (
+	"fmt"
+
+	"trimcaching/internal/modellib"
+	"trimcaching/internal/rng"
+)
+
+// BytesPerParamFP32 is the storage cost of one float32 parameter.
+const BytesPerParamFP32 = 4
+
+// SpecialConfig configures the special-case library of §VII-A: all models
+// are fine-tuned from a small fixed set of pre-trained backbones by freezing
+// bottom layers, so the number of shared parameter blocks is independent of
+// the library scale.
+type SpecialConfig struct {
+	// Families lists the pre-trained backbones. Default: ResNet-18/34/50.
+	Families []ResNetVariant
+	// ModelsPerFamily is the number of downstream models per backbone.
+	// The paper uses 100 per family (300 total); the placement figures use
+	// 10 per family (I = 30).
+	ModelsPerFamily int
+	// NumClasses sizes the classification head (CIFAR-100: 100).
+	NumClasses int
+	// BytesPerParam is the storage per parameter (fp32: 4).
+	BytesPerParam int64
+	// FreezeRanges overrides the paper's per-family freeze-depth ranges
+	// (used by the sharing-fraction ablation). Families absent from the map
+	// use PaperFreezeRange.
+	FreezeRanges map[ResNetVariant]FreezeRange
+}
+
+// DefaultSpecialConfig returns the paper's special-case settings with the
+// given number of models per family.
+func DefaultSpecialConfig(modelsPerFamily int) SpecialConfig {
+	return SpecialConfig{
+		Families:        []ResNetVariant{ResNet18, ResNet34, ResNet50},
+		ModelsPerFamily: modelsPerFamily,
+		NumClasses:      100,
+		BytesPerParam:   BytesPerParamFP32,
+	}
+}
+
+// GenerateSpecial builds a special-case parameter-sharing library. For every
+// family it materializes the pre-trained bottom layers as blocks shared by
+// all downstream models that froze at least that many layers; the remaining
+// (fine-tuned) layers of each model are model-specific blocks. Freeze depths
+// are drawn uniformly from the paper's per-family ranges.
+func GenerateSpecial(cfg SpecialConfig, src *rng.Source) (*modellib.Library, error) {
+	if cfg.ModelsPerFamily <= 0 {
+		return nil, fmt.Errorf("libgen: ModelsPerFamily must be positive, got %d", cfg.ModelsPerFamily)
+	}
+	if cfg.NumClasses <= 0 {
+		return nil, fmt.Errorf("libgen: NumClasses must be positive, got %d", cfg.NumClasses)
+	}
+	if cfg.BytesPerParam <= 0 {
+		return nil, fmt.Errorf("libgen: BytesPerParam must be positive, got %d", cfg.BytesPerParam)
+	}
+	if len(cfg.Families) == 0 {
+		return nil, fmt.Errorf("libgen: at least one family required")
+	}
+
+	classes := CIFAR100Classes()
+	var blocks []modellib.Block
+	var models []modellib.Model
+
+	newBlock := func(label string, params int64) int {
+		id := len(blocks)
+		blocks = append(blocks, modellib.Block{
+			ID:        id,
+			SizeBytes: params * cfg.BytesPerParam,
+			Label:     label,
+		})
+		return id
+	}
+
+	for _, fam := range cfg.Families {
+		layers, err := ResNetLayers(fam, cfg.NumClasses)
+		if err != nil {
+			return nil, fmt.Errorf("libgen: %s layers: %w", fam, err)
+		}
+		fr, ok := cfg.FreezeRanges[fam]
+		if !ok {
+			fr, err = PaperFreezeRange(fam)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if fr.Min < 1 || fr.Min > fr.Max {
+			return nil, fmt.Errorf("libgen: %s invalid freeze range %+v", fam, fr)
+		}
+		if fr.Max >= len(layers) {
+			return nil, fmt.Errorf("libgen: %s freeze max %d >= %d layers", fam, fr.Max, len(layers))
+		}
+
+		// Draw freeze depths first so only actually-frozen prefix layers
+		// become pre-trained blocks.
+		depths := make([]int, cfg.ModelsPerFamily)
+		maxDepth := 0
+		for i := range depths {
+			depths[i] = src.IntRange(fr.Min, fr.Max)
+			if depths[i] > maxDepth {
+				maxDepth = depths[i]
+			}
+		}
+
+		// Pre-trained (potentially shared) prefix blocks of this family.
+		prefix := make([]int, maxDepth)
+		for l := 0; l < maxDepth; l++ {
+			prefix[l] = newBlock(fmt.Sprintf("%s/pre/%s", fam, layers[l].Label), layers[l].Params)
+		}
+
+		for mi := 0; mi < cfg.ModelsPerFamily; mi++ {
+			depth := depths[mi]
+			ids := make([]int, 0, len(layers))
+			ids = append(ids, prefix[:depth]...)
+			name := fmt.Sprintf("%s/%s#%d", fam, classes[mi%len(classes)], mi)
+			for l := depth; l < len(layers); l++ {
+				ids = append(ids, newBlock(fmt.Sprintf("%s/ft%d/%s", fam, mi, layers[l].Label), layers[l].Params))
+			}
+			models = append(models, modellib.Model{
+				ID:     len(models),
+				Name:   name,
+				Family: fam.String(),
+				Blocks: ids,
+			})
+		}
+	}
+
+	lib, err := modellib.New(blocks, models)
+	if err != nil {
+		return nil, fmt.Errorf("libgen: assemble special library: %w", err)
+	}
+	return lib, nil
+}

@@ -1,0 +1,99 @@
+package libgen
+
+import (
+	"fmt"
+	"sort"
+
+	"trimcaching/internal/modellib"
+	"trimcaching/internal/rng"
+)
+
+// Subset rebuilds a library containing only the given models (in the given
+// order), dropping unreferenced blocks and reindexing IDs. The paper's
+// placement experiments run on I = 30 models drawn from the 300-model
+// library (§VII).
+func Subset(lib *modellib.Library, modelIDs []int) (*modellib.Library, error) {
+	if len(modelIDs) == 0 {
+		return nil, fmt.Errorf("libgen: subset needs at least one model")
+	}
+	seen := make(map[int]bool, len(modelIDs))
+	blockMap := make(map[int]int)
+	var blocks []modellib.Block
+	models := make([]modellib.Model, 0, len(modelIDs))
+	for _, id := range modelIDs {
+		if id < 0 || id >= lib.NumModels() {
+			return nil, fmt.Errorf("libgen: subset model %d out of range [0,%d)", id, lib.NumModels())
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("libgen: subset repeats model %d", id)
+		}
+		seen[id] = true
+		src := lib.Model(id)
+		ids := make([]int, 0, len(src.Blocks))
+		for _, j := range src.Blocks {
+			nj, ok := blockMap[j]
+			if !ok {
+				nj = len(blocks)
+				blockMap[j] = nj
+				b := lib.Block(j)
+				blocks = append(blocks, modellib.Block{ID: nj, SizeBytes: b.SizeBytes, Label: b.Label})
+			}
+			ids = append(ids, nj)
+		}
+		models = append(models, modellib.Model{
+			ID:     len(models),
+			Name:   src.Name,
+			Family: src.Family,
+			Blocks: ids,
+		})
+	}
+	out, err := modellib.New(blocks, models)
+	if err != nil {
+		return nil, fmt.Errorf("libgen: rebuild subset: %w", err)
+	}
+	return out, nil
+}
+
+// TakeStratified samples n models stratified by family (round-robin over
+// families, random within each family) and returns the subset library.
+func TakeStratified(lib *modellib.Library, n int, src *rng.Source) (*modellib.Library, error) {
+	if n <= 0 || n > lib.NumModels() {
+		return nil, fmt.Errorf("libgen: take %d of %d models", n, lib.NumModels())
+	}
+	byFamily := map[string][]int{}
+	for i := 0; i < lib.NumModels(); i++ {
+		fam := lib.Model(i).Family
+		byFamily[fam] = append(byFamily[fam], i)
+	}
+	families := make([]string, 0, len(byFamily))
+	for fam := range byFamily {
+		families = append(families, fam)
+	}
+	sort.Strings(families)
+	for _, fam := range families {
+		ids := byFamily[fam]
+		src.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+	}
+
+	picked := make([]int, 0, n)
+	for len(picked) < n {
+		progress := false
+		for _, fam := range families {
+			ids := byFamily[fam]
+			if len(ids) == 0 {
+				continue
+			}
+			picked = append(picked, ids[0])
+			byFamily[fam] = ids[1:]
+			progress = true
+			if len(picked) == n {
+				break
+			}
+		}
+		if !progress {
+			return nil, fmt.Errorf("libgen: exhausted families before picking %d models", n)
+		}
+	}
+	sort.Ints(picked)
+	return Subset(lib, picked)
+}

@@ -1,0 +1,182 @@
+// Package mobility implements the user mobility model of §VII-E: three user
+// classes (pedestrians, bikes, vehicles) whose speed, acceleration, heading,
+// and angular velocity evolve per 5-second time slot, bouncing off the
+// deployment-area boundary. The experiment places models once at t = 0 and
+// watches the cache hit ratio degrade as users move.
+package mobility
+
+import (
+	"fmt"
+	"math"
+
+	"trimcaching/internal/geom"
+	"trimcaching/internal/rng"
+)
+
+// Class is a user mobility class.
+type Class int
+
+// The paper's three mobility classes.
+const (
+	Pedestrian Class = iota + 1
+	Bike
+	Vehicle
+)
+
+// String returns the class name.
+func (c Class) String() string {
+	switch c {
+	case Pedestrian:
+		return "pedestrian"
+	case Bike:
+		return "bike"
+	case Vehicle:
+		return "vehicle"
+	default:
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+}
+
+// Params are the per-class dynamics bounds.
+type Params struct {
+	// SpeedMinMS/SpeedMaxMS bound the initial speed draw in m/s.
+	SpeedMinMS float64
+	SpeedMaxMS float64
+	// AccMaxMS2 bounds the per-slot acceleration draw: U[-AccMax, AccMax].
+	AccMaxMS2 float64
+	// AngVelMaxRadS bounds the per-slot angular velocity: U[-Max, Max].
+	AngVelMaxRadS float64
+	// SpeedCapMS clamps the evolving speed to [0, SpeedCapMS] so random
+	// accelerations cannot drift speeds to absurd values; the paper leaves
+	// this implicit, we cap at the class's initial maximum.
+	SpeedCapMS float64
+}
+
+// PaperParams returns §VII-E's parameters: pedestrians 0.5–1.8 m/s with
+// ±0.3 m/s² and ±π/4 rad/s; bikes 2–8 m/s, ±1 m/s², ±π/3 rad/s; vehicles
+// 5.5–20 m/s, ±3 m/s², ±π/2 rad/s.
+func PaperParams(c Class) (Params, error) {
+	switch c {
+	case Pedestrian:
+		return Params{SpeedMinMS: 0.5, SpeedMaxMS: 1.8, AccMaxMS2: 0.3, AngVelMaxRadS: math.Pi / 4, SpeedCapMS: 1.8}, nil
+	case Bike:
+		return Params{SpeedMinMS: 2, SpeedMaxMS: 8, AccMaxMS2: 1, AngVelMaxRadS: math.Pi / 3, SpeedCapMS: 8}, nil
+	case Vehicle:
+		return Params{SpeedMinMS: 5.5, SpeedMaxMS: 20, AccMaxMS2: 3, AngVelMaxRadS: math.Pi / 2, SpeedCapMS: 20}, nil
+	default:
+		return Params{}, fmt.Errorf("mobility: unknown class %d", int(c))
+	}
+}
+
+// Walker is one moving user.
+type Walker struct {
+	class   Class
+	params  Params
+	pos     geom.Point
+	speed   float64 // m/s
+	heading float64 // radians
+}
+
+// NewWalker creates a walker at pos with the paper's initial draws: speed
+// uniform in the class range, orientation uniform in [0, π].
+func NewWalker(pos geom.Point, class Class, src *rng.Source) (*Walker, error) {
+	p, err := PaperParams(class)
+	if err != nil {
+		return nil, err
+	}
+	return &Walker{
+		class:   class,
+		params:  p,
+		pos:     pos,
+		speed:   src.Uniform(p.SpeedMinMS, p.SpeedMaxMS),
+		heading: src.Uniform(0, math.Pi),
+	}, nil
+}
+
+// Class returns the walker's mobility class.
+func (w *Walker) Class() Class { return w.class }
+
+// Pos returns the current position.
+func (w *Walker) Pos() geom.Point { return w.pos }
+
+// Speed returns the current speed in m/s.
+func (w *Walker) Speed() float64 { return w.speed }
+
+// Step advances the walker by dtS seconds inside area: draw a new
+// acceleration and angular velocity, update speed and heading, move, and
+// reflect off the boundary.
+func (w *Walker) Step(dtS float64, area geom.Area, src *rng.Source) error {
+	if dtS <= 0 {
+		return fmt.Errorf("mobility: step duration must be positive, got %v", dtS)
+	}
+	acc := src.Uniform(-w.params.AccMaxMS2, w.params.AccMaxMS2)
+	w.speed += acc * dtS
+	if w.speed < 0 {
+		w.speed = 0
+	}
+	if w.speed > w.params.SpeedCapMS {
+		w.speed = w.params.SpeedCapMS
+	}
+	angVel := src.Uniform(-w.params.AngVelMaxRadS, w.params.AngVelMaxRadS)
+	w.heading += angVel * dtS
+
+	next := w.pos.Add(w.speed*dtS*math.Cos(w.heading), w.speed*dtS*math.Sin(w.heading))
+	reflected, sx, sy := area.Reflect(next)
+	w.pos = reflected
+	if sx < 0 || sy < 0 {
+		// Mirror the heading on the axis that bounced.
+		dx, dy := math.Cos(w.heading)*sx, math.Sin(w.heading)*sy
+		w.heading = math.Atan2(dy, dx)
+	}
+	return nil
+}
+
+// Population is a set of walkers sharing an area.
+type Population struct {
+	area    geom.Area
+	walkers []*Walker
+}
+
+// NewPopulation creates walkers at the given positions, cycling through the
+// three paper classes (pedestrian, bike, vehicle) so each class gets about a
+// third of the users.
+func NewPopulation(area geom.Area, positions []geom.Point, src *rng.Source) (*Population, error) {
+	if len(positions) == 0 {
+		return nil, fmt.Errorf("mobility: at least one user required")
+	}
+	classes := []Class{Pedestrian, Bike, Vehicle}
+	p := &Population{area: area, walkers: make([]*Walker, len(positions))}
+	for i, pos := range positions {
+		w, err := NewWalker(pos, classes[i%len(classes)], src)
+		if err != nil {
+			return nil, err
+		}
+		p.walkers[i] = w
+	}
+	return p, nil
+}
+
+// Step advances every walker by dtS seconds.
+func (p *Population) Step(dtS float64, src *rng.Source) error {
+	for _, w := range p.walkers {
+		if err := w.Step(dtS, p.area, src); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Positions returns the current position of every walker.
+func (p *Population) Positions() []geom.Point {
+	out := make([]geom.Point, len(p.walkers))
+	for i, w := range p.walkers {
+		out[i] = w.Pos()
+	}
+	return out
+}
+
+// Walker returns walker i.
+func (p *Population) Walker(i int) *Walker { return p.walkers[i] }
+
+// Len returns the number of walkers.
+func (p *Population) Len() int { return len(p.walkers) }

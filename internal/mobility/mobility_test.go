@@ -1,0 +1,217 @@
+package mobility
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"trimcaching/internal/geom"
+	"trimcaching/internal/rng"
+)
+
+func testArea(t *testing.T) geom.Area {
+	t.Helper()
+	a, err := geom.NewArea(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestPaperParams(t *testing.T) {
+	cases := []struct {
+		class Class
+		vMin  float64
+		vMax  float64
+	}{
+		{Pedestrian, 0.5, 1.8},
+		{Bike, 2, 8},
+		{Vehicle, 5.5, 20},
+	}
+	for _, c := range cases {
+		p, err := PaperParams(c.class)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.SpeedMinMS != c.vMin || p.SpeedMaxMS != c.vMax {
+			t.Fatalf("%s: speed range [%v,%v]", c.class, p.SpeedMinMS, p.SpeedMaxMS)
+		}
+		if p.AccMaxMS2 <= 0 || p.AngVelMaxRadS <= 0 {
+			t.Fatalf("%s: non-positive dynamics", c.class)
+		}
+	}
+	if _, err := PaperParams(Class(9)); err == nil {
+		t.Fatal("unknown class must error")
+	}
+	if Class(9).String() == "" || Pedestrian.String() != "pedestrian" {
+		t.Fatal("String()")
+	}
+}
+
+func TestWalkerInitialDraws(t *testing.T) {
+	area := testArea(t)
+	src := rng.New(1)
+	for i := 0; i < 200; i++ {
+		w, err := NewWalker(area.SamplePoint(src), Bike, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w.Speed() < 2 || w.Speed() > 8 {
+			t.Fatalf("bike initial speed %v", w.Speed())
+		}
+		if w.Class() != Bike {
+			t.Fatal("class")
+		}
+	}
+}
+
+func TestWalkerStaysInsideArea(t *testing.T) {
+	area := testArea(t)
+	src := rng.New(2)
+	for _, class := range []Class{Pedestrian, Bike, Vehicle} {
+		w, err := NewWalker(area.SamplePoint(src), class, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for step := 0; step < 2000; step++ {
+			if err := w.Step(5, area, src); err != nil {
+				t.Fatal(err)
+			}
+			if !area.Contains(w.Pos()) {
+				t.Fatalf("%s left the area at step %d: %v", class, step, w.Pos())
+			}
+			if w.Speed() < 0 {
+				t.Fatalf("negative speed %v", w.Speed())
+			}
+		}
+	}
+}
+
+func TestWalkerSpeedCapped(t *testing.T) {
+	area := testArea(t)
+	src := rng.New(3)
+	w, err := NewWalker(geom.Point{X: 500, Y: 500}, Vehicle, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := PaperParams(Vehicle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 5000; step++ {
+		if err := w.Step(5, area, src); err != nil {
+			t.Fatal(err)
+		}
+		if w.Speed() > p.SpeedCapMS+1e-9 {
+			t.Fatalf("speed %v exceeds cap %v", w.Speed(), p.SpeedCapMS)
+		}
+	}
+}
+
+func TestWalkerActuallyMoves(t *testing.T) {
+	area := testArea(t)
+	src := rng.New(4)
+	w, err := NewWalker(geom.Point{X: 500, Y: 500}, Vehicle, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := w.Pos()
+	var moved float64
+	for step := 0; step < 10; step++ {
+		if err := w.Step(5, area, src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	moved = start.Dist(w.Pos())
+	if moved < 1 {
+		t.Fatalf("vehicle moved only %v m in 50 s", moved)
+	}
+}
+
+func TestStepInvalidDuration(t *testing.T) {
+	area := testArea(t)
+	src := rng.New(5)
+	w, err := NewWalker(geom.Point{X: 1, Y: 1}, Pedestrian, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Step(0, area, src); err == nil {
+		t.Fatal("zero dt must error")
+	}
+	if err := w.Step(-1, area, src); err == nil {
+		t.Fatal("negative dt must error")
+	}
+}
+
+func TestPopulation(t *testing.T) {
+	area := testArea(t)
+	src := rng.New(6)
+	positions := area.SamplePoints(src, 10)
+	pop, err := NewPopulation(area, positions, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pop.Len() != 10 {
+		t.Fatalf("len %d", pop.Len())
+	}
+	// Classes cycle: pedestrian, bike, vehicle, pedestrian, ...
+	if pop.Walker(0).Class() != Pedestrian || pop.Walker(1).Class() != Bike || pop.Walker(2).Class() != Vehicle {
+		t.Fatal("class cycling broken")
+	}
+	before := pop.Positions()
+	if err := pop.Step(5, src); err != nil {
+		t.Fatal(err)
+	}
+	after := pop.Positions()
+	var movedAny bool
+	for i := range before {
+		if !area.Contains(after[i]) {
+			t.Fatalf("walker %d left area", i)
+		}
+		if before[i].Dist(after[i]) > 0.5 {
+			movedAny = true
+		}
+	}
+	if !movedAny {
+		t.Fatal("nobody moved")
+	}
+}
+
+func TestPopulationEmpty(t *testing.T) {
+	area := testArea(t)
+	if _, err := NewPopulation(area, nil, rng.New(7)); err == nil {
+		t.Fatal("empty population must error")
+	}
+}
+
+// Property: after arbitrary step sequences walkers remain inside the area
+// with bounded speed.
+func TestWalkerInvariantProperty(t *testing.T) {
+	area := testArea(t)
+	f := func(seed uint64, steps uint8) bool {
+		src := rng.New(seed)
+		w, err := NewWalker(area.SamplePoint(src), Bike, src)
+		if err != nil {
+			return false
+		}
+		p, err := PaperParams(Bike)
+		if err != nil {
+			return false
+		}
+		for s := 0; s < int(steps%64)+1; s++ {
+			if err := w.Step(5, area, src); err != nil {
+				return false
+			}
+			if !area.Contains(w.Pos()) || w.Speed() < 0 || w.Speed() > p.SpeedCapMS+1e-9 {
+				return false
+			}
+			if math.IsNaN(w.Pos().X) || math.IsNaN(w.Pos().Y) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,32 @@
+package modellib
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// libraryJSON is the serialized form of a Library.
+type libraryJSON struct {
+	Blocks []Block `json:"blocks"`
+	Models []Model `json:"models"`
+}
+
+// MarshalJSON serializes the library as its blocks and models; the sharing
+// indexes are recomputed on load.
+func (l *Library) MarshalJSON() ([]byte, error) {
+	return json.Marshal(libraryJSON{Blocks: l.blocks, Models: l.models})
+}
+
+// UnmarshalJSON deserializes and re-validates a library.
+func (l *Library) UnmarshalJSON(data []byte) error {
+	var raw libraryJSON
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return fmt.Errorf("modellib: decode library: %w", err)
+	}
+	lib, err := New(raw.Blocks, raw.Models)
+	if err != nil {
+		return fmt.Errorf("modellib: rebuild library: %w", err)
+	}
+	*l = *lib
+	return nil
+}

@@ -1,0 +1,95 @@
+package placement
+
+import "fmt"
+
+// Algorithm is a named placement solver, the unit the experiment harness
+// sweeps over.
+type Algorithm interface {
+	// Name returns the display name used in result tables.
+	Name() string
+	// Place computes a placement respecting the per-server capacities.
+	Place(e *Evaluator, capacities []int64) (*Placement, error)
+}
+
+// GenAlgorithm is TrimCaching Gen (Algorithm 3).
+type GenAlgorithm struct {
+	Options GenOptions
+}
+
+var _ Algorithm = GenAlgorithm{}
+
+// Name implements Algorithm.
+func (GenAlgorithm) Name() string { return "TrimCaching Gen" }
+
+// Place implements Algorithm.
+func (a GenAlgorithm) Place(e *Evaluator, capacities []int64) (*Placement, error) {
+	return TrimCachingGen(e, capacities, a.Options)
+}
+
+// SpecAlgorithm is TrimCaching Spec (Algorithms 1–2). The zero value runs
+// with ε = 0 (exact per-combination knapsacks); use DefaultSpecOptions for
+// the paper's ε = 0.1.
+type SpecAlgorithm struct {
+	Options SpecOptions
+}
+
+var _ Algorithm = SpecAlgorithm{}
+
+// Name implements Algorithm.
+func (SpecAlgorithm) Name() string { return "TrimCaching Spec" }
+
+// Place implements Algorithm.
+func (a SpecAlgorithm) Place(e *Evaluator, capacities []int64) (*Placement, error) {
+	return TrimCachingSpec(e, capacities, a.Options)
+}
+
+// IndependentAlgorithm is the Independent Caching baseline.
+type IndependentAlgorithm struct{}
+
+var _ Algorithm = IndependentAlgorithm{}
+
+// Name implements Algorithm.
+func (IndependentAlgorithm) Name() string { return "Independent Caching" }
+
+// Place implements Algorithm.
+func (IndependentAlgorithm) Place(e *Evaluator, capacities []int64) (*Placement, error) {
+	return IndependentCaching(e, capacities)
+}
+
+// OptimalAlgorithm is the exhaustive search.
+type OptimalAlgorithm struct {
+	Options ExhaustiveOptions
+}
+
+var _ Algorithm = OptimalAlgorithm{}
+
+// Name implements Algorithm.
+func (OptimalAlgorithm) Name() string { return "Optimal (exhaustive)" }
+
+// Place implements Algorithm.
+func (a OptimalAlgorithm) Place(e *Evaluator, capacities []int64) (*Placement, error) {
+	return Exhaustive(e, capacities, a.Options)
+}
+
+// ByName returns a default-configured algorithm by its short CLI name:
+// "spec", "gen", "gen-naive", "independent", or "optimal".
+func ByName(name string) (Algorithm, error) {
+	switch name {
+	case "spec":
+		return SpecAlgorithm{Options: DefaultSpecOptions()}, nil
+	case "gen":
+		return GenAlgorithm{Options: GenOptions{Lazy: true}}, nil
+	case "gen-ratio":
+		return RatioAlgorithm{}, nil
+	case "gen-naive":
+		return GenAlgorithm{}, nil
+	case "popularity":
+		return PopularityAlgorithm{}, nil
+	case "independent":
+		return IndependentAlgorithm{}, nil
+	case "optimal":
+		return OptimalAlgorithm{}, nil
+	default:
+		return nil, fmt.Errorf("placement: unknown algorithm %q", name)
+	}
+}

@@ -1,0 +1,133 @@
+package placement
+
+import (
+	"testing"
+
+	"trimcaching/internal/rng"
+)
+
+// Micro-benchmarks for the algorithmic kernels of the paper. The
+// repository-level bench_test.go benchmarks whole figures; these isolate
+// the inner loops.
+
+func benchEval(b *testing.B) *Evaluator {
+	b.Helper()
+	return buildEval(b, 10, 30, 10, 999)
+}
+
+func BenchmarkGainEvaluation(b *testing.B) {
+	e := benchEval(b)
+	s, err := newGreedyState(e, UniformCapacities(10, gb), true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		for m := 0; m < 10; m++ {
+			for i := 0; i < 30; i++ {
+				_ = s.gain(m, i)
+			}
+		}
+	}
+}
+
+func BenchmarkIncrementalCost(b *testing.B) {
+	e := benchEval(b)
+	s, err := newGreedyState(e, UniformCapacities(10, gb), true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		for m := 0; m < 10; m++ {
+			for i := 0; i < 30; i++ {
+				_ = s.cost(m, i)
+			}
+		}
+	}
+}
+
+func BenchmarkRoundingDP(b *testing.B) {
+	src := rng.New(1)
+	items := make([]knapsackItem, 30)
+	for i := range items {
+		items[i] = knapsackItem{
+			id:     i,
+			value:  src.Uniform(0.001, 1),
+			weight: int64(src.IntRange(1_000_000, 60_000_000)),
+		}
+	}
+	scratch := &dpScratch{}
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		_, _ = solveKnapsack(items, 500_000_000, 0.1, scratch)
+	}
+}
+
+func BenchmarkBranchAndBound(b *testing.B) {
+	src := rng.New(2)
+	items := make([]knapsackItem, 25)
+	for i := range items {
+		items[i] = knapsackItem{
+			id:     i,
+			value:  src.Uniform(0.001, 1),
+			weight: int64(src.IntRange(1_000_000, 60_000_000)),
+		}
+	}
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		_, _ = solveKnapsack(items, 400_000_000, 0, nil)
+	}
+}
+
+func BenchmarkComboEnumeration(b *testing.B) {
+	e := benchEval(b)
+	lib := e.Instance().Library()
+	models := make([]int, lib.NumModels())
+	for i := range models {
+		models[i] = i
+	}
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		if _, err := enumerateCombos(lib, models, 1<<40, 1<<20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSpecFullSolve(b *testing.B) {
+	e := benchEval(b)
+	caps := UniformCapacities(10, gb/2)
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		if _, err := TrimCachingSpec(e, caps, DefaultSpecOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExhaustiveSmall(b *testing.B) {
+	e := fig6Eval(b, 3)
+	caps := UniformCapacities(2, 100_000_000)
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		if _, err := Exhaustive(e, caps, ExhaustiveOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRefinePass(b *testing.B) {
+	e := benchEval(b)
+	caps := UniformCapacities(10, gb/2)
+	base, err := PopularityCaching(e, caps)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		if _, err := Refine(e, caps, base, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

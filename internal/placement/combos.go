@@ -1,0 +1,151 @@
+package placement
+
+import (
+	"fmt"
+	"sort"
+
+	"trimcaching/internal/modellib"
+)
+
+// combo is one element N of the paper's set A (§V-B): a set of shared
+// parameter blocks an edge server may pre-commit storage to. Models whose
+// shared footprint is contained in N become eligible for the per-combination
+// knapsack at their specific (residual) size.
+type combo struct {
+	blocks []int // sorted shared-block IDs
+	size   int64 // d_N: bytes of the combination
+}
+
+// ErrComboExplosion reports that the union-closure of shared footprints
+// exceeded the configured bound. This is the regime the paper's general
+// case describes: the number of shared blocks grows with the library, so
+// TrimCaching Spec degrades to exponential enumeration (§VI) and
+// TrimCaching Gen should be used instead.
+type ErrComboExplosion struct {
+	Limit int
+}
+
+func (e *ErrComboExplosion) Error() string {
+	return fmt.Sprintf("placement: shared-block combinations exceed limit %d; use TrimCaching Gen for this library", e.Limit)
+}
+
+// comboKey canonically encodes a sorted block-ID set.
+func comboKey(blocks []int) string {
+	buf := make([]byte, 0, 4*len(blocks))
+	for _, j := range blocks {
+		buf = append(buf, byte(j), byte(j>>8), byte(j>>16), byte(j>>24))
+	}
+	return string(buf)
+}
+
+// unionSorted merges two sorted int sets.
+func unionSorted(a, b []int) []int {
+	out := make([]int, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// isSubsetSorted reports a ⊆ b for sorted int sets.
+func isSubsetSorted(a, b []int) bool {
+	j := 0
+	for _, x := range a {
+		for j < len(b) && b[j] < x {
+			j++
+		}
+		if j >= len(b) || b[j] != x {
+			return false
+		}
+		j++
+	}
+	return true
+}
+
+// enumerateCombos builds the set A: the union-closure of the distinct shared
+// footprints of the given models, pruned to combinations whose size fits
+// maxBytes (a combination that already exceeds the server capacity can never
+// be cached, Algorithm 2 lines 4–6). The empty combination is always
+// included. Enumeration aborts with ErrComboExplosion beyond maxCombos.
+//
+// For the paper's special case (models fine-tuned from a few pre-trained
+// backbones by prefix freezing) the distinct footprints form a handful of
+// nested chains and the closure has polynomial size; for the general case it
+// can grow exponentially, matching Proposition 2.
+func enumerateCombos(lib *modellib.Library, models []int, maxBytes int64, maxCombos int) ([]combo, error) {
+	if maxCombos <= 0 {
+		return nil, fmt.Errorf("placement: maxCombos must be positive, got %d", maxCombos)
+	}
+	blockSize := func(blocks []int) int64 {
+		var s int64
+		for _, j := range blocks {
+			s += lib.BlockSize(j)
+		}
+		return s
+	}
+
+	// Distinct non-empty footprints that individually fit.
+	seenFP := map[string]bool{}
+	var footprints [][]int
+	for _, i := range models {
+		fp := lib.SharedFootprint(i)
+		if len(fp) == 0 {
+			continue
+		}
+		key := comboKey(fp)
+		if seenFP[key] {
+			continue
+		}
+		seenFP[key] = true
+		if blockSize(fp) <= maxBytes {
+			footprints = append(footprints, fp)
+		}
+	}
+	// Larger footprints first tends to collapse chains quickly.
+	sort.Slice(footprints, func(a, b int) bool { return len(footprints[a]) > len(footprints[b]) })
+
+	result := []combo{{blocks: nil, size: 0}}
+	seen := map[string]bool{comboKey(nil): true}
+	frontier := [][]int{nil}
+	for len(frontier) > 0 {
+		var next [][]int
+		for _, base := range frontier {
+			for _, fp := range footprints {
+				u := unionSorted(base, fp)
+				if len(u) == len(base) {
+					continue // fp ⊆ base, nothing new
+				}
+				key := comboKey(u)
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				size := blockSize(u)
+				if size > maxBytes {
+					continue
+				}
+				result = append(result, combo{blocks: u, size: size})
+				if len(result) > maxCombos {
+					return nil, &ErrComboExplosion{Limit: maxCombos}
+				}
+				next = append(next, u)
+			}
+		}
+		frontier = next
+	}
+	return result, nil
+}

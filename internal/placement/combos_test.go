@@ -1,0 +1,221 @@
+package placement
+
+import (
+	"errors"
+	"testing"
+
+	"trimcaching/internal/modellib"
+)
+
+// chainLib builds a miniature special-case library: two "pre-trained"
+// chains (like Fig. 3). Family A: shared blocks 0,1,2 (prefix chain);
+// family B: shared blocks 3,4. Specific blocks 5..9.
+func chainLib(t *testing.T) *modellib.Library {
+	t.Helper()
+	blocks := []modellib.Block{
+		{ID: 0, SizeBytes: 10}, {ID: 1, SizeBytes: 10}, {ID: 2, SizeBytes: 10},
+		{ID: 3, SizeBytes: 20}, {ID: 4, SizeBytes: 20},
+		{ID: 5, SizeBytes: 5}, {ID: 6, SizeBytes: 5}, {ID: 7, SizeBytes: 5},
+		{ID: 8, SizeBytes: 5}, {ID: 9, SizeBytes: 5},
+		{ID: 10, SizeBytes: 5}, {ID: 11, SizeBytes: 5},
+	}
+	// Two models per maximal depth so every chain block is genuinely shared.
+	models := []modellib.Model{
+		{ID: 0, Family: "A", Blocks: []int{0, 1, 5}},     // freeze depth 2
+		{ID: 1, Family: "A", Blocks: []int{0, 1, 2, 6}},  // freeze depth 3
+		{ID: 2, Family: "A", Blocks: []int{0, 7}},        // freeze depth 1
+		{ID: 3, Family: "B", Blocks: []int{3, 4, 8}},     // freeze depth 2
+		{ID: 4, Family: "B", Blocks: []int{3, 9}},        // freeze depth 1
+		{ID: 5, Family: "A", Blocks: []int{0, 1, 2, 10}}, // freeze depth 3
+		{ID: 6, Family: "B", Blocks: []int{3, 4, 11}},    // freeze depth 2
+	}
+	lib, err := modellib.New(blocks, models)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lib
+}
+
+func allModels(lib *modellib.Library) []int {
+	ids := make([]int, lib.NumModels())
+	for i := range ids {
+		ids[i] = i
+	}
+	return ids
+}
+
+func TestUnionSorted(t *testing.T) {
+	cases := []struct {
+		a, b, want []int
+	}{
+		{nil, nil, []int{}},
+		{[]int{1, 3}, []int{2}, []int{1, 2, 3}},
+		{[]int{1, 2}, []int{1, 2}, []int{1, 2}},
+		{[]int{5}, nil, []int{5}},
+		{[]int{1, 4, 9}, []int{2, 4, 10}, []int{1, 2, 4, 9, 10}},
+	}
+	for _, c := range cases {
+		got := unionSorted(c.a, c.b)
+		if len(got) != len(c.want) {
+			t.Fatalf("union(%v,%v) = %v", c.a, c.b, got)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("union(%v,%v) = %v", c.a, c.b, got)
+			}
+		}
+	}
+}
+
+func TestIsSubsetSorted(t *testing.T) {
+	cases := []struct {
+		a, b []int
+		want bool
+	}{
+		{nil, nil, true},
+		{nil, []int{1}, true},
+		{[]int{1}, nil, false},
+		{[]int{1, 3}, []int{1, 2, 3}, true},
+		{[]int{1, 4}, []int{1, 2, 3}, false},
+		{[]int{2}, []int{1, 2, 3}, true},
+	}
+	for _, c := range cases {
+		if got := isSubsetSorted(c.a, c.b); got != c.want {
+			t.Fatalf("subset(%v,%v) = %v", c.a, c.b, got)
+		}
+	}
+}
+
+func TestEnumerateCombosChains(t *testing.T) {
+	lib := chainLib(t)
+	combos, err := enumerateCombos(lib, allModels(lib), 1<<40, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Distinct footprints: A-depth1 {0}, A-depth2 {0,1}, A-depth3 {0,1,2},
+	// B-depth1 {3}, B-depth2 {3,4}. Union closure = (3+1)*(2+1) = 12
+	// combos including the empty one.
+	if len(combos) != 12 {
+		t.Fatalf("got %d combos, want 12", len(combos))
+	}
+	// Every combo must be a union of per-family prefixes with correct size.
+	for _, c := range combos {
+		var want int64
+		for _, j := range c.blocks {
+			want += lib.BlockSize(j)
+		}
+		if c.size != want {
+			t.Fatalf("combo %v size %d, want %d", c.blocks, c.size, want)
+		}
+	}
+	// The empty combo must be present.
+	if combos[0].size != 0 || len(combos[0].blocks) != 0 {
+		t.Fatalf("first combo not empty: %+v", combos[0])
+	}
+}
+
+func TestEnumerateCombosCapacityPruning(t *testing.T) {
+	lib := chainLib(t)
+	// Budget 25: fits A-depth1 (10), A-depth2 (20), B-depth1 (20),
+	// but not A-depth3 (30), B-depth2 (40), or any cross-family union
+	// except none (10+20=30 > 25).
+	combos, err := enumerateCombos(lib, allModels(lib), 25, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 4 // {}, {0}, {0,1}, {3}
+	if len(combos) != want {
+		t.Fatalf("got %d combos, want %d", len(combos), want)
+	}
+	for _, c := range combos {
+		if c.size > 25 {
+			t.Fatalf("combo %v exceeds budget", c.blocks)
+		}
+	}
+}
+
+func TestEnumerateCombosEligibleSubset(t *testing.T) {
+	lib := chainLib(t)
+	// Only family-A models eligible: B footprints must not appear.
+	combos, err := enumerateCombos(lib, []int{0, 1, 2}, 1<<40, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(combos) != 4 { // {}, {0}, {0,1}, {0,1,2}
+		t.Fatalf("got %d combos, want 4", len(combos))
+	}
+	for _, c := range combos {
+		for _, j := range c.blocks {
+			if j >= 3 {
+				t.Fatalf("family-B block %d leaked into combos", j)
+			}
+		}
+	}
+}
+
+func TestEnumerateCombosExplosion(t *testing.T) {
+	// A library with many disjoint shared pairs has an exponential closure.
+	var blocks []modellib.Block
+	var models []modellib.Model
+	for g := 0; g < 12; g++ {
+		shared := len(blocks)
+		blocks = append(blocks, modellib.Block{ID: shared, SizeBytes: 1})
+		s1 := len(blocks)
+		blocks = append(blocks, modellib.Block{ID: s1, SizeBytes: 1})
+		s2 := len(blocks)
+		blocks = append(blocks, modellib.Block{ID: s2, SizeBytes: 1})
+		models = append(models,
+			modellib.Model{ID: len(models), Blocks: []int{shared, s1}},
+			modellib.Model{ID: len(models) + 1, Blocks: []int{shared, s2}},
+		)
+	}
+	lib, err := modellib.New(blocks, models)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = enumerateCombos(lib, allModels(lib), 1<<40, 100)
+	var explosion *ErrComboExplosion
+	if !errors.As(err, &explosion) {
+		t.Fatalf("want ErrComboExplosion, got %v", err)
+	}
+	if explosion.Limit != 100 {
+		t.Fatalf("limit %d", explosion.Limit)
+	}
+	if explosion.Error() == "" {
+		t.Fatal("empty error string")
+	}
+	// With a generous limit it succeeds: 2^12 combos + empty.
+	combos, err := enumerateCombos(lib, allModels(lib), 1<<40, 1<<13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(combos) != 1<<12 {
+		t.Fatalf("got %d combos, want %d", len(combos), 1<<12)
+	}
+}
+
+func TestEnumerateCombosNoSharing(t *testing.T) {
+	blocks := []modellib.Block{{ID: 0, SizeBytes: 1}, {ID: 1, SizeBytes: 1}}
+	models := []modellib.Model{
+		{ID: 0, Blocks: []int{0}},
+		{ID: 1, Blocks: []int{1}},
+	}
+	lib, err := modellib.New(blocks, models)
+	if err != nil {
+		t.Fatal(err)
+	}
+	combos, err := enumerateCombos(lib, allModels(lib), 1<<40, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(combos) != 1 {
+		t.Fatalf("library without sharing should have only the empty combo, got %d", len(combos))
+	}
+}
+
+func TestEnumerateCombosInvalidLimit(t *testing.T) {
+	lib := chainLib(t)
+	if _, err := enumerateCombos(lib, allModels(lib), 100, 0); err == nil {
+		t.Fatal("zero maxCombos must error")
+	}
+}

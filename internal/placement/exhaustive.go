@@ -1,0 +1,156 @@
+package placement
+
+import (
+	"fmt"
+	"math"
+)
+
+// ExhaustiveOptions configures the optimal search.
+type ExhaustiveOptions struct {
+	// MaxStates bounds the joint search space (product over servers of the
+	// per-server feasible cache subsets). 0 means the default of 1<<26.
+	MaxStates int64
+}
+
+// ErrSearchTooLarge reports that the exhaustive search space exceeds the
+// configured bound. The paper only runs the exhaustive baseline on a shrunk
+// instance (400 m area, M = 2, K = 6) for exactly this reason (§VII-D).
+type ErrSearchTooLarge struct {
+	States int64
+	Limit  int64
+}
+
+func (e *ErrSearchTooLarge) Error() string {
+	return fmt.Sprintf("placement: exhaustive search needs %d states > limit %d", e.States, e.Limit)
+}
+
+// Exhaustive finds the optimal placement by enumerating, per server, every
+// model subset that fits its capacity under deduplicated (parameter-sharing)
+// storage, and maximizing U over the cross product. It is exponential and
+// exists to validate the approximation algorithms on small instances.
+func Exhaustive(e *Evaluator, capacities []int64, opts ExhaustiveOptions) (*Placement, error) {
+	maxStates := opts.MaxStates
+	if maxStates == 0 {
+		maxStates = 1 << 26
+	}
+	ins := e.Instance()
+	M, K, I := ins.NumServers(), ins.NumUsers(), ins.NumModels()
+	if len(capacities) != M {
+		return nil, fmt.Errorf("placement: %d capacities for %d servers", len(capacities), M)
+	}
+	if M > 16 {
+		return nil, fmt.Errorf("placement: exhaustive search supports at most 16 servers, got %d", M)
+	}
+	if I > 30 {
+		return nil, fmt.Errorf("placement: exhaustive search supports at most 30 models, got %d", I)
+	}
+
+	lib := ins.Library()
+	// Feasible cache subsets per server (as model bitmasks).
+	feasible := make([][]uint32, M)
+	scratch := make([]bool, lib.NumBlocks())
+	models := make([]int, 0, I)
+	states := int64(1)
+	for m := 0; m < M; m++ {
+		for mask := uint32(0); mask < 1<<I; mask++ {
+			models = models[:0]
+			for i := 0; i < I; i++ {
+				if mask&(1<<i) != 0 {
+					models = append(models, i)
+				}
+			}
+			if lib.BlocksUnion(models, scratch) <= capacities[m] {
+				feasible[m] = append(feasible[m], mask)
+			}
+		}
+		states *= int64(len(feasible[m]))
+		if states > maxStates || states <= 0 {
+			return nil, &ErrSearchTooLarge{States: states, Limit: maxStates}
+		}
+	}
+
+	// val[i][serverSet] = request mass served for model i when exactly the
+	// servers in serverSet cache it.
+	val := make([][]float64, I)
+	for i := 0; i < I; i++ {
+		val[i] = make([]float64, 1<<M)
+		for set := 1; set < 1<<M; set++ {
+			low := set & (-set)
+			m := bitIndex(uint32(low))
+			rest := set ^ low
+			// Inclusion: served by rest, plus newly served by m alone.
+			var extra float64
+			for k := 0; k < K; k++ {
+				if !ins.Reachable(m, k, i) {
+					continue
+				}
+				servedByRest := false
+				for mm := 0; mm < M; mm++ {
+					if rest&(1<<mm) != 0 && ins.Reachable(mm, k, i) {
+						servedByRest = true
+						break
+					}
+				}
+				if !servedByRest {
+					extra += ins.Prob(k, i)
+				}
+			}
+			val[i][set] = val[i][rest] + extra
+		}
+	}
+
+	serverSet := make([]int, I) // serverSet[i]: bitmask of servers caching i
+	choice := make([]uint32, M)
+	best := math.Inf(-1)
+	bestChoice := make([]uint32, M)
+
+	var recurse func(m int)
+	recurse = func(m int) {
+		if m == M {
+			var total float64
+			for i := 0; i < I; i++ {
+				total += val[i][serverSet[i]]
+			}
+			if total > best {
+				best = total
+				copy(bestChoice, choice)
+			}
+			return
+		}
+		for _, mask := range feasible[m] {
+			choice[m] = mask
+			for i := 0; i < I; i++ {
+				if mask&(1<<i) != 0 {
+					serverSet[i] |= 1 << m
+				}
+			}
+			recurse(m + 1)
+			for i := 0; i < I; i++ {
+				if mask&(1<<i) != 0 {
+					serverSet[i] &^= 1 << m
+				}
+			}
+		}
+	}
+	recurse(0)
+
+	placed := NewPlacement(M, I)
+	for m := 0; m < M; m++ {
+		for i := 0; i < I; i++ {
+			if bestChoice[m]&(1<<i) != 0 {
+				placed.Set(m, i)
+			}
+		}
+	}
+	return placed, nil
+}
+
+// bitIndex returns the index of the single set bit in v.
+func bitIndex(v uint32) int {
+	n := 0
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}

@@ -1,0 +1,247 @@
+package placement
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// greedyState tracks the incremental quantities shared by the greedy
+// algorithms: request coverage, per-server cached blocks, and storage use.
+type greedyState struct {
+	e       *Evaluator
+	caps    []int64
+	dedup   bool // true: parameter-sharing storage (eq. 7); false: independent caching
+	placed  *Placement
+	covered []bool   // covered[k*I+i]: request already servable within QoS
+	blockOn [][]bool // blockOn[m][j]: server m caches block j (dedup mode)
+	used    []int64  // used[m]: bytes cached on server m
+}
+
+func newGreedyState(e *Evaluator, caps []int64, dedup bool) (*greedyState, error) {
+	ins := e.Instance()
+	if len(caps) != ins.NumServers() {
+		return nil, fmt.Errorf("placement: %d capacities for %d servers", len(caps), ins.NumServers())
+	}
+	for m, q := range caps {
+		if q < 0 {
+			return nil, fmt.Errorf("placement: negative capacity %d for server %d", q, m)
+		}
+	}
+	s := &greedyState{
+		e:       e,
+		caps:    caps,
+		dedup:   dedup,
+		placed:  NewPlacement(ins.NumServers(), ins.NumModels()),
+		covered: make([]bool, ins.NumUsers()*ins.NumModels()),
+		used:    make([]int64, ins.NumServers()),
+	}
+	if dedup {
+		s.blockOn = make([][]bool, ins.NumServers())
+		for m := range s.blockOn {
+			s.blockOn[m] = make([]bool, ins.Library().NumBlocks())
+		}
+	}
+	return s, nil
+}
+
+// gain returns the marginal cache-hit mass of adding x_{m,i}:
+// U(X ∪ {x_{m,i}}) − U(X), unnormalized (eq. 2 numerator).
+func (s *greedyState) gain(m, i int) float64 {
+	if s.placed.Has(m, i) {
+		return 0
+	}
+	ins := s.e.Instance()
+	I := ins.NumModels()
+	var g float64
+	for k := 0; k < ins.NumUsers(); k++ {
+		if !s.covered[k*I+i] && ins.Reachable(m, k, i) {
+			g += ins.Prob(k, i)
+		}
+	}
+	return g
+}
+
+// cost returns the incremental storage of adding model i to server m:
+// g_m(X_m ∪ {x_{m,i}}) − g_m(X_m) with deduplication, or D_i without.
+func (s *greedyState) cost(m, i int) int64 {
+	lib := s.e.Instance().Library()
+	if !s.dedup {
+		return lib.ModelSize(i)
+	}
+	var c int64
+	for _, j := range lib.ModelBlocks(i) {
+		if !s.blockOn[m][j] {
+			c += lib.BlockSize(j)
+		}
+	}
+	return c
+}
+
+// fits reports whether adding model i to server m respects Q_m.
+func (s *greedyState) fits(m, i int) bool {
+	return s.used[m]+s.cost(m, i) <= s.caps[m]
+}
+
+// commit places model i on server m and updates coverage and storage.
+func (s *greedyState) commit(m, i int) {
+	ins := s.e.Instance()
+	s.used[m] += s.cost(m, i)
+	if s.dedup {
+		for _, j := range ins.Library().ModelBlocks(i) {
+			s.blockOn[m][j] = true
+		}
+	}
+	s.placed.Set(m, i)
+	I := ins.NumModels()
+	for k := 0; k < ins.NumUsers(); k++ {
+		if ins.Reachable(m, k, i) {
+			s.covered[k*I+i] = true
+		}
+	}
+}
+
+// gainTolerance treats marginal gains at or below this value as zero:
+// placing such a model cannot change the hit ratio materially and only
+// burns storage.
+const gainTolerance = 1e-15
+
+// runNaiveGreedy repeatedly commits the feasible (m,i) with the largest
+// marginal gain, rescanning all candidates each step (Algorithm 3 verbatim).
+func runNaiveGreedy(s *greedyState) {
+	ins := s.e.Instance()
+	M, I := ins.NumServers(), ins.NumModels()
+	for {
+		bestGain := gainTolerance
+		bestM, bestI := -1, -1
+		for m := 0; m < M; m++ {
+			for i := 0; i < I; i++ {
+				if s.placed.Has(m, i) {
+					continue
+				}
+				g := s.gain(m, i)
+				if g > bestGain && s.fits(m, i) {
+					bestGain, bestM, bestI = g, m, i
+				}
+			}
+		}
+		if bestM < 0 {
+			return
+		}
+		s.commit(bestM, bestI)
+	}
+}
+
+// candidate is a lazy-greedy heap entry; key is a stale upper bound on the
+// true marginal gain (valid because U is submodular: gains only shrink).
+type candidate struct {
+	key  float64
+	m, i int32
+}
+
+type candidateHeap []candidate
+
+func (h candidateHeap) Len() int { return len(h) }
+func (h candidateHeap) Less(a, b int) bool {
+	if h[a].key != h[b].key {
+		return h[a].key > h[b].key
+	}
+	if h[a].m != h[b].m {
+		return h[a].m < h[b].m
+	}
+	return h[a].i < h[b].i
+}
+func (h candidateHeap) Swap(a, b int) { h[a], h[b] = h[b], h[a] }
+func (h *candidateHeap) Push(x any)   { *h = append(*h, x.(candidate)) }
+func (h *candidateHeap) Pop() any {
+	old := *h
+	n := len(old)
+	item := old[n-1]
+	*h = old[:n-1]
+	return item
+}
+
+// runLazyGreedy is the accelerated variant of Algorithm 3 using lazy
+// evaluation (Minoux). Candidates whose storage does not currently fit are
+// parked and retried after the next commit, because the incremental cost
+// g_m(X∪{x})−g_m(X) is non-increasing (the constraint is submodular), so
+// they may fit later.
+func runLazyGreedy(s *greedyState) {
+	ins := s.e.Instance()
+	M, I := ins.NumServers(), ins.NumModels()
+	h := make(candidateHeap, 0, M*I)
+	for m := 0; m < M; m++ {
+		for i := 0; i < I; i++ {
+			if g := s.gain(m, i); g > gainTolerance {
+				h = append(h, candidate{key: g, m: int32(m), i: int32(i)})
+			}
+		}
+	}
+	heap.Init(&h)
+
+	var parked []candidate
+	for {
+		committed := false
+		for h.Len() > 0 {
+			c := heap.Pop(&h).(candidate)
+			g := s.gain(int(c.m), int(c.i))
+			if g <= gainTolerance {
+				continue // gains never grow back; drop permanently
+			}
+			if h.Len() > 0 && g < h[0].key {
+				c.key = g
+				heap.Push(&h, c)
+				continue
+			}
+			// Certified: g is the maximum true gain among heap candidates.
+			if s.fits(int(c.m), int(c.i)) {
+				s.commit(int(c.m), int(c.i))
+				committed = true
+				break
+			}
+			parked = append(parked, c)
+		}
+		if !committed {
+			return // heap drained with nothing feasible left
+		}
+		// A commit may have shrunk parked candidates' incremental cost.
+		for _, c := range parked {
+			heap.Push(&h, c)
+		}
+		parked = parked[:0]
+	}
+}
+
+// GenOptions configures TrimCaching Gen.
+type GenOptions struct {
+	// Lazy enables lazy (Minoux-accelerated) evaluation. Both variants
+	// produce placements with identical hit ratios.
+	Lazy bool
+}
+
+// TrimCachingGen runs Algorithm 3: greedily place the (server, model) pair
+// with the largest marginal cache-hit gain whose deduplicated storage still
+// fits, until no feasible pair with positive gain remains.
+func TrimCachingGen(e *Evaluator, capacities []int64, opts GenOptions) (*Placement, error) {
+	s, err := newGreedyState(e, capacities, true)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Lazy {
+		runLazyGreedy(s)
+	} else {
+		runNaiveGreedy(s)
+	}
+	return s.placed, nil
+}
+
+// IndependentCaching is the baseline content-placement scheme (§VII-A):
+// the same greedy loop as TrimCaching Gen but charging each model its full
+// size — shared parameter blocks are not deduplicated.
+func IndependentCaching(e *Evaluator, capacities []int64) (*Placement, error) {
+	s, err := newGreedyState(e, capacities, false)
+	if err != nil {
+		return nil, err
+	}
+	runLazyGreedy(s)
+	return s.placed, nil
+}

@@ -1,0 +1,224 @@
+package placement
+
+import (
+	"math"
+	"sort"
+)
+
+// knapsackItem is one model in the per-combination sub-problem of Algorithm
+// 2: value u(m,i) (expected cache-hit mass, eq. 14) and weight D_N(i) (the
+// model's specific bytes once the shared combination is cached, eq. 13).
+type knapsackItem struct {
+	id     int // model index
+	value  float64
+	weight int64
+}
+
+// maxDPWidth bounds the value-axis resolution of the rounding DP. When the
+// paper's scale ε·u_min would need more slots, the scale is coarsened to
+// fit; this trades a documented sliver of the (1-ε) guarantee for bounded
+// memory and time.
+const maxDPWidth = 1 << 17
+
+// dpScratch holds reusable DP buffers so the per-combination solves of
+// Algorithm 2 do not reallocate megabytes per combo.
+type dpScratch struct {
+	weights []int64
+	take    []bool
+}
+
+func (s *dpScratch) resize(n, width int) (T []int64, take []bool) {
+	if cap(s.weights) < width+1 {
+		s.weights = make([]int64, width+1)
+	}
+	if cap(s.take) < n*(width+1) {
+		s.take = make([]bool, n*(width+1))
+	}
+	T = s.weights[:width+1]
+	take = s.take[:n*(width+1)]
+	for i := range take {
+		take[i] = false
+	}
+	return T, take
+}
+
+// solveKnapsack maximizes Σ value subject to Σ weight ≤ capacity.
+//
+// epsilon > 0 runs the paper's DP-based rounding (Algorithm 2): values are
+// quantized to u̇ = ⌊u/(ε·u_min)⌋ with u_min the smallest positive item
+// value, the DP computes the minimum weight per achievable quantized value
+// (eq. 15–16), and the best feasible value is recovered (eq. 17). The
+// returned set's TRUE value is reported, matching eq. (20).
+//
+// epsilon == 0 computes the exact optimum by depth-first branch-and-bound
+// with a fractional-relaxation bound (used for the Fig. 6 optimality
+// comparison, where the paper sets ε = 0).
+//
+// scratch may be nil; pass one to amortize DP allocations across calls.
+func solveKnapsack(items []knapsackItem, capacity int64, epsilon float64, scratch *dpScratch) (chosen []int, value float64) {
+	// Filter items that cannot contribute.
+	filtered := make([]knapsackItem, 0, len(items))
+	var all int64
+	var allValue float64
+	for _, it := range items {
+		if it.value <= 0 || it.weight > capacity {
+			continue
+		}
+		filtered = append(filtered, it)
+		all += it.weight
+		allValue += it.value
+	}
+	if len(filtered) == 0 {
+		return nil, 0
+	}
+	// Everything fits: no optimization needed.
+	if all <= capacity {
+		ids := make([]int, len(filtered))
+		for i, it := range filtered {
+			ids[i] = it.id
+		}
+		return ids, allValue
+	}
+	if epsilon > 0 {
+		if scratch == nil {
+			scratch = &dpScratch{}
+		}
+		return roundingDP(filtered, capacity, epsilon, scratch)
+	}
+	return branchAndBound(filtered, capacity)
+}
+
+// roundingDP is Algorithm 2's inner DP.
+func roundingDP(items []knapsackItem, capacity int64, epsilon float64, scratch *dpScratch) ([]int, float64) {
+	uMin := math.Inf(1)
+	var uSum float64
+	for _, it := range items {
+		if it.value < uMin {
+			uMin = it.value
+		}
+		uSum += it.value
+	}
+	scale := epsilon * uMin
+	if uSum/scale > float64(maxDPWidth) {
+		scale = uSum / float64(maxDPWidth)
+	}
+
+	quant := make([]int, len(items))
+	width := 0
+	for idx, it := range items {
+		quant[idx] = int(it.value / scale)
+		width += quant[idx]
+	}
+	if width == 0 {
+		return nil, 0
+	}
+
+	const inf = math.MaxInt64
+	// T[w] = smallest total weight achieving quantized value exactly w
+	// (eq. 15 initialization, eq. 16 transition). take[idx*(width+1)+w]
+	// records whether T gained value w by taking item idx; with the
+	// descending-w in-place update, T[w-q] reads the previous item row, so
+	// the flags reconstruct an optimal set exactly.
+	T, take := scratch.resize(len(items), width)
+	T[0] = 0
+	for w := 1; w <= width; w++ {
+		T[w] = inf
+	}
+	reach := 0 // highest value index reachable so far
+	for idx, it := range items {
+		q := quant[idx]
+		if q == 0 {
+			continue
+		}
+		hi := reach + q
+		if hi > width {
+			hi = width
+		}
+		for w := hi; w >= q; w-- {
+			if T[w-q] == inf {
+				continue
+			}
+			if cand := T[w-q] + it.weight; cand < T[w] {
+				T[w] = cand
+				take[idx*(width+1)+w] = true
+			}
+		}
+		reach = hi
+	}
+
+	// eq. (17): the largest quantized value whose weight fits.
+	best := -1
+	for w := width; w >= 0; w-- {
+		if T[w] <= capacity {
+			best = w
+			break
+		}
+	}
+	if best <= 0 {
+		return nil, 0
+	}
+	// Recover the chosen set; report its true (unquantized) value, eq. (20).
+	var ids []int
+	var trueValue float64
+	w := best
+	for idx := len(items) - 1; idx >= 0 && w > 0; idx-- {
+		if take[idx*(width+1)+w] {
+			ids = append(ids, items[idx].id)
+			trueValue += items[idx].value
+			w -= quant[idx]
+		}
+	}
+	sort.Ints(ids)
+	return ids, trueValue
+}
+
+// branchAndBound solves 0/1 knapsack exactly. Items are explored in
+// decreasing value density with a fractional-relaxation upper bound.
+func branchAndBound(items []knapsackItem, capacity int64) ([]int, float64) {
+	order := make([]knapsackItem, len(items))
+	copy(order, items)
+	sort.Slice(order, func(a, b int) bool {
+		return order[a].value*float64(order[b].weight) > order[b].value*float64(order[a].weight)
+	})
+
+	bestValue := 0.0
+	var bestSet []int
+	cur := make([]int, 0, len(order))
+
+	// bound returns the fractional-knapsack upper bound for the subtree.
+	bound := func(idx int, room int64, value float64) float64 {
+		for ; idx < len(order) && room > 0; idx++ {
+			it := order[idx]
+			if it.weight <= room {
+				room -= it.weight
+				value += it.value
+			} else {
+				value += it.value * float64(room) / float64(it.weight)
+				break
+			}
+		}
+		return value
+	}
+
+	var dfs func(idx int, room int64, value float64)
+	dfs = func(idx int, room int64, value float64) {
+		if value > bestValue {
+			bestValue = value
+			bestSet = append(bestSet[:0], cur...)
+		}
+		if idx >= len(order) || bound(idx, room, value) <= bestValue {
+			return
+		}
+		if it := order[idx]; it.weight <= room {
+			cur = append(cur, it.id)
+			dfs(idx+1, room-it.weight, value+it.value)
+			cur = cur[:len(cur)-1]
+		}
+		dfs(idx+1, room, value)
+	}
+	dfs(0, capacity, 0)
+
+	ids := append([]int(nil), bestSet...)
+	sort.Ints(ids)
+	return ids, bestValue
+}

@@ -1,0 +1,175 @@
+package placement
+
+import (
+	"math"
+	"testing"
+
+	"trimcaching/internal/rng"
+)
+
+// bruteForceKnapsack enumerates all subsets (n <= 20).
+func bruteForceKnapsack(items []knapsackItem, capacity int64) float64 {
+	best := 0.0
+	n := len(items)
+	for mask := 0; mask < 1<<n; mask++ {
+		var w int64
+		var v float64
+		for idx := 0; idx < n; idx++ {
+			if mask&(1<<idx) != 0 {
+				w += items[idx].weight
+				v += items[idx].value
+			}
+		}
+		if w <= capacity && v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+func randomItems(src *rng.Source, n int) []knapsackItem {
+	items := make([]knapsackItem, n)
+	for i := range items {
+		items[i] = knapsackItem{
+			id:     i,
+			value:  src.Uniform(0.01, 1),
+			weight: int64(src.IntRange(1, 100)),
+		}
+	}
+	return items
+}
+
+func TestBranchAndBoundExact(t *testing.T) {
+	src := rng.New(1)
+	for trial := 0; trial < 50; trial++ {
+		n := src.IntRange(1, 12)
+		items := randomItems(src, n)
+		capacity := int64(src.IntRange(10, 400))
+		chosen, got := solveKnapsack(items, capacity, 0, nil)
+		want := bruteForceKnapsack(items, capacity)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d: BB %v, brute force %v", trial, got, want)
+		}
+		verifySelection(t, items, chosen, capacity, got)
+	}
+}
+
+func TestRoundingDPGuarantee(t *testing.T) {
+	// Algorithm 2 must return at least (1-ε) of the optimum (Prop. 4).
+	src := rng.New(2)
+	for _, eps := range []float64{0.05, 0.1, 0.3, 1.0} {
+		for trial := 0; trial < 30; trial++ {
+			n := src.IntRange(1, 12)
+			items := randomItems(src, n)
+			capacity := int64(src.IntRange(10, 400))
+			chosen, got := solveKnapsack(items, capacity, eps, &dpScratch{})
+			want := bruteForceKnapsack(items, capacity)
+			if got < (1-eps)*want-1e-9 {
+				t.Fatalf("eps=%v trial %d: DP %v < (1-eps)*opt %v", eps, trial, got, (1-eps)*want)
+			}
+			if got > want+1e-9 {
+				t.Fatalf("eps=%v trial %d: DP %v exceeds optimum %v", eps, trial, got, want)
+			}
+			verifySelection(t, items, chosen, capacity, got)
+		}
+	}
+}
+
+// verifySelection checks the returned ids are consistent with the reported
+// value and respect the capacity.
+func verifySelection(t *testing.T, items []knapsackItem, chosen []int, capacity int64, value float64) {
+	t.Helper()
+	byID := map[int]knapsackItem{}
+	for _, it := range items {
+		byID[it.id] = it
+	}
+	var w int64
+	var v float64
+	seen := map[int]bool{}
+	for _, id := range chosen {
+		if seen[id] {
+			t.Fatalf("duplicate id %d in selection", id)
+		}
+		seen[id] = true
+		it, ok := byID[id]
+		if !ok {
+			t.Fatalf("unknown id %d in selection", id)
+		}
+		w += it.weight
+		v += it.value
+	}
+	if w > capacity {
+		t.Fatalf("selection weight %d exceeds capacity %d", w, capacity)
+	}
+	if math.Abs(v-value) > 1e-9 {
+		t.Fatalf("selection value %v != reported %v", v, value)
+	}
+}
+
+func TestKnapsackDegenerate(t *testing.T) {
+	if chosen, v := solveKnapsack(nil, 100, 0.1, nil); v != 0 || len(chosen) != 0 {
+		t.Fatal("empty items")
+	}
+	items := []knapsackItem{{id: 0, value: 1, weight: 200}}
+	if chosen, v := solveKnapsack(items, 100, 0.1, nil); v != 0 || len(chosen) != 0 {
+		t.Fatal("oversized item must be dropped")
+	}
+	// Zero/negative value items never selected.
+	items = []knapsackItem{{id: 0, value: 0, weight: 1}, {id: 1, value: -2, weight: 1}}
+	if chosen, v := solveKnapsack(items, 100, 0, nil); v != 0 || len(chosen) != 0 {
+		t.Fatal("valueless items must be dropped")
+	}
+}
+
+func TestKnapsackAllFitShortcut(t *testing.T) {
+	items := []knapsackItem{
+		{id: 3, value: 0.5, weight: 10},
+		{id: 1, value: 0.2, weight: 20},
+	}
+	chosen, v := solveKnapsack(items, 100, 0.1, nil)
+	if math.Abs(v-0.7) > 1e-12 || len(chosen) != 2 {
+		t.Fatalf("all-fit: %v %v", chosen, v)
+	}
+}
+
+func TestKnapsackZeroCapacity(t *testing.T) {
+	items := randomItems(rng.New(3), 5)
+	for _, eps := range []float64{0, 0.1} {
+		if chosen, v := solveKnapsack(items, 0, eps, nil); v != 0 || len(chosen) != 0 {
+			t.Fatalf("eps=%v: zero capacity selected %v", eps, chosen)
+		}
+	}
+}
+
+func TestFractionalBoundIsUpperBound(t *testing.T) {
+	src := rng.New(4)
+	for trial := 0; trial < 40; trial++ {
+		n := src.IntRange(1, 12)
+		items := randomItems(src, n)
+		capacity := int64(src.IntRange(10, 400))
+		ub := fractionalBound(items, capacity)
+		opt := bruteForceKnapsack(items, capacity)
+		if ub < opt-1e-9 {
+			t.Fatalf("trial %d: fractional bound %v below optimum %v", trial, ub, opt)
+		}
+	}
+	if fractionalBound(randomItems(src, 3), 0) != 0 {
+		t.Fatal("zero capacity bound must be 0")
+	}
+}
+
+func TestRoundingDPWidthCap(t *testing.T) {
+	// An adversarial value spread (huge max/min ratio) must not blow up
+	// memory: the scale coarsens to maxDPWidth and still returns a valid,
+	// near-optimal solution.
+	items := []knapsackItem{
+		{id: 0, value: 1e-9, weight: 5},
+		{id: 1, value: 1.0, weight: 60},
+		{id: 2, value: 0.9, weight: 50},
+	}
+	chosen, v := solveKnapsack(items, 100, 0.1, &dpScratch{})
+	verifySelection(t, items, chosen, 100, v)
+	if v < 0.9 {
+		t.Fatalf("width-capped DP value %v too low", v)
+	}
+}

@@ -1,0 +1,214 @@
+// Package placement implements the paper's contribution: cache-hit-ratio
+// maximization for parameter-sharing AI model placement on wireless edge
+// servers (P1.1, §IV). It provides the objective U(X) (eq. 2), the
+// submodular per-server storage function g_m (eq. 7), and four solvers:
+//
+//   - TrimCaching Gen (Algorithm 3): greedy for the general case, in naive
+//     and lazy-evaluation variants.
+//   - TrimCaching Spec (Algorithms 1–2): successive greedy over servers with
+//     a DP-rounding knapsack per shared-block combination, achieving a
+//     (1-ε)/2 approximation in the special case.
+//   - Independent Caching: the content-placement baseline that ignores
+//     parameter sharing.
+//   - Exhaustive search: the optimal solution for small instances (§VII-D).
+package placement
+
+import (
+	"fmt"
+
+	"trimcaching/internal/scenario"
+)
+
+// Placement is a model placement decision X: which models each edge server
+// caches.
+type Placement struct {
+	numServers int
+	numModels  int
+	cached     []bool // cached[m*numModels+i] = x_{m,i}
+}
+
+// NewPlacement returns an empty placement for M servers and I models.
+func NewPlacement(numServers, numModels int) *Placement {
+	return &Placement{
+		numServers: numServers,
+		numModels:  numModels,
+		cached:     make([]bool, numServers*numModels),
+	}
+}
+
+// NumServers returns M.
+func (p *Placement) NumServers() int { return p.numServers }
+
+// NumModels returns I.
+func (p *Placement) NumModels() int { return p.numModels }
+
+// Has reports x_{m,i}.
+func (p *Placement) Has(m, i int) bool { return p.cached[m*p.numModels+i] }
+
+// Set sets x_{m,i} = 1.
+func (p *Placement) Set(m, i int) { p.cached[m*p.numModels+i] = true }
+
+// Unset sets x_{m,i} = 0.
+func (p *Placement) Unset(m, i int) { p.cached[m*p.numModels+i] = false }
+
+// ModelsOn returns the models cached on server m, ascending.
+func (p *Placement) ModelsOn(m int) []int {
+	var out []int
+	for i := 0; i < p.numModels; i++ {
+		if p.cached[m*p.numModels+i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// CountPlacements returns the number of (m,i) placements.
+func (p *Placement) CountPlacements() int {
+	var n int
+	for _, v := range p.cached {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+// Clone deep-copies the placement.
+func (p *Placement) Clone() *Placement {
+	out := NewPlacement(p.numServers, p.numModels)
+	copy(out.cached, p.cached)
+	return out
+}
+
+// Evaluator binds a problem instance and evaluates placements against it.
+type Evaluator struct {
+	ins *scenario.Instance
+}
+
+// NewEvaluator returns an evaluator for the instance.
+func NewEvaluator(ins *scenario.Instance) (*Evaluator, error) {
+	if ins == nil {
+		return nil, fmt.Errorf("placement: instance is required")
+	}
+	return &Evaluator{ins: ins}, nil
+}
+
+// Instance returns the bound problem instance.
+func (e *Evaluator) Instance() *scenario.Instance { return e.ins }
+
+// checkDims verifies the placement matches the instance.
+func (e *Evaluator) checkDims(p *Placement) error {
+	if p == nil {
+		return fmt.Errorf("placement: placement is required")
+	}
+	if p.numServers != e.ins.NumServers() || p.numModels != e.ins.NumModels() {
+		return fmt.Errorf("placement: placement dims %dx%d, instance %dx%d",
+			p.numServers, p.numModels, e.ins.NumServers(), e.ins.NumModels())
+	}
+	return nil
+}
+
+// HitRatio computes U(X) (eq. 2) under the average channel: the fraction of
+// request mass servable from edge caches within QoS deadlines.
+func (e *Evaluator) HitRatio(p *Placement) (float64, error) {
+	if err := e.checkDims(p); err != nil {
+		return 0, err
+	}
+	M, K, I := e.ins.NumServers(), e.ins.NumUsers(), e.ins.NumModels()
+	var hit float64
+	for k := 0; k < K; k++ {
+		for i := 0; i < I; i++ {
+			for m := 0; m < M; m++ {
+				if p.cached[m*I+i] && e.ins.Reachable(m, k, i) {
+					hit += e.ins.Prob(k, i)
+					break
+				}
+			}
+		}
+	}
+	return hit / e.ins.TotalMass(), nil
+}
+
+// HitRatioWithReach computes U(X) under an externally supplied reachability
+// bitmap (length M*K*I, layout (m*K+k)*I+i), e.g. one Rayleigh-fading
+// realization from Instance.FadedReach.
+func (e *Evaluator) HitRatioWithReach(p *Placement, reach []bool) (float64, error) {
+	if err := e.checkDims(p); err != nil {
+		return 0, err
+	}
+	M, K, I := e.ins.NumServers(), e.ins.NumUsers(), e.ins.NumModels()
+	if len(reach) != M*K*I {
+		return 0, fmt.Errorf("placement: reach bitmap length %d, want %d", len(reach), M*K*I)
+	}
+	var hit float64
+	for k := 0; k < K; k++ {
+		for i := 0; i < I; i++ {
+			for m := 0; m < M; m++ {
+				if p.cached[m*I+i] && reach[(m*K+k)*I+i] {
+					hit += e.ins.Prob(k, i)
+					break
+				}
+			}
+		}
+	}
+	return hit / e.ins.TotalMass(), nil
+}
+
+// ServerStorage computes g_m(X) (eq. 7): the deduplicated bytes server m
+// needs for its cached models (shared blocks stored once).
+func (e *Evaluator) ServerStorage(p *Placement, m int) (int64, error) {
+	if err := e.checkDims(p); err != nil {
+		return 0, err
+	}
+	if m < 0 || m >= p.numServers {
+		return 0, fmt.Errorf("placement: server %d out of range [0,%d)", m, p.numServers)
+	}
+	return e.ins.Library().BlocksUnion(p.ModelsOn(m), nil), nil
+}
+
+// ServerStorageIndependent computes the storage server m would need if
+// models were cached independently (no block deduplication): Σ_i x_{m,i}·D_i.
+func (e *Evaluator) ServerStorageIndependent(p *Placement, m int) (int64, error) {
+	if err := e.checkDims(p); err != nil {
+		return 0, err
+	}
+	if m < 0 || m >= p.numServers {
+		return 0, fmt.Errorf("placement: server %d out of range [0,%d)", m, p.numServers)
+	}
+	var total int64
+	for _, i := range p.ModelsOn(m) {
+		total += e.ins.Library().ModelSize(i)
+	}
+	return total, nil
+}
+
+// CheckFeasible verifies g_m(X) ≤ Q_m for every server. capacities must
+// have one entry per server.
+func (e *Evaluator) CheckFeasible(p *Placement, capacities []int64) error {
+	if err := e.checkDims(p); err != nil {
+		return err
+	}
+	if len(capacities) != p.numServers {
+		return fmt.Errorf("placement: %d capacities for %d servers", len(capacities), p.numServers)
+	}
+	for m := 0; m < p.numServers; m++ {
+		used, err := e.ServerStorage(p, m)
+		if err != nil {
+			return err
+		}
+		if used > capacities[m] {
+			return fmt.Errorf("placement: server %d uses %d bytes > capacity %d", m, used, capacities[m])
+		}
+	}
+	return nil
+}
+
+// UniformCapacities returns a capacity vector with the same Q for every
+// server (the paper uses identical storage capacities, §VII-A).
+func UniformCapacities(numServers int, q int64) []int64 {
+	caps := make([]int64, numServers)
+	for m := range caps {
+		caps[m] = q
+	}
+	return caps
+}

@@ -1,0 +1,114 @@
+package placement
+
+import "fmt"
+
+// Refine improves a feasible placement by local search: exchange moves that
+// evict one cached model from a server and insert a better one, plus plain
+// insertions into leftover capacity. It never decreases the hit ratio and
+// always returns a feasible placement. This is an extension beyond the
+// paper (classic post-processing for knapsack-constrained submodular
+// maximization, cf. the semidifferential methods of [39, 40] the paper's
+// Theorem 3 builds on).
+//
+// maxPasses bounds the number of full improvement sweeps (0 means 3).
+func Refine(e *Evaluator, capacities []int64, p *Placement, maxPasses int) (*Placement, error) {
+	if p == nil {
+		return nil, fmt.Errorf("placement: placement is required")
+	}
+	if err := e.CheckFeasible(p, capacities); err != nil {
+		return nil, fmt.Errorf("placement: refine needs a feasible start: %w", err)
+	}
+	if maxPasses <= 0 {
+		maxPasses = 3
+	}
+	ins := e.Instance()
+	lib := ins.Library()
+	M, I := ins.NumServers(), ins.NumModels()
+	cur := p.Clone()
+	curHit, err := e.HitRatio(cur)
+	if err != nil {
+		return nil, err
+	}
+	scratch := make([]bool, lib.NumBlocks())
+
+	storage := func(m int) int64 { return lib.BlocksUnion(cur.ModelsOn(m), scratch) }
+
+	for pass := 0; pass < maxPasses; pass++ {
+		improved := false
+		for m := 0; m < M; m++ {
+			// Insertions first: free capacity is pure upside.
+			for i := 0; i < I; i++ {
+				if cur.Has(m, i) {
+					continue
+				}
+				cur.Set(m, i)
+				if storage(m) <= capacities[m] {
+					newHit, err := e.HitRatio(cur)
+					if err != nil {
+						return nil, err
+					}
+					if newHit > curHit+gainTolerance {
+						curHit = newHit
+						improved = true
+						continue
+					}
+				}
+				cur.Unset(m, i)
+			}
+			// Exchange moves: evict one model, insert another. The resident
+			// list is snapshotted; residents replaced mid-sweep are skipped.
+			for _, out := range cur.ModelsOn(m) {
+				if !cur.Has(m, out) {
+					continue
+				}
+				for in := 0; in < I; in++ {
+					if in == out || cur.Has(m, in) {
+						continue
+					}
+					cur.Unset(m, out)
+					cur.Set(m, in)
+					if storage(m) <= capacities[m] {
+						newHit, err := e.HitRatio(cur)
+						if err != nil {
+							return nil, err
+						}
+						if newHit > curHit+gainTolerance {
+							curHit = newHit
+							improved = true
+							out = in // keep scanning from the new resident
+							continue
+						}
+					}
+					cur.Set(m, out)
+					cur.Unset(m, in)
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return cur, nil
+}
+
+// RefinedAlgorithm wraps an algorithm with a Refine post-pass.
+type RefinedAlgorithm struct {
+	// Base is the algorithm whose output is refined.
+	Base Algorithm
+	// MaxPasses bounds the local-search sweeps (0 means 3).
+	MaxPasses int
+}
+
+var _ Algorithm = RefinedAlgorithm{}
+
+// Name implements Algorithm.
+func (a RefinedAlgorithm) Name() string { return a.Base.Name() + " + refine" }
+
+// Place implements Algorithm.
+func (a RefinedAlgorithm) Place(e *Evaluator, capacities []int64) (*Placement, error) {
+	p, err := a.Base.Place(e, capacities)
+	if err != nil {
+		return nil, err
+	}
+	return Refine(e, capacities, p, a.MaxPasses)
+}

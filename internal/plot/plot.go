@@ -1,0 +1,171 @@
+// Package plot renders experiment result tables as ASCII line charts so the
+// CLI can show the paper's figures directly in a terminal (use
+// `trimcaching <fig> -chart`).
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"trimcaching/internal/stats"
+)
+
+// markers distinguish series in drawing order.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// Chart renders the table's series as a width x height ASCII chart with
+// y-axis labels and a legend. Points are plotted at their (x, mean)
+// positions; x positions are scaled by value (not index), matching how the
+// paper's figures space their axes.
+func Chart(t *stats.Table, width, height int) (string, error) {
+	if t == nil || len(t.Series) == 0 {
+		return "", fmt.Errorf("plot: table with at least one series required")
+	}
+	if width < 20 || height < 5 {
+		return "", fmt.Errorf("plot: minimum size 20x5, got %dx%d", width, height)
+	}
+
+	xMin, xMax := math.Inf(1), math.Inf(-1)
+	yMin, yMax := math.Inf(1), math.Inf(-1)
+	var anyPoint bool
+	for _, s := range t.Series {
+		for pi, x := range s.X {
+			if pi >= len(s.Points) {
+				break
+			}
+			y := s.Points[pi].Mean
+			if math.IsNaN(x) || math.IsNaN(y) {
+				continue
+			}
+			anyPoint = true
+			xMin, xMax = math.Min(xMin, x), math.Max(xMax, x)
+			yMin, yMax = math.Min(yMin, y), math.Max(yMax, y)
+		}
+	}
+	if !anyPoint {
+		return "", fmt.Errorf("plot: no finite points")
+	}
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+	if yMax == yMin {
+		yMax = yMin + 1
+	}
+	// Pad the y range slightly so extremes are not on the border.
+	pad := 0.05 * (yMax - yMin)
+	yMin -= pad
+	yMax += pad
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	toCol := func(x float64) int {
+		c := int(math.Round((x - xMin) / (xMax - xMin) * float64(width-1)))
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	toRow := func(y float64) int {
+		r := int(math.Round((yMax - y) / (yMax - yMin) * float64(height-1)))
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		return r
+	}
+
+	for si, s := range t.Series {
+		mark := markers[si%len(markers)]
+		prevC, prevR := -1, -1
+		for pi, x := range s.X {
+			if pi >= len(s.Points) {
+				break
+			}
+			y := s.Points[pi].Mean
+			if math.IsNaN(x) || math.IsNaN(y) {
+				continue
+			}
+			c, r := toCol(x), toRow(y)
+			// Connect consecutive points with a sparse line.
+			if prevC >= 0 {
+				drawLine(grid, prevC, prevR, c, r)
+			}
+			grid[r][c] = mark
+			prevC, prevR = c, r
+		}
+	}
+
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	labelEvery := height - 1
+	if labelEvery < 1 {
+		labelEvery = 1
+	}
+	for r := 0; r < height; r++ {
+		yVal := yMax - (yMax-yMin)*float64(r)/float64(height-1)
+		if r%labelEvery == 0 || r == height/2 {
+			fmt.Fprintf(&b, "%8.3f |%s\n", yVal, string(grid[r]))
+		} else {
+			fmt.Fprintf(&b, "%8s |%s\n", "", string(grid[r]))
+		}
+	}
+	fmt.Fprintf(&b, "%8s +%s\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%8s  %-*g%*g\n", "", width/2, xMin, width-width/2, xMax)
+	if t.XLabel != "" {
+		fmt.Fprintf(&b, "%8s  x: %s\n", "", t.XLabel)
+	}
+	for si, s := range t.Series {
+		fmt.Fprintf(&b, "%8s  %c %s\n", "", markers[si%len(markers)], s.Label)
+	}
+	return b.String(), nil
+}
+
+// drawLine writes a sparse Bresenham segment with '.' cells, never
+// overwriting existing markers.
+func drawLine(grid [][]byte, c0, r0, c1, r1 int) {
+	dc := abs(c1 - c0)
+	dr := abs(r1 - r0)
+	sc, sr := 1, 1
+	if c0 > c1 {
+		sc = -1
+	}
+	if r0 > r1 {
+		sr = -1
+	}
+	err := dc - dr
+	c, r := c0, r0
+	for {
+		if grid[r][c] == ' ' {
+			grid[r][c] = '.'
+		}
+		if c == c1 && r == r1 {
+			return
+		}
+		e2 := 2 * err
+		if e2 > -dr {
+			err -= dr
+			c += sc
+		}
+		if e2 < dc {
+			err += dc
+			r += sr
+		}
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

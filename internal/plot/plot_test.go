@@ -1,0 +1,117 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+
+	"trimcaching/internal/stats"
+)
+
+func sampleTable() *stats.Table {
+	return &stats.Table{
+		Title:  "Fig. 4(a)",
+		XLabel: "Q (GB)",
+		Series: []stats.Series{
+			{
+				Label:  "Spec",
+				X:      []float64{0.5, 1.0, 1.5},
+				Points: []stats.Summary{{Mean: 0.55}, {Mean: 0.8}, {Mean: 0.97}},
+			},
+			{
+				Label:  "Independent",
+				X:      []float64{0.5, 1.0, 1.5},
+				Points: []stats.Summary{{Mean: 0.2}, {Mean: 0.5}, {Mean: 0.75}},
+			},
+		},
+	}
+}
+
+func TestChartBasics(t *testing.T) {
+	out, err := Chart(sampleTable(), 60, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Fig. 4(a)", "x: Q (GB)", "* Spec", "o Independent", "+"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// Both series markers must be plotted.
+	if strings.Count(out, "*") < 3 {
+		t.Fatalf("expected >=3 '*' markers:\n%s", out)
+	}
+	if strings.Count(out, "o") < 3 {
+		t.Fatalf("expected >=3 'o' markers:\n%s", out)
+	}
+	// Lines connecting the points.
+	if !strings.Contains(out, ".") {
+		t.Fatalf("no connecting line segments:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title + height rows + axis + x labels + legend.
+	if len(lines) < 16+2 {
+		t.Fatalf("only %d lines", len(lines))
+	}
+}
+
+func TestChartOrdering(t *testing.T) {
+	// The higher-valued series must be plotted above the lower one: find
+	// the first row containing '*' and the first containing 'o' at the
+	// right edge x.
+	out, err := Chart(sampleTable(), 40, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(out, "\n")
+	starRow, oRow := -1, -1
+	for idx, line := range lines {
+		if starRow < 0 && strings.Contains(line, "*") {
+			starRow = idx
+		}
+		if oRow < 0 && strings.Contains(line, "o") && !strings.Contains(line, "o Independent") {
+			oRow = idx
+		}
+	}
+	if starRow < 0 || oRow < 0 {
+		t.Fatalf("markers not found:\n%s", out)
+	}
+	if starRow > oRow {
+		t.Fatalf("Spec (always higher) drawn below Independent:\n%s", out)
+	}
+}
+
+func TestChartErrors(t *testing.T) {
+	if _, err := Chart(nil, 40, 10); err == nil {
+		t.Fatal("nil table must error")
+	}
+	if _, err := Chart(&stats.Table{}, 40, 10); err == nil {
+		t.Fatal("empty table must error")
+	}
+	if _, err := Chart(sampleTable(), 5, 10); err == nil {
+		t.Fatal("tiny width must error")
+	}
+	if _, err := Chart(sampleTable(), 40, 2); err == nil {
+		t.Fatal("tiny height must error")
+	}
+	empty := &stats.Table{Series: []stats.Series{{Label: "x"}}}
+	if _, err := Chart(empty, 40, 10); err == nil {
+		t.Fatal("no points must error")
+	}
+}
+
+func TestChartDegenerateRanges(t *testing.T) {
+	flat := &stats.Table{
+		Series: []stats.Series{{
+			Label:  "const",
+			X:      []float64{1, 1, 1},
+			Points: []stats.Summary{{Mean: 0.5}, {Mean: 0.5}, {Mean: 0.5}},
+		}},
+	}
+	out, err := Chart(flat, 30, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatalf("flat series not plotted:\n%s", out)
+	}
+}

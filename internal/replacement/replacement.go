@@ -1,0 +1,186 @@
+// Package replacement implements the model replacement policy the paper
+// sketches in §IV: placement is decided on a snapshot of user locations and
+// re-initiated only "when the performance degrades to a certain threshold",
+// because re-placement consumes backbone bandwidth. This package simulates
+// that control loop under user mobility and quantifies the trade-off
+// between replacement frequency and sustained hit ratio — the follow-up
+// experiment Fig. 7 motivates.
+package replacement
+
+import (
+	"fmt"
+
+	"trimcaching/internal/mobility"
+	"trimcaching/internal/modellib"
+	"trimcaching/internal/placement"
+	"trimcaching/internal/rng"
+	"trimcaching/internal/scenario"
+	"trimcaching/internal/sim"
+)
+
+// Policy decides when to re-run placement.
+type Policy struct {
+	// Algorithm recomputes the placement.
+	Algorithm placement.Algorithm
+	// DegradationThreshold triggers replacement when the measured hit ratio
+	// falls below (1 - DegradationThreshold) times the hit ratio measured
+	// right after the last placement. Set >= 1 to never replace.
+	DegradationThreshold float64
+}
+
+// Validate reports the first invalid field, if any.
+func (p Policy) Validate() error {
+	if p.Algorithm == nil {
+		return fmt.Errorf("replacement: algorithm is required")
+	}
+	if p.DegradationThreshold <= 0 {
+		return fmt.Errorf("replacement: DegradationThreshold must be positive, got %v",
+			p.DegradationThreshold)
+	}
+	return nil
+}
+
+// Step is one checkpoint of the control loop.
+type Step struct {
+	// TimeMin is minutes since the start.
+	TimeMin float64 `json:"timeMin"`
+	// HitRatio is the fading-averaged hit ratio at this checkpoint.
+	HitRatio float64 `json:"hitRatio"`
+	// Replaced reports whether the policy re-placed at this checkpoint.
+	Replaced bool `json:"replaced"`
+}
+
+// Config parameterizes one mobility run with replacement.
+type Config struct {
+	// Library is the model library.
+	Library *modellib.Library
+	// Scenario is the deployment distribution.
+	Scenario scenario.GenConfig
+	// CapacityBytes is the per-server storage budget.
+	CapacityBytes int64
+	// DurationMin and CheckpointMin shape the timeline (§VII-E: 120 / 10).
+	DurationMin   int
+	CheckpointMin int
+	// SlotS is the mobility slot length (§VII-E: 5 s).
+	SlotS float64
+	// Realizations is the fading realizations per checkpoint.
+	Realizations int
+}
+
+// Validate reports the first invalid field, if any.
+func (c Config) Validate() error {
+	if c.Library == nil {
+		return fmt.Errorf("replacement: library is required")
+	}
+	if c.CapacityBytes < 0 {
+		return fmt.Errorf("replacement: negative capacity")
+	}
+	if c.DurationMin <= 0 || c.CheckpointMin <= 0 || c.DurationMin < c.CheckpointMin {
+		return fmt.Errorf("replacement: bad timeline %d/%d min", c.DurationMin, c.CheckpointMin)
+	}
+	if c.SlotS <= 0 {
+		return fmt.Errorf("replacement: SlotS must be positive")
+	}
+	if c.Realizations <= 0 {
+		return fmt.Errorf("replacement: Realizations must be positive")
+	}
+	return nil
+}
+
+// Run simulates the control loop once: place at t = 0, walk users, measure
+// at each checkpoint, and re-place whenever the policy fires. It returns
+// the timeline and the number of replacements (excluding the initial
+// placement).
+func Run(cfg Config, pol Policy, src *rng.Source) ([]Step, int, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, 0, err
+	}
+	if err := pol.Validate(); err != nil {
+		return nil, 0, err
+	}
+
+	ins, err := scenario.Generate(cfg.Library, cfg.Scenario, src.Split("instance"))
+	if err != nil {
+		return nil, 0, err
+	}
+	caps := placement.UniformCapacities(ins.NumServers(), cfg.CapacityBytes)
+
+	place := func(cur *scenario.Instance) (*placement.Placement, error) {
+		eval, err := placement.NewEvaluator(cur)
+		if err != nil {
+			return nil, err
+		}
+		p, err := pol.Algorithm.Place(eval, caps)
+		if err != nil {
+			return nil, fmt.Errorf("replacement: %s: %w", pol.Algorithm.Name(), err)
+		}
+		return p, nil
+	}
+	measure := func(cur *scenario.Instance, p *placement.Placement, cp int) (float64, error) {
+		eval, err := placement.NewEvaluator(cur)
+		if err != nil {
+			return 0, err
+		}
+		hits, err := sim.EvaluateUnderFading(eval, []*placement.Placement{p}, cfg.Realizations,
+			src.SplitIndex("fading", cp))
+		if err != nil {
+			return 0, err
+		}
+		return hits[0], nil
+	}
+
+	current, err := place(ins)
+	if err != nil {
+		return nil, 0, err
+	}
+	baseline, err := measure(ins, current, 0)
+	if err != nil {
+		return nil, 0, err
+	}
+
+	pop, err := mobility.NewPopulation(ins.Topology().Area(), ins.Topology().UserPositions(), src.Split("mobility"))
+	if err != nil {
+		return nil, 0, err
+	}
+	walkSrc := src.Split("walk")
+
+	steps := []Step{{TimeMin: 0, HitRatio: baseline}}
+	replacements := 0
+	slotsPerCheckpoint := int(float64(cfg.CheckpointMin*60)/cfg.SlotS + 0.5)
+	cur := ins
+	for tMin := cfg.CheckpointMin; tMin <= cfg.DurationMin; tMin += cfg.CheckpointMin {
+		for s := 0; s < slotsPerCheckpoint; s++ {
+			if err := pop.Step(cfg.SlotS, walkSrc); err != nil {
+				return nil, 0, err
+			}
+		}
+		topo, err := ins.Topology().WithUserPositions(pop.Positions())
+		if err != nil {
+			return nil, 0, err
+		}
+		cur, err = scenario.New(topo, cfg.Library, ins.Workload(), ins.Wireless())
+		if err != nil {
+			return nil, 0, err
+		}
+		hr, err := measure(cur, current, tMin)
+		if err != nil {
+			return nil, 0, err
+		}
+		replaced := false
+		if hr < (1-pol.DegradationThreshold)*baseline {
+			current, err = place(cur)
+			if err != nil {
+				return nil, 0, err
+			}
+			baseline, err = measure(cur, current, tMin+1)
+			if err != nil {
+				return nil, 0, err
+			}
+			hr = baseline
+			replaced = true
+			replacements++
+		}
+		steps = append(steps, Step{TimeMin: float64(tMin), HitRatio: hr, Replaced: replaced})
+	}
+	return steps, replacements, nil
+}

@@ -1,0 +1,167 @@
+package replacement
+
+import (
+	"testing"
+
+	"trimcaching/internal/libgen"
+	"trimcaching/internal/placement"
+	"trimcaching/internal/rng"
+	"trimcaching/internal/scenario"
+	"trimcaching/internal/topology"
+	"trimcaching/internal/wireless"
+	"trimcaching/internal/workload"
+)
+
+func testConfig(t *testing.T) Config {
+	t.Helper()
+	lib, err := libgen.GenerateSpecial(libgen.DefaultSpecialConfig(5), rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := wireless.DefaultConfig()
+	w.BackhaulBps = 1e9
+	return Config{
+		Library: lib,
+		Scenario: scenario.GenConfig{
+			Topology: topology.Config{AreaSideM: 1000, NumServers: 6, NumUsers: 10, CoverageRadiusM: w.CoverageRadiusM},
+			Wireless: w,
+			Workload: workload.DefaultConfig(),
+		},
+		CapacityBytes: 1 << 30,
+		DurationMin:   60,
+		CheckpointMin: 10,
+		SlotS:         5,
+		Realizations:  15,
+	}
+}
+
+func neverPolicy() Policy {
+	return Policy{
+		Algorithm:            placement.GenAlgorithm{Options: placement.GenOptions{Lazy: true}},
+		DegradationThreshold: 10, // effectively never
+	}
+}
+
+func eagerPolicy() Policy {
+	return Policy{
+		Algorithm:            placement.GenAlgorithm{Options: placement.GenOptions{Lazy: true}},
+		DegradationThreshold: 0.02, // replace on 2% degradation
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	cfg := testConfig(t)
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	muts := []func(*Config){
+		func(c *Config) { c.Library = nil },
+		func(c *Config) { c.CapacityBytes = -1 },
+		func(c *Config) { c.DurationMin = 0 },
+		func(c *Config) { c.CheckpointMin = 0 },
+		func(c *Config) { c.DurationMin = 5; c.CheckpointMin = 10 },
+		func(c *Config) { c.SlotS = 0 },
+		func(c *Config) { c.Realizations = 0 },
+	}
+	for i, mut := range muts {
+		c := testConfig(t)
+		mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Fatalf("mutation %d: expected error", i)
+		}
+	}
+}
+
+func TestPolicyValidate(t *testing.T) {
+	if err := neverPolicy().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Policy{}).Validate(); err == nil {
+		t.Fatal("empty policy must error")
+	}
+	bad := neverPolicy()
+	bad.DegradationThreshold = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero threshold must error")
+	}
+}
+
+func TestRunTimeline(t *testing.T) {
+	cfg := testConfig(t)
+	steps, replacements, err := Run(cfg, neverPolicy(), rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replacements != 0 {
+		t.Fatalf("never-policy replaced %d times", replacements)
+	}
+	wantSteps := cfg.DurationMin/cfg.CheckpointMin + 1
+	if len(steps) != wantSteps {
+		t.Fatalf("%d steps, want %d", len(steps), wantSteps)
+	}
+	for si, s := range steps {
+		if s.TimeMin != float64(si*cfg.CheckpointMin) {
+			t.Fatalf("step %d at %v min", si, s.TimeMin)
+		}
+		if s.HitRatio < 0 || s.HitRatio > 1 {
+			t.Fatalf("step %d hit ratio %v", si, s.HitRatio)
+		}
+		if s.Replaced {
+			t.Fatalf("never-policy marked step %d replaced", si)
+		}
+	}
+	if steps[0].HitRatio == 0 {
+		t.Fatal("initial placement served nothing")
+	}
+}
+
+func TestEagerPolicyReplacesAndSustains(t *testing.T) {
+	cfg := testConfig(t)
+	var frozenSum, eagerSum float64
+	var totalReplacements int
+	const trials = 3
+	for trial := 0; trial < trials; trial++ {
+		src := rng.New(uint64(10 + trial))
+		frozen, _, err := Run(cfg, neverPolicy(), src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src2 := rng.New(uint64(10 + trial))
+		eager, repl, err := Run(cfg, eagerPolicy(), src2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		totalReplacements += repl
+		for si := range frozen {
+			frozenSum += frozen[si].HitRatio
+			eagerSum += eager[si].HitRatio
+		}
+	}
+	if totalReplacements == 0 {
+		t.Fatal("eager policy never replaced over 3 mobile hours")
+	}
+	// Re-placing can only help the measured timeline on average.
+	if eagerSum < frozenSum*0.98 {
+		t.Fatalf("eager policy total %v below frozen %v", eagerSum, frozenSum)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	cfg := testConfig(t)
+	a, ra, err := Run(cfg, eagerPolicy(), rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, rb, err := Run(cfg, eagerPolicy(), rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra != rb || len(a) != len(b) {
+		t.Fatal("same seed, different runs")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("step %d differs", i)
+		}
+	}
+}

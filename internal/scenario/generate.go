@@ -1,0 +1,59 @@
+package scenario
+
+import (
+	"fmt"
+
+	"trimcaching/internal/modellib"
+	"trimcaching/internal/rng"
+	"trimcaching/internal/topology"
+	"trimcaching/internal/wireless"
+	"trimcaching/internal/workload"
+)
+
+// GenConfig bundles everything needed to sample a random problem instance.
+// The model library is built once per experiment and shared across the
+// randomly drawn topologies and workloads (§VII-A averages over 100 network
+// topologies with a fixed library).
+type GenConfig struct {
+	Topology topology.Config
+	Wireless wireless.Config
+	Workload workload.Config
+}
+
+// Generate samples a topology and workload from cfg and assembles the
+// instance. Deterministic in src: the topology and workload use independent
+// sub-streams, so the draw is stable under config reordering.
+func Generate(lib *modellib.Library, cfg GenConfig, src *rng.Source) (*Instance, error) {
+	if lib == nil {
+		return nil, fmt.Errorf("scenario: library is required")
+	}
+	topo, err := topology.Generate(cfg.Topology, src.Split("topology"))
+	if err != nil {
+		return nil, fmt.Errorf("scenario: generate topology: %w", err)
+	}
+	work, err := workload.Generate(cfg.Topology.NumUsers, lib.NumModels(), cfg.Workload, src.Split("workload"))
+	if err != nil {
+		return nil, fmt.Errorf("scenario: generate workload: %w", err)
+	}
+	var shadow [][]float64
+	if cfg.Wireless.ShadowingStdDB > 0 {
+		shadow, err = cfg.Wireless.SampleShadowGains(topo.NumServers(), topo.NumUsers(), src.Split("shadowing"))
+		if err != nil {
+			return nil, fmt.Errorf("scenario: sample shadowing: %w", err)
+		}
+	}
+	return NewShadowed(topo, lib, work, cfg.Wireless, shadow)
+}
+
+// SampleGains draws one Rayleigh block-fading realization: unit-mean
+// exponential power gains for every (server, user) link.
+func SampleGains(numServers, numUsers int, src *rng.Source) [][]float64 {
+	gains := make([][]float64, numServers)
+	for m := range gains {
+		gains[m] = make([]float64, numUsers)
+		for k := range gains[m] {
+			gains[m][k] = src.Exp()
+		}
+	}
+	return gains
+}

@@ -1,0 +1,244 @@
+// Package scenario assembles a concrete instance of the paper's cache-hit
+// maximization problem (§IV): a topology, a wireless configuration, a
+// parameter-sharing model library, and a workload. It precomputes the
+// quantities the placement algorithms and the Monte-Carlo evaluator consume:
+// average downlink rates C̄_{m,k} (eq. 1), end-to-end latencies T_{m,k,i}
+// (eqs. 4–5), and the service indicator I1(m,k,i) (eq. 3).
+package scenario
+
+import (
+	"fmt"
+	"math"
+
+	"trimcaching/internal/modellib"
+	"trimcaching/internal/topology"
+	"trimcaching/internal/wireless"
+	"trimcaching/internal/workload"
+)
+
+// Instance is an immutable problem instance.
+type Instance struct {
+	topo *topology.Topology
+	lib  *modellib.Library
+	work *workload.Workload
+	wcfg wireless.Config
+
+	avgRate   [][]float64 // avgRate[m][k]; 0 when m does not cover k
+	bestRelay []float64   // bestRelay[k]: max covering-server avg rate, 0 if uncovered
+	reachable []bool      // reachable[(m*K+k)*I+i] = I1(m,k,i) under average channel
+	shadow    [][]float64 // optional per-link log-normal shadowing gains; nil = none
+	totalMass float64
+}
+
+// New validates the components and precomputes rates, latencies, and I1.
+func New(topo *topology.Topology, lib *modellib.Library, work *workload.Workload, wcfg wireless.Config) (*Instance, error) {
+	return NewShadowed(topo, lib, work, wcfg, nil)
+}
+
+// NewShadowed builds an instance with per-link log-normal shadowing gains
+// (shadow[m][k], linear power). Shadowing is slow fading: it affects both
+// the average-channel rates used for placement and every fading
+// realization. nil disables shadowing.
+func NewShadowed(topo *topology.Topology, lib *modellib.Library, work *workload.Workload, wcfg wireless.Config, shadow [][]float64) (*Instance, error) {
+	if topo == nil || lib == nil || work == nil {
+		return nil, fmt.Errorf("scenario: topology, library, and workload are required")
+	}
+	if err := wcfg.Validate(); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	if work.NumUsers() != topo.NumUsers() {
+		return nil, fmt.Errorf("scenario: workload has %d users, topology has %d",
+			work.NumUsers(), topo.NumUsers())
+	}
+	if work.NumModels() != lib.NumModels() {
+		return nil, fmt.Errorf("scenario: workload has %d models, library has %d",
+			work.NumModels(), lib.NumModels())
+	}
+	if math.Abs(wcfg.CoverageRadiusM-topo.CoverageRadius()) > 1e-9 {
+		return nil, fmt.Errorf("scenario: wireless coverage radius %v differs from topology's %v",
+			wcfg.CoverageRadiusM, topo.CoverageRadius())
+	}
+
+	ins := &Instance{topo: topo, lib: lib, work: work, wcfg: wcfg, shadow: shadow}
+	M, K, I := topo.NumServers(), topo.NumUsers(), lib.NumModels()
+	if shadow != nil {
+		if len(shadow) != M {
+			return nil, fmt.Errorf("scenario: shadow has %d rows, want %d", len(shadow), M)
+		}
+		for m := range shadow {
+			if len(shadow[m]) != K {
+				return nil, fmt.Errorf("scenario: shadow[%d] has %d cols, want %d", m, len(shadow[m]), K)
+			}
+		}
+	}
+
+	ins.avgRate = make([][]float64, M)
+	for m := 0; m < M; m++ {
+		ins.avgRate[m] = make([]float64, K)
+	}
+	for m := 0; m < M; m++ {
+		load := topo.Load(m)
+		for _, k := range topo.UsersOf(m) {
+			rate, err := wcfg.FadedRateBps(topo.Distance(m, k), load, ins.shadowGain(m, k))
+			if err != nil {
+				return nil, fmt.Errorf("scenario: rate m=%d k=%d: %w", m, k, err)
+			}
+			ins.avgRate[m][k] = rate
+		}
+	}
+	ins.bestRelay = make([]float64, K)
+	for k := 0; k < K; k++ {
+		for _, m := range topo.ServersCovering(k) {
+			if ins.avgRate[m][k] > ins.bestRelay[k] {
+				ins.bestRelay[k] = ins.avgRate[m][k]
+			}
+		}
+	}
+
+	ins.reachable = make([]bool, M*K*I)
+	for m := 0; m < M; m++ {
+		for k := 0; k < K; k++ {
+			for i := 0; i < I; i++ {
+				t := ins.latency(m, k, i, ins.avgRate, ins.bestRelay)
+				ins.reachable[(m*K+k)*I+i] = t <= work.DeadlineS(k, i)
+			}
+		}
+	}
+	ins.totalMass = work.TotalMass()
+	return ins, nil
+}
+
+// latency computes T_{m,k,i} in seconds under the given per-link rates.
+// rates[m][k] must be 0 for non-covering pairs; relayRate[k] is the best
+// covering-server rate of user k. Unreachable pairs yield +Inf.
+func (ins *Instance) latency(m, k, i int, rates [][]float64, relayRate []float64) float64 {
+	sizeBits := 8 * float64(ins.lib.ModelSize(i))
+	infer := ins.work.InferS(k, i)
+	if direct := rates[m][k]; direct > 0 {
+		return sizeBits/direct + infer // eq. (4)
+	}
+	// eq. (5): transfer over the backhaul to the user's best covering
+	// server, then over the air. The backhaul rate is the same constant for
+	// every server pair, so minimizing over m' means maximizing the
+	// downlink rate.
+	if relayRate[k] <= 0 {
+		return math.Inf(1) // user covered by no server
+	}
+	return sizeBits/ins.wcfg.BackhaulBps + sizeBits/relayRate[k] + infer
+}
+
+// shadowGain returns the slow-fading gain of link (m,k), 1 when disabled.
+func (ins *Instance) shadowGain(m, k int) float64 {
+	if ins.shadow == nil {
+		return 1
+	}
+	return ins.shadow[m][k]
+}
+
+// Topology returns the deployment.
+func (ins *Instance) Topology() *topology.Topology { return ins.topo }
+
+// Library returns the model library.
+func (ins *Instance) Library() *modellib.Library { return ins.lib }
+
+// Workload returns the demand model.
+func (ins *Instance) Workload() *workload.Workload { return ins.work }
+
+// Wireless returns the channel configuration.
+func (ins *Instance) Wireless() wireless.Config { return ins.wcfg }
+
+// NumServers returns M.
+func (ins *Instance) NumServers() int { return ins.topo.NumServers() }
+
+// NumUsers returns K.
+func (ins *Instance) NumUsers() int { return ins.work.NumUsers() }
+
+// NumModels returns I.
+func (ins *Instance) NumModels() int { return ins.lib.NumModels() }
+
+// AvgRateBps returns C̄_{m,k} (eq. 1), or 0 when m does not cover k.
+func (ins *Instance) AvgRateBps(m, k int) float64 { return ins.avgRate[m][k] }
+
+// LatencyS returns T_{m,k,i} in seconds under the average channel
+// (eqs. 4–5), +Inf if unreachable.
+func (ins *Instance) LatencyS(m, k, i int) float64 {
+	return ins.latency(m, k, i, ins.avgRate, ins.bestRelay)
+}
+
+// Reachable returns I1(m,k,i) under the average channel: whether server m
+// can deliver model i to user k within the QoS deadline.
+func (ins *Instance) Reachable(m, k, i int) bool {
+	return ins.reachable[(m*ins.NumUsers()+k)*ins.NumModels()+i]
+}
+
+// Prob returns p_{k,i}.
+func (ins *Instance) Prob(k, i int) float64 { return ins.work.Prob(k, i) }
+
+// TotalMass returns Σ p_{k,i}, the denominator of eq. (2).
+func (ins *Instance) TotalMass() float64 { return ins.totalMass }
+
+// HitMass returns u(m,i) without the I2 exclusion (eq. 14 with I2 ≡ 1): the
+// expected request mass server m can serve by caching model i.
+func (ins *Instance) HitMass(m, i int) float64 {
+	var sum float64
+	for k := 0; k < ins.NumUsers(); k++ {
+		if ins.Reachable(m, k, i) {
+			sum += ins.Prob(k, i)
+		}
+	}
+	return sum
+}
+
+// FadedReach computes the I1 indicator matrix under one Rayleigh-fading
+// realization. gains[m][k] is the fading power gain |h|^2 for covering
+// links (ignored elsewhere). The result is written into dst, which must
+// have length M*K*I (allocate with MakeReachBuffer); it is also returned.
+//
+// The placement is decided on average channel gains while performance is
+// examined under fading (§VII-A); this method powers that evaluation.
+func (ins *Instance) FadedReach(gains [][]float64, dst []bool) ([]bool, error) {
+	M, K, I := ins.NumServers(), ins.NumUsers(), ins.NumModels()
+	if len(gains) != M {
+		return nil, fmt.Errorf("scenario: gains has %d rows, want %d", len(gains), M)
+	}
+	if len(dst) != M*K*I {
+		return nil, fmt.Errorf("scenario: dst has length %d, want %d", len(dst), M*K*I)
+	}
+	rates := make([][]float64, M)
+	for m := 0; m < M; m++ {
+		if len(gains[m]) != K {
+			return nil, fmt.Errorf("scenario: gains[%d] has %d cols, want %d", m, len(gains[m]), K)
+		}
+		rates[m] = make([]float64, K)
+		load := ins.topo.Load(m)
+		for _, k := range ins.topo.UsersOf(m) {
+			r, err := ins.wcfg.FadedRateBps(ins.topo.Distance(m, k), load, ins.shadowGain(m, k)*gains[m][k])
+			if err != nil {
+				return nil, fmt.Errorf("scenario: faded rate m=%d k=%d: %w", m, k, err)
+			}
+			rates[m][k] = r
+		}
+	}
+	relay := make([]float64, K)
+	for k := 0; k < K; k++ {
+		for _, m := range ins.topo.ServersCovering(k) {
+			if rates[m][k] > relay[k] {
+				relay[k] = rates[m][k]
+			}
+		}
+	}
+	for m := 0; m < M; m++ {
+		for k := 0; k < K; k++ {
+			for i := 0; i < I; i++ {
+				t := ins.latency(m, k, i, rates, relay)
+				dst[(m*K+k)*I+i] = t <= ins.work.DeadlineS(k, i)
+			}
+		}
+	}
+	return dst, nil
+}
+
+// MakeReachBuffer allocates a buffer for FadedReach.
+func (ins *Instance) MakeReachBuffer() []bool {
+	return make([]bool, ins.NumServers()*ins.NumUsers()*ins.NumModels())
+}

@@ -1,0 +1,96 @@
+package scenario
+
+import (
+	"testing"
+
+	"trimcaching/internal/libgen"
+	"trimcaching/internal/rng"
+)
+
+func TestShadowedInstanceValidation(t *testing.T) {
+	lib, err := libgen.GenerateSpecial(libgen.DefaultSpecialConfig(2), rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := paperGenConfig(3, 5)
+	ins, err := Generate(lib, cfg, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wrong shadow dimensions must be rejected.
+	bad := [][]float64{{1, 1}}
+	if _, err := NewShadowed(ins.Topology(), lib, ins.Workload(), cfg.Wireless, bad); err == nil {
+		t.Fatal("wrong shadow rows must error")
+	}
+	bad2 := make([][]float64, 3)
+	for m := range bad2 {
+		bad2[m] = []float64{1}
+	}
+	if _, err := NewShadowed(ins.Topology(), lib, ins.Workload(), cfg.Wireless, bad2); err == nil {
+		t.Fatal("wrong shadow cols must error")
+	}
+}
+
+func TestShadowingChangesRates(t *testing.T) {
+	lib, err := libgen.GenerateSpecial(libgen.DefaultSpecialConfig(2), rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := paperGenConfig(4, 8)
+	plain, err := Generate(lib, cfg, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Wireless = cfg.Wireless.WithShadowing(8)
+	shadowed, err := Generate(lib, cfg, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same topology draw (same seed stream), but shadowed rates must differ
+	// on covered links.
+	diffs := 0
+	for m := 0; m < plain.NumServers(); m++ {
+		for k := 0; k < plain.NumUsers(); k++ {
+			a, b := plain.AvgRateBps(m, k), shadowed.AvgRateBps(m, k)
+			if (a == 0) != (b == 0) {
+				t.Fatal("shadowing changed coverage")
+			}
+			if a > 0 && a != b {
+				diffs++
+			}
+		}
+	}
+	if diffs == 0 {
+		t.Fatal("shadowing changed no rates")
+	}
+}
+
+func TestUnitShadowMatchesPlain(t *testing.T) {
+	lib, err := libgen.GenerateSpecial(libgen.DefaultSpecialConfig(2), rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := paperGenConfig(3, 6)
+	plain, err := Generate(lib, cfg, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ones := make([][]float64, plain.NumServers())
+	for m := range ones {
+		ones[m] = make([]float64, plain.NumUsers())
+		for k := range ones[m] {
+			ones[m][k] = 1
+		}
+	}
+	unit, err := NewShadowed(plain.Topology(), lib, plain.Workload(), cfg.Wireless, ones)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m := 0; m < plain.NumServers(); m++ {
+		for k := 0; k < plain.NumUsers(); k++ {
+			if plain.AvgRateBps(m, k) != unit.AvgRateBps(m, k) {
+				t.Fatal("unit shadow changed rates")
+			}
+		}
+	}
+}

@@ -1,0 +1,238 @@
+// Package sim is the Monte-Carlo evaluation harness of §VII-A: placement
+// decisions are computed on average channel gains, then the cache hit ratio
+// is measured over Rayleigh block-fading realizations; results are averaged
+// over many random network topologies with standard-deviation error bars.
+// Trials run in parallel on a bounded worker pool.
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"trimcaching/internal/modellib"
+	"trimcaching/internal/placement"
+	"trimcaching/internal/rng"
+	"trimcaching/internal/scenario"
+	"trimcaching/internal/stats"
+)
+
+// TrialConfig describes one experiment point: a library, a scenario
+// distribution, a storage capacity, and the algorithms to compare.
+type TrialConfig struct {
+	// Library is the fixed parameter-sharing model library.
+	Library *modellib.Library
+	// Scenario is the distribution of topologies and workloads.
+	Scenario scenario.GenConfig
+	// CapacityBytes is the per-server storage capacity Q.
+	CapacityBytes int64
+	// CapacityFactors optionally makes capacities heterogeneous: server m
+	// gets CapacityBytes scaled by CapacityFactors[m mod len]. Empty means
+	// uniform capacities (the paper's setting).
+	CapacityFactors []float64
+	// Algorithms are the placement algorithms to compare on identical
+	// instances and identical fading realizations.
+	Algorithms []placement.Algorithm
+	// Topologies is the number of random network topologies (paper: 100).
+	Topologies int
+	// Realizations is the number of Rayleigh fading realizations per
+	// topology (paper: >10^3).
+	Realizations int
+	// Workers bounds the parallel trial goroutines; 0 means GOMAXPROCS.
+	Workers int
+	// Seed makes the whole run reproducible.
+	Seed uint64
+}
+
+// Validate reports the first invalid field, if any.
+func (c TrialConfig) Validate() error {
+	if c.Library == nil {
+		return fmt.Errorf("sim: library is required")
+	}
+	if len(c.Algorithms) == 0 {
+		return fmt.Errorf("sim: at least one algorithm is required")
+	}
+	if c.CapacityBytes < 0 {
+		return fmt.Errorf("sim: negative capacity %d", c.CapacityBytes)
+	}
+	for fi, f := range c.CapacityFactors {
+		if f < 0 {
+			return fmt.Errorf("sim: negative capacity factor %v at %d", f, fi)
+		}
+	}
+	if c.Topologies <= 0 {
+		return fmt.Errorf("sim: Topologies must be positive, got %d", c.Topologies)
+	}
+	if c.Realizations <= 0 {
+		return fmt.Errorf("sim: Realizations must be positive, got %d", c.Realizations)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("sim: Workers must be >= 0, got %d", c.Workers)
+	}
+	return nil
+}
+
+// AlgoResult aggregates one algorithm's performance across topologies.
+type AlgoResult struct {
+	// Name is the algorithm display name.
+	Name string
+	// HitRatio summarizes the per-topology fading-averaged hit ratios.
+	HitRatio stats.Summary
+	// AvgHitRatio summarizes the per-topology hit ratios under the average
+	// channel (no fading), useful for debugging the fading gap.
+	AvgHitRatio stats.Summary
+	// PlaceSeconds summarizes the per-topology placement wall time (the
+	// running-time axis of Fig. 6).
+	PlaceSeconds stats.Summary
+}
+
+// trialOutcome is one topology's result for all algorithms.
+type trialOutcome struct {
+	hit     []float64
+	avgHit  []float64
+	seconds []float64
+	err     error
+}
+
+// Run executes the experiment point and aggregates per-algorithm summaries.
+func Run(cfg TrialConfig) ([]AlgoResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.Topologies {
+		workers = cfg.Topologies
+	}
+
+	root := rng.New(cfg.Seed)
+	outcomes := make([]trialOutcome, cfg.Topologies)
+
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range next {
+				outcomes[t] = runTrial(cfg, root.SplitIndex("trial", t))
+			}
+		}()
+	}
+	for t := 0; t < cfg.Topologies; t++ {
+		next <- t
+	}
+	close(next)
+	wg.Wait()
+
+	accHit := make([]stats.Accumulator, len(cfg.Algorithms))
+	accAvg := make([]stats.Accumulator, len(cfg.Algorithms))
+	accSec := make([]stats.Accumulator, len(cfg.Algorithms))
+	for t := range outcomes {
+		if outcomes[t].err != nil {
+			return nil, fmt.Errorf("sim: trial %d: %w", t, outcomes[t].err)
+		}
+		for a := range cfg.Algorithms {
+			accHit[a].Add(outcomes[t].hit[a])
+			accAvg[a].Add(outcomes[t].avgHit[a])
+			accSec[a].Add(outcomes[t].seconds[a])
+		}
+	}
+	results := make([]AlgoResult, len(cfg.Algorithms))
+	for a, alg := range cfg.Algorithms {
+		results[a] = AlgoResult{
+			Name:         alg.Name(),
+			HitRatio:     accHit[a].Summarize(),
+			AvgHitRatio:  accAvg[a].Summarize(),
+			PlaceSeconds: accSec[a].Summarize(),
+		}
+	}
+	return results, nil
+}
+
+// runTrial builds one random instance, places with every algorithm, and
+// evaluates all placements under the same fading realizations.
+func runTrial(cfg TrialConfig, src *rng.Source) trialOutcome {
+	out := trialOutcome{
+		hit:     make([]float64, len(cfg.Algorithms)),
+		avgHit:  make([]float64, len(cfg.Algorithms)),
+		seconds: make([]float64, len(cfg.Algorithms)),
+	}
+	ins, err := scenario.Generate(cfg.Library, cfg.Scenario, src.Split("instance"))
+	if err != nil {
+		out.err = err
+		return out
+	}
+	eval, err := placement.NewEvaluator(ins)
+	if err != nil {
+		out.err = err
+		return out
+	}
+	caps := placement.UniformCapacities(ins.NumServers(), cfg.CapacityBytes)
+	for m := range caps {
+		if len(cfg.CapacityFactors) > 0 {
+			caps[m] = int64(float64(cfg.CapacityBytes) * cfg.CapacityFactors[m%len(cfg.CapacityFactors)])
+		}
+	}
+
+	placements := make([]*placement.Placement, len(cfg.Algorithms))
+	for a, alg := range cfg.Algorithms {
+		start := time.Now()
+		p, err := alg.Place(eval, caps)
+		out.seconds[a] = time.Since(start).Seconds()
+		if err != nil {
+			out.err = fmt.Errorf("%s: %w", alg.Name(), err)
+			return out
+		}
+		if err := eval.CheckFeasible(p, caps); err != nil {
+			out.err = fmt.Errorf("%s: %w", alg.Name(), err)
+			return out
+		}
+		placements[a] = p
+		if out.avgHit[a], err = eval.HitRatio(p); err != nil {
+			out.err = err
+			return out
+		}
+	}
+
+	hits, err := EvaluateUnderFading(eval, placements, cfg.Realizations, src.Split("fading"))
+	if err != nil {
+		out.err = err
+		return out
+	}
+	copy(out.hit, hits)
+	return out
+}
+
+// EvaluateUnderFading measures each placement's expected hit ratio over the
+// given number of Rayleigh fading realizations. All placements see identical
+// realizations so comparisons are paired.
+func EvaluateUnderFading(eval *placement.Evaluator, placements []*placement.Placement, realizations int, src *rng.Source) ([]float64, error) {
+	if realizations <= 0 {
+		return nil, fmt.Errorf("sim: realizations must be positive, got %d", realizations)
+	}
+	ins := eval.Instance()
+	buf := ins.MakeReachBuffer()
+	sums := make([]float64, len(placements))
+	for r := 0; r < realizations; r++ {
+		gains := scenario.SampleGains(ins.NumServers(), ins.NumUsers(), src)
+		reach, err := ins.FadedReach(gains, buf)
+		if err != nil {
+			return nil, err
+		}
+		for a, p := range placements {
+			hr, err := eval.HitRatioWithReach(p, reach)
+			if err != nil {
+				return nil, err
+			}
+			sums[a] += hr
+		}
+	}
+	for a := range sums {
+		sums[a] /= float64(realizations)
+	}
+	return sums, nil
+}

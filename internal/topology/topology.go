@@ -1,0 +1,161 @@
+// Package topology models the wireless edge network deployment of §III-A:
+// M edge servers and K users uniformly distributed in a square area, with
+// coverage-based association (a user can download from every edge server
+// whose coverage radius contains it) and a fully connected wired backhaul
+// between servers.
+package topology
+
+import (
+	"fmt"
+
+	"trimcaching/internal/geom"
+	"trimcaching/internal/rng"
+)
+
+// Config describes a deployment to generate.
+type Config struct {
+	// AreaSideM is the side of the square deployment area in metres
+	// (paper: 1000 m for the main experiments, 400 m for Fig. 6).
+	AreaSideM float64 `json:"areaSideM"`
+	// NumServers is M.
+	NumServers int `json:"numServers"`
+	// NumUsers is K.
+	NumUsers int `json:"numUsers"`
+	// CoverageRadiusM is the server coverage radius (paper: 275 m).
+	CoverageRadiusM float64 `json:"coverageRadiusM"`
+	// ServerLayout selects the server placement model; the zero value is
+	// the paper's uniform random placement.
+	ServerLayout Layout `json:"serverLayout,omitempty"`
+}
+
+// Validate reports the first invalid field, if any.
+func (c Config) Validate() error {
+	if c.AreaSideM <= 0 {
+		return fmt.Errorf("topology: AreaSideM must be positive, got %v", c.AreaSideM)
+	}
+	if c.NumServers <= 0 {
+		return fmt.Errorf("topology: NumServers must be positive, got %d", c.NumServers)
+	}
+	if c.NumUsers <= 0 {
+		return fmt.Errorf("topology: NumUsers must be positive, got %d", c.NumUsers)
+	}
+	if c.CoverageRadiusM <= 0 {
+		return fmt.Errorf("topology: CoverageRadiusM must be positive, got %v", c.CoverageRadiusM)
+	}
+	return nil
+}
+
+// Topology is a snapshot of server and user positions with derived
+// association sets. It is immutable; mobility produces new snapshots via
+// WithUserPositions.
+type Topology struct {
+	area    geom.Area
+	radius  float64
+	servers []geom.Point
+	users   []geom.Point
+
+	userServers [][]int // Mk: servers covering user k, ascending
+	serverUsers [][]int // Km: users covered by server m, ascending
+}
+
+// Generate draws a uniform random deployment.
+func Generate(cfg Config, src *rng.Source) (*Topology, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	area, err := geom.NewArea(cfg.AreaSideM)
+	if err != nil {
+		return nil, fmt.Errorf("topology: %w", err)
+	}
+	servers, err := serverPositions(cfg.ServerLayout, area, cfg.NumServers, src)
+	if err != nil {
+		return nil, err
+	}
+	return New(area, servers, area.SamplePoints(src, cfg.NumUsers), cfg.CoverageRadiusM)
+}
+
+// New builds a topology from explicit positions. Position slices are copied.
+func New(area geom.Area, servers, users []geom.Point, coverageRadiusM float64) (*Topology, error) {
+	if len(servers) == 0 || len(users) == 0 {
+		return nil, fmt.Errorf("topology: need at least one server and one user")
+	}
+	if coverageRadiusM <= 0 {
+		return nil, fmt.Errorf("topology: coverage radius must be positive, got %v", coverageRadiusM)
+	}
+	t := &Topology{
+		area:    area,
+		radius:  coverageRadiusM,
+		servers: append([]geom.Point(nil), servers...),
+		users:   append([]geom.Point(nil), users...),
+	}
+	t.userServers = make([][]int, len(users))
+	t.serverUsers = make([][]int, len(servers))
+	for k, u := range t.users {
+		for m, s := range t.servers {
+			if u.Dist(s) <= coverageRadiusM {
+				t.userServers[k] = append(t.userServers[k], m)
+				t.serverUsers[m] = append(t.serverUsers[m], k)
+			}
+		}
+	}
+	return t, nil
+}
+
+// WithUserPositions returns a new topology with the same servers and area
+// but moved users (used by the mobility experiment, §VII-E).
+func (t *Topology) WithUserPositions(users []geom.Point) (*Topology, error) {
+	return New(t.area, t.servers, users, t.radius)
+}
+
+// NumServers returns M.
+func (t *Topology) NumServers() int { return len(t.servers) }
+
+// NumUsers returns K.
+func (t *Topology) NumUsers() int { return len(t.users) }
+
+// Area returns the deployment area.
+func (t *Topology) Area() geom.Area { return t.area }
+
+// CoverageRadius returns the server coverage radius in metres.
+func (t *Topology) CoverageRadius() float64 { return t.radius }
+
+// ServerPos returns the position of server m.
+func (t *Topology) ServerPos(m int) geom.Point { return t.servers[m] }
+
+// UserPos returns the position of user k.
+func (t *Topology) UserPos(k int) geom.Point { return t.users[k] }
+
+// UserPositions returns a copy of all user positions.
+func (t *Topology) UserPositions() []geom.Point {
+	return append([]geom.Point(nil), t.users...)
+}
+
+// ServersCovering returns Mk, the servers covering user k, ascending. The
+// returned slice must not be modified.
+func (t *Topology) ServersCovering(k int) []int { return t.userServers[k] }
+
+// UsersOf returns Km, the users covered by server m, ascending. The
+// returned slice must not be modified.
+func (t *Topology) UsersOf(m int) []int { return t.serverUsers[m] }
+
+// Load returns |Km|, the association count used for bandwidth sharing.
+func (t *Topology) Load(m int) int { return len(t.serverUsers[m]) }
+
+// Distance returns the server-user distance in metres.
+func (t *Topology) Distance(m, k int) float64 {
+	return t.servers[m].Dist(t.users[k])
+}
+
+// Covered reports whether user k is covered by at least one server.
+func (t *Topology) Covered(k int) bool { return len(t.userServers[k]) > 0 }
+
+// CoveredFraction returns the fraction of users covered by ≥1 server.
+func (t *Topology) CoveredFraction() float64 {
+	var n int
+	for k := range t.users {
+		if len(t.userServers[k]) > 0 {
+			n++
+		}
+	}
+	return float64(n) / float64(len(t.users))
+}

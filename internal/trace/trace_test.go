@@ -1,0 +1,166 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"trimcaching/internal/rng"
+	"trimcaching/internal/workload"
+)
+
+func testWorkload(t *testing.T, users, models int) *workload.Workload {
+	t.Helper()
+	w, err := workload.Generate(users, models, workload.DefaultConfig(), rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestGenerateValidTrace(t *testing.T) {
+	w := testWorkload(t, 10, 20)
+	tr, err := Generate(w, 30, 3600, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(10, 20); err != nil {
+		t.Fatal(err)
+	}
+	// Expected request count: 10 users * 30/h * 1h = 300, Poisson spread.
+	if len(tr.Requests) < 200 || len(tr.Requests) > 400 {
+		t.Fatalf("%d requests, expected ~300", len(tr.Requests))
+	}
+	// Sorted by time.
+	for i := 1; i < len(tr.Requests); i++ {
+		if tr.Requests[i].TimeS < tr.Requests[i-1].TimeS {
+			t.Fatal("trace not time-ordered")
+		}
+	}
+}
+
+func TestGenerateRespectsPopularity(t *testing.T) {
+	cfg := workload.DefaultConfig()
+	cfg.ZipfExponent = 1.2
+	w, err := workload.Generate(5, 10, cfg, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Generate(w, 400, 3600, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 10)
+	for _, r := range tr.Requests {
+		counts[r.Model]++
+	}
+	// The top-ranked model for user 0 (same ranking for all users under the
+	// global permutation) must be requested more often than the
+	// bottom-ranked one.
+	top := w.UserTopModels(0)
+	if counts[top[0]] <= counts[top[len(top)-1]] {
+		t.Fatalf("popular model requested %d times vs unpopular %d",
+			counts[top[0]], counts[top[len(top)-1]])
+	}
+}
+
+func TestGenerateInvalid(t *testing.T) {
+	w := testWorkload(t, 2, 2)
+	if _, err := Generate(nil, 10, 10, rng.New(5)); err == nil {
+		t.Fatal("nil workload must error")
+	}
+	if _, err := Generate(w, 0, 10, rng.New(5)); err == nil {
+		t.Fatal("zero rate must error")
+	}
+	if _, err := Generate(w, 10, 0, rng.New(5)); err == nil {
+		t.Fatal("zero duration must error")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	w := testWorkload(t, 3, 4)
+	tr, err := Generate(w, 60, 600, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []func(*Trace){
+		func(t *Trace) { t.DurationS = 0 },
+		func(t *Trace) { t.Requests[0].TimeS = -1 },
+		func(t *Trace) { t.Requests[0].TimeS = t.DurationS + 1 },
+		func(t *Trace) { t.Requests[0].User = 3 },
+		func(t *Trace) { t.Requests[0].Model = -1 },
+		func(t *Trace) {
+			if len(t.Requests) > 1 {
+				t.Requests[1].TimeS = 0
+				t.Requests[0].TimeS = t.DurationS / 2
+			}
+		},
+	}
+	for ci, corrupt := range cases {
+		cp := &Trace{DurationS: tr.DurationS, Requests: append([]Request(nil), tr.Requests...)}
+		corrupt(cp)
+		if err := cp.Validate(3, 4); err == nil {
+			t.Fatalf("corruption %d not caught", ci)
+		}
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	w := testWorkload(t, 4, 6)
+	tr, err := Generate(w, 60, 1200, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.DurationS != tr.DurationS || len(back.Requests) != len(tr.Requests) {
+		t.Fatalf("round trip changed shape: %v/%d vs %v/%d",
+			back.DurationS, len(back.Requests), tr.DurationS, len(tr.Requests))
+	}
+	for i := range tr.Requests {
+		if math.Abs(back.Requests[i].TimeS-tr.Requests[i].TimeS) > 1e-12 ||
+			back.Requests[i].User != tr.Requests[i].User ||
+			back.Requests[i].Model != tr.Requests[i].Model {
+			t.Fatalf("request %d changed", i)
+		}
+	}
+}
+
+func TestReadJSONLMalformed(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader("")); err == nil {
+		t.Fatal("empty input must error")
+	}
+	if _, err := ReadJSONL(strings.NewReader(`{"durationS":10,"requests":2}` + "\n" + `{"timeS":1}` + "\n")); err == nil {
+		t.Fatal("truncated input must error")
+	}
+	if _, err := ReadJSONL(strings.NewReader(`{"durationS":10,"requests":-1}` + "\n")); err == nil {
+		t.Fatal("negative count must error")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	w := testWorkload(t, 5, 5)
+	a, err := Generate(w, 30, 600, rng.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(w, 30, 600, rng.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Requests) != len(b.Requests) {
+		t.Fatal("same seed, different lengths")
+	}
+	for i := range a.Requests {
+		if a.Requests[i] != b.Requests[i] {
+			t.Fatal("same seed, different requests")
+		}
+	}
+}

@@ -1,0 +1,169 @@
+// Package workload models user demand (§VII-A of the paper): per-user model
+// request probabilities following a Zipf law over the model library, QoS
+// deadlines on end-to-end latency drawn uniformly from [0.5, 1] s, and
+// on-device inference latencies.
+package workload
+
+import (
+	"fmt"
+
+	"trimcaching/internal/rng"
+)
+
+// Config holds the demand-model parameters.
+type Config struct {
+	// ZipfExponent is the skew s of the request popularity law. The paper
+	// cites Zipf [43] without the exponent; 0.8 is the conventional choice
+	// for content popularity and is documented in EXPERIMENTS.md.
+	ZipfExponent float64 `json:"zipfExponent"`
+	// PerUserPermutation randomizes each user's popularity ranking. When
+	// false every user shares the global rank order.
+	PerUserPermutation bool `json:"perUserPermutation"`
+	// DeadlineMinS/DeadlineMaxS bound the E2E latency QoS T̄_{k,i}
+	// (paper: [0.5, 1] s).
+	DeadlineMinS float64 `json:"deadlineMinS"`
+	DeadlineMaxS float64 `json:"deadlineMaxS"`
+	// InferMinS/InferMaxS bound the on-device inference latency t_{k,i}.
+	// The paper folds inference into the QoS budget without giving the
+	// draw; [0.02, 0.1] s covers mobile CNN/LLM-token inference.
+	InferMinS float64 `json:"inferMinS"`
+	InferMaxS float64 `json:"inferMaxS"`
+}
+
+// DefaultConfig returns the documented §VII-A demand parameters. The Zipf
+// ranking is global (all users share the popularity order): with per-user
+// permutations the aggregate popularity flattens and capacity-sensitivity
+// disappears, contradicting Figs. 4–5; with the global ranking the
+// Independent baseline duplicates the same top models on every server and
+// reproduces the paper's numbers (see EXPERIMENTS.md).
+func DefaultConfig() Config {
+	return Config{
+		ZipfExponent:       0.8,
+		PerUserPermutation: false,
+		DeadlineMinS:       0.5,
+		DeadlineMaxS:       1.0,
+		InferMinS:          0.02,
+		InferMaxS:          0.1,
+	}
+}
+
+// Validate reports the first invalid field, if any.
+func (c Config) Validate() error {
+	if c.ZipfExponent < 0 {
+		return fmt.Errorf("workload: ZipfExponent must be >= 0, got %v", c.ZipfExponent)
+	}
+	if !(c.DeadlineMinS > 0 && c.DeadlineMaxS >= c.DeadlineMinS) {
+		return fmt.Errorf("workload: bad deadline range [%v, %v]", c.DeadlineMinS, c.DeadlineMaxS)
+	}
+	if !(c.InferMinS >= 0 && c.InferMaxS >= c.InferMinS) {
+		return fmt.Errorf("workload: bad inference range [%v, %v]", c.InferMinS, c.InferMaxS)
+	}
+	if c.InferMaxS >= c.DeadlineMinS {
+		return fmt.Errorf("workload: inference max %v must stay below deadline min %v",
+			c.InferMaxS, c.DeadlineMinS)
+	}
+	return nil
+}
+
+// Workload holds the sampled demand of K users over I models.
+type Workload struct {
+	numUsers  int
+	numModels int
+	prob      [][]float64 // p[k][i], each row sums to 1
+	deadlineS [][]float64 // T̄[k][i] in seconds
+	inferS    [][]float64 // t[k][i] in seconds
+}
+
+// Generate samples a workload for numUsers users over numModels models.
+func Generate(numUsers, numModels int, cfg Config, src *rng.Source) (*Workload, error) {
+	if numUsers <= 0 || numModels <= 0 {
+		return nil, fmt.Errorf("workload: need positive users (%d) and models (%d)", numUsers, numModels)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	zipf, err := rng.NewZipf(numModels, cfg.ZipfExponent)
+	if err != nil {
+		return nil, fmt.Errorf("workload: %w", err)
+	}
+	pmf := zipf.PMF()
+
+	w := &Workload{
+		numUsers:  numUsers,
+		numModels: numModels,
+		prob:      make([][]float64, numUsers),
+		deadlineS: make([][]float64, numUsers),
+		inferS:    make([][]float64, numUsers),
+	}
+	// One global popularity permutation decorrelates rank from model index
+	// (and hence from family/size); per-user mode redraws it per user.
+	basePerm := src.Perm(numModels)
+	for k := 0; k < numUsers; k++ {
+		row := make([]float64, numModels)
+		perm := basePerm
+		if cfg.PerUserPermutation {
+			perm = src.Perm(numModels)
+		}
+		for rank, i := range perm {
+			row[i] = pmf[rank]
+		}
+		w.prob[k] = row
+		dl := make([]float64, numModels)
+		inf := make([]float64, numModels)
+		for i := 0; i < numModels; i++ {
+			dl[i] = src.Uniform(cfg.DeadlineMinS, cfg.DeadlineMaxS)
+			inf[i] = src.Uniform(cfg.InferMinS, cfg.InferMaxS)
+		}
+		w.deadlineS[k] = dl
+		w.inferS[k] = inf
+	}
+	return w, nil
+}
+
+// NumUsers returns K.
+func (w *Workload) NumUsers() int { return w.numUsers }
+
+// NumModels returns I.
+func (w *Workload) NumModels() int { return w.numModels }
+
+// Prob returns p_{k,i}, user k's request probability for model i.
+func (w *Workload) Prob(k, i int) float64 { return w.prob[k][i] }
+
+// DeadlineS returns T̄_{k,i}, the E2E latency QoS in seconds.
+func (w *Workload) DeadlineS(k, i int) float64 { return w.deadlineS[k][i] }
+
+// InferS returns t_{k,i}, the on-device inference latency in seconds.
+func (w *Workload) InferS(k, i int) float64 { return w.inferS[k][i] }
+
+// TotalMass returns Σ_{k,i} p_{k,i}, the normalizer of eq. (2).
+func (w *Workload) TotalMass() float64 {
+	var total float64
+	for k := range w.prob {
+		for _, p := range w.prob[k] {
+			total += p
+		}
+	}
+	return total
+}
+
+// UserTopModels returns user k's model indexes sorted by decreasing request
+// probability (used by the serving simulator and examples for reporting).
+func (w *Workload) UserTopModels(k int) []int {
+	idx := make([]int, w.numModels)
+	for i := range idx {
+		idx[i] = i
+	}
+	row := w.prob[k]
+	// Insertion sort by descending probability: numModels is small (≤ a few
+	// hundred) and this avoids importing sort for a custom comparator.
+	for a := 1; a < len(idx); a++ {
+		v := idx[a]
+		b := a - 1
+		for b >= 0 && row[idx[b]] < row[v] {
+			idx[b+1] = idx[b]
+			b--
+		}
+		idx[b+1] = v
+	}
+	return idx
+}

@@ -1,0 +1,248 @@
+// Package trimcaching is the public API of the TrimCaching reproduction:
+// parameter-sharing AI model caching in wireless edge networks (ICDCS 2024).
+//
+// AI models fine-tuned from shared backbones (layer freezing, LoRA) share
+// parameter blocks; an edge server caching several such models only needs
+// each shared block once. TrimCaching places models on edge servers to
+// maximize the cache hit ratio — the fraction of model-download requests
+// served within their latency QoS — under per-server storage budgets that
+// account for this deduplication.
+//
+// Typical flow:
+//
+//	lib, _ := trimcaching.NewSpecialLibrary(10, 1)      // 30 ResNet models
+//	sc, _ := trimcaching.BuildScenario(lib, trimcaching.DefaultScenarioConfig(), 1)
+//	p, _, _ := sc.Place("spec")                          // TrimCaching Spec
+//	hr, _ := sc.HitRatio(p)                              // eq. (2)
+//	faded, _ := sc.HitRatioUnderFading(p, 1000, 7)       // §VII-A evaluation
+//
+// The internal packages hold the substrates (wireless channel, topology,
+// workload, placement algorithms, Monte-Carlo harness); this package wires
+// them together behind a small, stable surface. The experiment drivers that
+// regenerate every figure of the paper live in internal/experiments and are
+// exposed through cmd/trimcaching.
+package trimcaching
+
+import (
+	"fmt"
+	"time"
+
+	"trimcaching/internal/cachesim"
+	"trimcaching/internal/libgen"
+	"trimcaching/internal/modellib"
+	"trimcaching/internal/placement"
+	"trimcaching/internal/rng"
+	"trimcaching/internal/scenario"
+	"trimcaching/internal/sim"
+	"trimcaching/internal/topology"
+	"trimcaching/internal/wireless"
+	"trimcaching/internal/workload"
+)
+
+// Re-exported core types. The underlying packages document the details.
+type (
+	// Library is a parameter-sharing model library (§III-B).
+	Library = modellib.Library
+	// Placement is a model placement decision X (§IV).
+	Placement = placement.Placement
+	// Algorithm is a named placement solver.
+	Algorithm = placement.Algorithm
+	// ServeConfig parameterizes the request-level serving simulator.
+	ServeConfig = cachesim.Config
+	// ServeResult summarizes a serving run.
+	ServeResult = cachesim.Result
+)
+
+// NewSpecialLibrary builds the paper's special-case library: ResNet-18/34/50
+// backbones, modelsPerFamily fine-tuned downstream models each, with frozen
+// bottom layers as shared blocks (§VII-A).
+func NewSpecialLibrary(modelsPerFamily int, seed uint64) (*Library, error) {
+	return libgen.GenerateSpecial(libgen.DefaultSpecialConfig(modelsPerFamily), rng.New(seed))
+}
+
+// NewGeneralLibrary builds the paper's general-case library via two-round
+// fine-tuning per Table I (§VII-A), then samples it down to numModels.
+func NewGeneralLibrary(numModels int, seed uint64) (*Library, error) {
+	pool, err := libgen.GenerateGeneral(libgen.DefaultGeneralConfig(), rng.New(seed))
+	if err != nil {
+		return nil, err
+	}
+	return libgen.TakeStratified(pool, numModels, rng.New(seed).Split("take"))
+}
+
+// NewLoRALibrary builds an LLM-style library: one foundation model shared by
+// numAdapters LoRA-tuned downstream models (the >99% sharing regime of §I).
+func NewLoRALibrary(numAdapters int) (*Library, error) {
+	return libgen.GenerateLoRA(libgen.DefaultLoRAConfig(numAdapters))
+}
+
+// ScenarioConfig describes a wireless edge deployment to sample.
+type ScenarioConfig struct {
+	// Servers is M, the number of edge servers.
+	Servers int
+	// Users is K, the number of users.
+	Users int
+	// AreaSideM is the square deployment area side in metres.
+	AreaSideM float64
+	// CapacityBytes is the per-server storage budget Q.
+	CapacityBytes int64
+	// ZipfExponent skews request popularity.
+	ZipfExponent float64
+	// PerUserPopularity gives every user an independent popularity ranking
+	// instead of the shared global one.
+	PerUserPopularity bool
+	// BackhaulBps is the effective edge-to-edge transfer rate for relayed
+	// downloads (eq. 5).
+	BackhaulBps float64
+	// DeadlineMinS/DeadlineMaxS bound the per-request E2E latency QoS
+	// (0 keeps the paper's [0.5, 1] s CNN regime; LLM downloads need
+	// minutes).
+	DeadlineMinS float64
+	DeadlineMaxS float64
+	// InferMinS/InferMaxS bound the on-device inference latency
+	// (0 keeps the defaults).
+	InferMinS float64
+	InferMaxS float64
+}
+
+// DefaultScenarioConfig mirrors the paper's main setting: M = 10, K = 30,
+// 1 km² area, Q = 1 GB, Zipf 0.8, 1 Gb/s effective backhaul.
+func DefaultScenarioConfig() ScenarioConfig {
+	return ScenarioConfig{
+		Servers:       10,
+		Users:         30,
+		AreaSideM:     1000,
+		CapacityBytes: 1_000_000_000,
+		ZipfExponent:  0.8,
+		BackhaulBps:   1e9,
+	}
+}
+
+// Scenario is a sampled problem instance plus its evaluator and storage
+// budget — everything needed to place and evaluate.
+type Scenario struct {
+	instance  *scenario.Instance
+	evaluator *placement.Evaluator
+	caps      []int64
+}
+
+// BuildScenario samples a topology and workload for the library and wires up
+// the evaluator. Deterministic in seed.
+func BuildScenario(lib *Library, cfg ScenarioConfig, seed uint64) (*Scenario, error) {
+	if lib == nil {
+		return nil, fmt.Errorf("trimcaching: library is required")
+	}
+	if cfg.CapacityBytes < 0 {
+		return nil, fmt.Errorf("trimcaching: negative capacity %d", cfg.CapacityBytes)
+	}
+	w := wireless.DefaultConfig()
+	if cfg.BackhaulBps > 0 {
+		w.BackhaulBps = cfg.BackhaulBps
+	}
+	wl := workload.DefaultConfig()
+	if cfg.ZipfExponent > 0 {
+		wl.ZipfExponent = cfg.ZipfExponent
+	}
+	wl.PerUserPermutation = cfg.PerUserPopularity
+	if cfg.DeadlineMinS > 0 {
+		wl.DeadlineMinS = cfg.DeadlineMinS
+	}
+	if cfg.DeadlineMaxS > 0 {
+		wl.DeadlineMaxS = cfg.DeadlineMaxS
+	}
+	if cfg.InferMinS > 0 {
+		wl.InferMinS = cfg.InferMinS
+	}
+	if cfg.InferMaxS > 0 {
+		wl.InferMaxS = cfg.InferMaxS
+	}
+	gen := scenario.GenConfig{
+		Topology: topology.Config{
+			AreaSideM:       cfg.AreaSideM,
+			NumServers:      cfg.Servers,
+			NumUsers:        cfg.Users,
+			CoverageRadiusM: w.CoverageRadiusM,
+		},
+		Wireless: w,
+		Workload: wl,
+	}
+	ins, err := scenario.Generate(lib, gen, rng.New(seed))
+	if err != nil {
+		return nil, fmt.Errorf("trimcaching: %w", err)
+	}
+	eval, err := placement.NewEvaluator(ins)
+	if err != nil {
+		return nil, fmt.Errorf("trimcaching: %w", err)
+	}
+	return &Scenario{
+		instance:  ins,
+		evaluator: eval,
+		caps:      placement.UniformCapacities(ins.NumServers(), cfg.CapacityBytes),
+	}, nil
+}
+
+// Place runs the named algorithm ("spec", "gen", "gen-naive", "independent",
+// "popularity", or "optimal") and returns the placement and wall time.
+func (s *Scenario) Place(algorithm string) (*Placement, time.Duration, error) {
+	alg, err := placement.ByName(algorithm)
+	if err != nil {
+		return nil, 0, fmt.Errorf("trimcaching: %w", err)
+	}
+	return s.PlaceWith(alg)
+}
+
+// PlaceWith runs the given algorithm and returns the placement and wall
+// time. The placement is validated against the storage budget.
+func (s *Scenario) PlaceWith(alg Algorithm) (*Placement, time.Duration, error) {
+	start := time.Now()
+	p, err := alg.Place(s.evaluator, s.caps)
+	elapsed := time.Since(start)
+	if err != nil {
+		return nil, elapsed, fmt.Errorf("trimcaching: %s: %w", alg.Name(), err)
+	}
+	if err := s.evaluator.CheckFeasible(p, s.caps); err != nil {
+		return nil, elapsed, fmt.Errorf("trimcaching: %s produced infeasible placement: %w", alg.Name(), err)
+	}
+	return p, elapsed, nil
+}
+
+// HitRatio evaluates U(X) (eq. 2) under average channel gains.
+func (s *Scenario) HitRatio(p *Placement) (float64, error) {
+	return s.evaluator.HitRatio(p)
+}
+
+// HitRatioUnderFading evaluates the expected hit ratio over Rayleigh fading
+// realizations, the paper's evaluation protocol (§VII-A).
+func (s *Scenario) HitRatioUnderFading(p *Placement, realizations int, seed uint64) (float64, error) {
+	hits, err := sim.EvaluateUnderFading(s.evaluator, []*placement.Placement{p}, realizations, rng.New(seed))
+	if err != nil {
+		return 0, fmt.Errorf("trimcaching: %w", err)
+	}
+	return hits[0], nil
+}
+
+// ServerStorage returns the deduplicated bytes server m needs under p.
+func (s *Scenario) ServerStorage(p *Placement, m int) (int64, error) {
+	return s.evaluator.ServerStorage(p, m)
+}
+
+// Serve replays a Poisson request trace against the placement and reports
+// hit ratios and latency percentiles (extension beyond the paper).
+func (s *Scenario) Serve(p *Placement, cfg ServeConfig, seed uint64) (ServeResult, error) {
+	return cachesim.Serve(s.instance, p, cfg, rng.New(seed))
+}
+
+// DefaultServeConfig returns the serving simulator defaults.
+func DefaultServeConfig() ServeConfig { return cachesim.DefaultConfig() }
+
+// Servers returns M.
+func (s *Scenario) Servers() int { return s.instance.NumServers() }
+
+// Users returns K.
+func (s *Scenario) Users() int { return s.instance.NumUsers() }
+
+// Models returns I.
+func (s *Scenario) Models() int { return s.instance.NumModels() }
+
+// AlgorithmByName resolves a placement algorithm by its short name.
+func AlgorithmByName(name string) (Algorithm, error) { return placement.ByName(name) }

@@ -1,0 +1,165 @@
+package trimcaching
+
+import (
+	"testing"
+)
+
+func TestQuickFlow(t *testing.T) {
+	lib, err := NewSpecialLibrary(5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lib.NumModels() != 15 {
+		t.Fatalf("models = %d", lib.NumModels())
+	}
+	sc, err := BuildScenario(lib, DefaultScenarioConfig(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Servers() != 10 || sc.Users() != 30 || sc.Models() != 15 {
+		t.Fatalf("dims %d/%d/%d", sc.Servers(), sc.Users(), sc.Models())
+	}
+	for _, alg := range []string{"spec", "gen", "independent", "popularity"} {
+		p, elapsed, err := sc.Place(alg)
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if elapsed < 0 {
+			t.Fatalf("%s: negative time", alg)
+		}
+		hr, err := sc.HitRatio(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hr <= 0 || hr > 1 {
+			t.Fatalf("%s: hit ratio %v", alg, hr)
+		}
+		faded, err := sc.HitRatioUnderFading(p, 50, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if faded <= 0 || faded > 1 {
+			t.Fatalf("%s: faded hit ratio %v", alg, faded)
+		}
+		used, err := sc.ServerStorage(p, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if used < 0 || used > DefaultScenarioConfig().CapacityBytes {
+			t.Fatalf("%s: storage %d", alg, used)
+		}
+	}
+}
+
+func TestPlaceUnknownAlgorithm(t *testing.T) {
+	lib, err := NewSpecialLibrary(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := BuildScenario(lib, DefaultScenarioConfig(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sc.Place("nope"); err == nil {
+		t.Fatal("unknown algorithm must error")
+	}
+}
+
+func TestBuildScenarioValidation(t *testing.T) {
+	if _, err := BuildScenario(nil, DefaultScenarioConfig(), 1); err == nil {
+		t.Fatal("nil library must error")
+	}
+	lib, err := NewSpecialLibrary(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultScenarioConfig()
+	bad.Servers = 0
+	if _, err := BuildScenario(lib, bad, 1); err == nil {
+		t.Fatal("zero servers must error")
+	}
+	bad = DefaultScenarioConfig()
+	bad.CapacityBytes = -5
+	if _, err := BuildScenario(lib, bad, 1); err == nil {
+		t.Fatal("negative capacity must error")
+	}
+}
+
+func TestGeneralAndLoRALibraries(t *testing.T) {
+	gen, err := NewGeneralLibrary(27, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen.NumModels() != 27 {
+		t.Fatalf("general models = %d", gen.NumModels())
+	}
+	lora, err := NewLoRALibrary(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lora.NumModels() != 40 {
+		t.Fatalf("lora models = %d", lora.NumModels())
+	}
+	if lora.Stats().SharingRatio > 0.1 {
+		t.Fatalf("lora sharing ratio %v", lora.Stats().SharingRatio)
+	}
+}
+
+func TestServeFlow(t *testing.T) {
+	lib, err := NewSpecialLibrary(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := BuildScenario(lib, DefaultScenarioConfig(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _, err := sc.Place("gen")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sc.Serve(p, DefaultServeConfig(), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests == 0 {
+		t.Fatal("no requests served")
+	}
+	if res.HitRatio <= 0 {
+		t.Fatalf("serving hit ratio %v", res.HitRatio)
+	}
+}
+
+func TestDeterministicAcrossCalls(t *testing.T) {
+	lib, err := NewSpecialLibrary(3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := BuildScenario(lib, DefaultScenarioConfig(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildScenario(lib, DefaultScenarioConfig(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, _, err := a.Place("gen")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, _, err := b.Place("gen")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ha, err := a.HitRatio(pa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := b.HitRatio(pb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ha != hb {
+		t.Fatalf("same seed, different hit ratios: %v vs %v", ha, hb)
+	}
+}
