@@ -15,6 +15,9 @@ import (
 	"trimcaching/internal/rng"
 	"trimcaching/internal/scenario"
 	"trimcaching/internal/sim"
+	"trimcaching/internal/topology"
+	"trimcaching/internal/wireless"
+	"trimcaching/internal/workload"
 )
 
 // benchOptions keeps per-iteration cost low while exercising the full
@@ -174,6 +177,42 @@ func BenchmarkServe(b *testing.B) {
 	b.ResetTimer()
 	for n := 0; n < b.N; n++ {
 		if _, err := sc.Serve(p, cfg, uint64(n)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// loraTrialConfig is the §I LoRA regime at large-library scale:
+// M=10, K=300, I=1000.
+func loraTrialConfig(b *testing.B) sim.TrialConfig {
+	b.Helper()
+	lib, err := NewLoRALibrary(1000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := wireless.DefaultConfig()
+	return sim.TrialConfig{
+		Library: lib,
+		Scenario: scenario.GenConfig{
+			Topology: topology.Config{AreaSideM: 1000, NumServers: 10, NumUsers: 300, CoverageRadiusM: w.CoverageRadiusM},
+			Wireless: w,
+			Workload: workload.DefaultConfig(),
+		},
+		CapacityBytes: 8 << 30,
+		Algorithms:    []placement.Algorithm{placement.GenAlgorithm{Options: placement.GenOptions{Lazy: true}}},
+		Topologies:    2,
+		Realizations:  50,
+		Seed:          1,
+	}
+}
+
+// BenchmarkSimRunLoRA drives the full Monte-Carlo harness (generate →
+// place → evaluate under fading) at LoRA scale end-to-end.
+func BenchmarkSimRunLoRA(b *testing.B) {
+	cfg := loraTrialConfig(b)
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		if _, err := sim.Run(cfg); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,3 @@
+module trimcaching
+
+go 1.24

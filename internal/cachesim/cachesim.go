@@ -207,11 +207,10 @@ func serveOne(ins *scenario.Instance, p *placement.Placement, cfg Config, k, i i
 	if bestAny <= 0 {
 		return RouteFailed, 0
 	}
-	// Any non-covering server caching the model can relay it.
-	for m := 0; m < ins.NumServers(); m++ {
-		if p.Has(m, i) {
-			return RouteRelay, sizeBits/wcfg.BackhaulBps + sizeBits/bestAny + infer
-		}
+	// Any server caching the model can relay it: one word test on the
+	// placement's server column instead of an M-loop.
+	if p.Servers(i).Any() {
+		return RouteRelay, sizeBits/wcfg.BackhaulBps + sizeBits/bestAny + infer
 	}
 	return RouteCloud, sizeBits/cfg.CloudRateBps + sizeBits/bestAny + infer
 }

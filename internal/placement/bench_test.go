@@ -3,7 +3,12 @@ package placement
 import (
 	"testing"
 
+	"trimcaching/internal/libgen"
 	"trimcaching/internal/rng"
+	"trimcaching/internal/scenario"
+	"trimcaching/internal/topology"
+	"trimcaching/internal/wireless"
+	"trimcaching/internal/workload"
 )
 
 // Micro-benchmarks for the algorithmic kernels of the paper. The
@@ -127,6 +132,143 @@ func BenchmarkRefinePass(b *testing.B) {
 	b.ResetTimer()
 	for n := 0; n < b.N; n++ {
 		if _, err := Refine(e, caps, base, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// buildLoRAEval constructs the LoRA-regime evaluator of §I: one shared
+// foundation model, I adapters, K users — the scale the bitset engine
+// targets (K=300, I=1000 by default in BenchmarkLoRA*).
+func buildLoRAEval(b *testing.B, servers, users, adapters int, seed uint64) *Evaluator {
+	b.Helper()
+	lib, err := libgen.GenerateLoRA(libgen.DefaultLoRAConfig(adapters))
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := wireless.DefaultConfig()
+	cfg := scenario.GenConfig{
+		Topology: topology.Config{AreaSideM: 1000, NumServers: servers, NumUsers: users, CoverageRadiusM: w.CoverageRadiusM},
+		Wireless: w,
+		Workload: workload.DefaultConfig(),
+	}
+	ins, err := scenario.Generate(lib, cfg, rng.New(seed))
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := NewEvaluator(ins)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return e
+}
+
+// benchReachAndPlacement prepares one fading realization and a greedy
+// placement for the HitRatioWithReach benchmarks.
+func benchReachAndPlacement(b *testing.B, e *Evaluator) (*scenario.Reach, *Placement) {
+	b.Helper()
+	ins := e.Instance()
+	gains := scenario.SampleGains(ins.NumServers(), ins.NumUsers(), rng.New(7))
+	reach, err := ins.FadedReach(gains, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := TrimCachingGen(e, UniformCapacities(ins.NumServers(), gb/2), GenOptions{Lazy: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return reach, p
+}
+
+// denseHitRatioWithReach is the pre-refactor evaluator verbatim: []bool
+// bitmaps for reachability and placement, scanning every server per
+// (user, model) request. It exists so the benchmarks quantify the bitset
+// engine's speedup against the exact representation it replaced.
+func denseHitRatioWithReach(e *Evaluator, cached, reach []bool) float64 {
+	ins := e.Instance()
+	M, K, I := ins.NumServers(), ins.NumUsers(), ins.NumModels()
+	var hit float64
+	for k := 0; k < K; k++ {
+		for i := 0; i < I; i++ {
+			for m := 0; m < M; m++ {
+				if cached[m*I+i] && reach[(m*K+k)*I+i] {
+					hit += ins.Prob(k, i)
+					break
+				}
+			}
+		}
+	}
+	return hit / ins.TotalMass()
+}
+
+// unpack materializes the pre-refactor []bool layouts from the packed ones.
+func unpack(e *Evaluator, p *Placement, reach *scenario.Reach) (cached, dense []bool) {
+	ins := e.Instance()
+	M, K, I := ins.NumServers(), ins.NumUsers(), ins.NumModels()
+	cached = make([]bool, M*I)
+	dense = make([]bool, M*K*I)
+	for m := 0; m < M; m++ {
+		for i := 0; i < I; i++ {
+			cached[m*I+i] = p.Has(m, i)
+			for k := 0; k < K; k++ {
+				dense[(m*K+k)*I+i] = reach.Has(m, k, i)
+			}
+		}
+	}
+	return cached, dense
+}
+
+func benchHitRatioWithReach(b *testing.B, e *Evaluator, dense bool) {
+	b.Helper()
+	reach, p := benchReachAndPlacement(b, e)
+	want, err := e.HitRatioWithReach(p, reach)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cachedBools, reachBools := unpack(e, p, reach)
+	if got := denseHitRatioWithReach(e, cachedBools, reachBools); got != want {
+		b.Fatalf("dense reference %v != packed %v", got, want)
+	}
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		if dense {
+			_ = denseHitRatioWithReach(e, cachedBools, reachBools)
+		} else {
+			if _, err := e.HitRatioWithReach(p, reach); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// Paper scale: M=10, K=30, I=30.
+func BenchmarkHitRatioWithReach(b *testing.B)      { benchHitRatioWithReach(b, benchEval(b), false) }
+func BenchmarkHitRatioWithReachDense(b *testing.B) { benchHitRatioWithReach(b, benchEval(b), true) }
+
+// Paper's general-case scale: M=10, K=30, I=90.
+func BenchmarkHitRatioWithReach90(b *testing.B) {
+	benchHitRatioWithReach(b, buildEval(b, 10, 30, 30, 999), false)
+}
+
+func BenchmarkHitRatioWithReach90Dense(b *testing.B) {
+	benchHitRatioWithReach(b, buildEval(b, 10, 30, 30, 999), true)
+}
+
+// LoRA scale: M=10, K=300, I=1000.
+func BenchmarkHitRatioWithReachLoRA(b *testing.B) {
+	benchHitRatioWithReach(b, buildLoRAEval(b, 10, 300, 1000, 5), false)
+}
+
+func BenchmarkHitRatioWithReachLoRADense(b *testing.B) {
+	benchHitRatioWithReach(b, buildLoRAEval(b, 10, 300, 1000, 5), true)
+}
+
+func BenchmarkGenLoRA(b *testing.B) {
+	e := buildLoRAEval(b, 10, 300, 1000, 5)
+	caps := UniformCapacities(10, 8*gb)
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		if _, err := TrimCachingGen(e, caps, GenOptions{Lazy: true}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -70,28 +70,19 @@ func Exhaustive(e *Evaluator, capacities []int64, opts ExhaustiveOptions) (*Plac
 	}
 
 	// val[i][serverSet] = request mass served for model i when exactly the
-	// servers in serverSet cache it.
+	// servers in serverSet cache it. With M ≤ 16 every server mask is a
+	// single word, so "served by rest" is one AND against the candidate set.
 	val := make([][]float64, I)
 	for i := 0; i < I; i++ {
 		val[i] = make([]float64, 1<<M)
 		for set := 1; set < 1<<M; set++ {
 			low := set & (-set)
-			m := bitIndex(uint32(low))
 			rest := set ^ low
 			// Inclusion: served by rest, plus newly served by m alone.
 			var extra float64
 			for k := 0; k < K; k++ {
-				if !ins.Reachable(m, k, i) {
-					continue
-				}
-				servedByRest := false
-				for mm := 0; mm < M; mm++ {
-					if rest&(1<<mm) != 0 && ins.Reachable(mm, k, i) {
-						servedByRest = true
-						break
-					}
-				}
-				if !servedByRest {
+				sm := ins.ServerMask(k, i)[0]
+				if sm&uint64(low) != 0 && sm&uint64(rest) == 0 {
 					extra += ins.Prob(k, i)
 				}
 			}
@@ -143,14 +134,4 @@ func Exhaustive(e *Evaluator, capacities []int64, opts ExhaustiveOptions) (*Plac
 		}
 	}
 	return placed, nil
-}
-
-// bitIndex returns the index of the single set bit in v.
-func bitIndex(v uint32) int {
-	n := 0
-	for v > 1 {
-		v >>= 1
-		n++
-	}
-	return n
 }

@@ -3,18 +3,25 @@ package placement
 import (
 	"container/heap"
 	"fmt"
+
+	"trimcaching/internal/bitset"
 )
 
 // greedyState tracks the incremental quantities shared by the greedy
 // algorithms: request coverage, per-server cached blocks, and storage use.
+// Coverage and block bookkeeping are word-packed: a marginal gain is one
+// AND-NOT sweep over a user mask (the instance's inverted index
+// model → reachable users per server) instead of a K-element rescan.
 type greedyState struct {
-	e       *Evaluator
-	caps    []int64
-	dedup   bool // true: parameter-sharing storage (eq. 7); false: independent caching
-	placed  *Placement
-	covered []bool   // covered[k*I+i]: request already servable within QoS
-	blockOn [][]bool // blockOn[m][j]: server m caches block j (dedup mode)
-	used    []int64  // used[m]: bytes cached on server m
+	e          *Evaluator
+	caps       []int64
+	dedup      bool // true: parameter-sharing storage (eq. 7); false: independent caching
+	placed     *Placement
+	userWords  int
+	covered    []uint64 // covered[i*userWords+w], bit k: request (k,i) already servable
+	blockWords int
+	blockOn    []uint64 // blockOn[m*blockWords+w], bit j: server m caches block j (dedup mode)
+	used       []int64  // used[m]: bytes cached on server m
 }
 
 func newGreedyState(e *Evaluator, caps []int64, dedup bool) (*greedyState, error) {
@@ -28,20 +35,30 @@ func newGreedyState(e *Evaluator, caps []int64, dedup bool) (*greedyState, error
 		}
 	}
 	s := &greedyState{
-		e:       e,
-		caps:    caps,
-		dedup:   dedup,
-		placed:  NewPlacement(ins.NumServers(), ins.NumModels()),
-		covered: make([]bool, ins.NumUsers()*ins.NumModels()),
-		used:    make([]int64, ins.NumServers()),
+		e:         e,
+		caps:      caps,
+		dedup:     dedup,
+		placed:    NewPlacement(ins.NumServers(), ins.NumModels()),
+		userWords: ins.UserMaskWords(),
+		used:      make([]int64, ins.NumServers()),
 	}
+	s.covered = make([]uint64, ins.NumModels()*s.userWords)
 	if dedup {
-		s.blockOn = make([][]bool, ins.NumServers())
-		for m := range s.blockOn {
-			s.blockOn[m] = make([]bool, ins.Library().NumBlocks())
-		}
+		s.blockWords = bitset.Words(ins.Library().NumBlocks())
+		s.blockOn = make([]uint64, ins.NumServers()*s.blockWords)
 	}
 	return s, nil
+}
+
+// coveredMask returns the packed set of users whose request for model i is
+// already servable within QoS.
+func (s *greedyState) coveredMask(i int) bitset.Set {
+	return bitset.Set(s.covered[i*s.userWords : (i+1)*s.userWords])
+}
+
+// blockMask returns the packed set of blocks cached on server m.
+func (s *greedyState) blockMask(m int) bitset.Set {
+	return bitset.Set(s.blockOn[m*s.blockWords : (m+1)*s.blockWords])
 }
 
 // gain returns the marginal cache-hit mass of adding x_{m,i}:
@@ -50,15 +67,7 @@ func (s *greedyState) gain(m, i int) float64 {
 	if s.placed.Has(m, i) {
 		return 0
 	}
-	ins := s.e.Instance()
-	I := ins.NumModels()
-	var g float64
-	for k := 0; k < ins.NumUsers(); k++ {
-		if !s.covered[k*I+i] && ins.Reachable(m, k, i) {
-			g += ins.Prob(k, i)
-		}
-	}
-	return g
+	return s.e.maskMass(i, s.e.Instance().UserMask(m, i), s.coveredMask(i))
 }
 
 // cost returns the incremental storage of adding model i to server m:
@@ -68,9 +77,10 @@ func (s *greedyState) cost(m, i int) int64 {
 	if !s.dedup {
 		return lib.ModelSize(i)
 	}
+	on := s.blockMask(m)
 	var c int64
 	for _, j := range lib.ModelBlocks(i) {
-		if !s.blockOn[m][j] {
+		if !on.Has(j) {
 			c += lib.BlockSize(j)
 		}
 	}
@@ -87,17 +97,13 @@ func (s *greedyState) commit(m, i int) {
 	ins := s.e.Instance()
 	s.used[m] += s.cost(m, i)
 	if s.dedup {
+		on := s.blockMask(m)
 		for _, j := range ins.Library().ModelBlocks(i) {
-			s.blockOn[m][j] = true
+			on.Set(j)
 		}
 	}
 	s.placed.Set(m, i)
-	I := ins.NumModels()
-	for k := 0; k < ins.NumUsers(); k++ {
-		if ins.Reachable(m, k, i) {
-			s.covered[k*I+i] = true
-		}
-	}
+	s.coveredMask(i).Or(ins.UserMask(m, i))
 }
 
 // gainTolerance treats marginal gains at or below this value as zero:

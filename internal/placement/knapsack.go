@@ -3,6 +3,8 @@ package placement
 import (
 	"math"
 	"sort"
+
+	"trimcaching/internal/bitset"
 )
 
 // knapsackItem is one model in the per-combination sub-problem of Algorithm
@@ -21,24 +23,25 @@ type knapsackItem struct {
 const maxDPWidth = 1 << 17
 
 // dpScratch holds reusable DP buffers so the per-combination solves of
-// Algorithm 2 do not reallocate megabytes per combo.
+// Algorithm 2 do not reallocate megabytes per combo. The take flags are
+// word-packed: one bit per (item, value) cell shrinks the scratch 8× and
+// makes the per-combo clear a word fill.
 type dpScratch struct {
 	weights []int64
-	take    []bool
+	take    bitset.Set
 }
 
-func (s *dpScratch) resize(n, width int) (T []int64, take []bool) {
+func (s *dpScratch) resize(n, width int) (T []int64, take bitset.Set) {
 	if cap(s.weights) < width+1 {
 		s.weights = make([]int64, width+1)
 	}
-	if cap(s.take) < n*(width+1) {
-		s.take = make([]bool, n*(width+1))
+	words := bitset.Words(n * (width + 1))
+	if cap(s.take) < words {
+		s.take = make(bitset.Set, words)
 	}
 	T = s.weights[:width+1]
-	take = s.take[:n*(width+1)]
-	for i := range take {
-		take[i] = false
-	}
+	take = s.take[:words]
+	take.Zero()
 	return T, take
 }
 
@@ -140,7 +143,7 @@ func roundingDP(items []knapsackItem, capacity int64, epsilon float64, scratch *
 			}
 			if cand := T[w-q] + it.weight; cand < T[w] {
 				T[w] = cand
-				take[idx*(width+1)+w] = true
+				take.Set(idx*(width+1) + w)
 			}
 		}
 		reach = hi
@@ -162,7 +165,7 @@ func roundingDP(items []knapsackItem, capacity int64, epsilon float64, scratch *
 	var trueValue float64
 	w := best
 	for idx := len(items) - 1; idx >= 0 && w > 0; idx-- {
-		if take[idx*(width+1)+w] {
+		if take.Has(idx*(width+1) + w) {
 			ids = append(ids, items[idx].id)
 			trueValue += items[idx].value
 			w -= quant[idx]

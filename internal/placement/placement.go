@@ -15,24 +15,36 @@ package placement
 
 import (
 	"fmt"
+	mbits "math/bits"
 
+	"trimcaching/internal/bitset"
 	"trimcaching/internal/scenario"
 )
 
 // Placement is a model placement decision X: which models each edge server
-// caches.
+// caches. It is stored word-packed in both orientations: per-server model
+// rows (driving storage accounting and enumeration) and per-model server
+// columns (driving the evaluator, where "is request (k,i) served" is a
+// single AND between a column and the instance's server mask).
 type Placement struct {
-	numServers int
-	numModels  int
-	cached     []bool // cached[m*numModels+i] = x_{m,i}
+	numServers  int
+	numModels   int
+	modelWords  int
+	serverWords int
+	rows        []uint64 // rows[m*modelWords+w], bit i = x_{m,i}
+	cols        []uint64 // cols[i*serverWords+w], bit m = x_{m,i}
 }
 
 // NewPlacement returns an empty placement for M servers and I models.
 func NewPlacement(numServers, numModels int) *Placement {
+	mw, sw := bitset.Words(numModels), bitset.Words(numServers)
 	return &Placement{
-		numServers: numServers,
-		numModels:  numModels,
-		cached:     make([]bool, numServers*numModels),
+		numServers:  numServers,
+		numModels:   numModels,
+		modelWords:  mw,
+		serverWords: sw,
+		rows:        make([]uint64, numServers*mw),
+		cols:        make([]uint64, numModels*sw),
 	}
 }
 
@@ -42,33 +54,45 @@ func (p *Placement) NumServers() int { return p.numServers }
 // NumModels returns I.
 func (p *Placement) NumModels() int { return p.numModels }
 
+// Models returns the packed set of models cached on server m. The slice
+// aliases internal state; callers must treat it as read-only.
+func (p *Placement) Models(m int) bitset.Set {
+	return bitset.Set(p.rows[m*p.modelWords : (m+1)*p.modelWords])
+}
+
+// Servers returns the packed set of servers caching model i. The slice
+// aliases internal state; callers must treat it as read-only.
+func (p *Placement) Servers(i int) bitset.Set {
+	return bitset.Set(p.cols[i*p.serverWords : (i+1)*p.serverWords])
+}
+
 // Has reports x_{m,i}.
-func (p *Placement) Has(m, i int) bool { return p.cached[m*p.numModels+i] }
+func (p *Placement) Has(m, i int) bool { return p.Models(m).Has(i) }
 
 // Set sets x_{m,i} = 1.
-func (p *Placement) Set(m, i int) { p.cached[m*p.numModels+i] = true }
+func (p *Placement) Set(m, i int) {
+	p.Models(m).Set(i)
+	p.Servers(i).Set(m)
+}
 
 // Unset sets x_{m,i} = 0.
-func (p *Placement) Unset(m, i int) { p.cached[m*p.numModels+i] = false }
+func (p *Placement) Unset(m, i int) {
+	p.Models(m).Clear(i)
+	p.Servers(i).Clear(m)
+}
 
 // ModelsOn returns the models cached on server m, ascending.
 func (p *Placement) ModelsOn(m int) []int {
 	var out []int
-	for i := 0; i < p.numModels; i++ {
-		if p.cached[m*p.numModels+i] {
-			out = append(out, i)
-		}
-	}
+	p.Models(m).ForEach(func(i int) { out = append(out, i) })
 	return out
 }
 
 // CountPlacements returns the number of (m,i) placements.
 func (p *Placement) CountPlacements() int {
 	var n int
-	for _, v := range p.cached {
-		if v {
-			n++
-		}
+	for m := 0; m < p.numServers; m++ {
+		n += p.Models(m).Count()
 	}
 	return n
 }
@@ -76,13 +100,18 @@ func (p *Placement) CountPlacements() int {
 // Clone deep-copies the placement.
 func (p *Placement) Clone() *Placement {
 	out := NewPlacement(p.numServers, p.numModels)
-	copy(out.cached, p.cached)
+	copy(out.rows, p.rows)
+	copy(out.cols, p.cols)
 	return out
 }
 
 // Evaluator binds a problem instance and evaluates placements against it.
+// It precomputes the model-major probability table the bitset kernels
+// consume, so the greedy algorithms can sum request mass along a user mask
+// without striding through the user-major workload layout.
 type Evaluator struct {
-	ins *scenario.Instance
+	ins   *scenario.Instance
+	probT []float64 // probT[i*K+k] = p_{k,i}
 }
 
 // NewEvaluator returns an evaluator for the instance.
@@ -90,7 +119,33 @@ func NewEvaluator(ins *scenario.Instance) (*Evaluator, error) {
 	if ins == nil {
 		return nil, fmt.Errorf("placement: instance is required")
 	}
-	return &Evaluator{ins: ins}, nil
+	K, I := ins.NumUsers(), ins.NumModels()
+	probT := make([]float64, I*K)
+	for k := 0; k < K; k++ {
+		for i := 0; i < I; i++ {
+			probT[i*K+k] = ins.Prob(k, i)
+		}
+	}
+	return &Evaluator{ins: ins, probT: probT}, nil
+}
+
+// maskMass sums p_{k,i} over the users in mask \ excluded, in ascending
+// user order (matching the pre-bitset scalar loop exactly, so the packed
+// evaluator preserves bit-identical floating-point sums). excluded may be
+// nil. Written as a manual word loop: this is the greedy algorithms' inner
+// kernel and must not pay a closure call per bit.
+func (e *Evaluator) maskMass(i int, mask, excluded bitset.Set) float64 {
+	probs := e.probT[i*e.ins.NumUsers():]
+	var sum float64
+	for w, word := range mask {
+		if excluded != nil {
+			word &^= excluded[w]
+		}
+		for ; word != 0; word &= word - 1 {
+			sum += probs[w<<6|mbits.TrailingZeros64(word)]
+		}
+	}
+	return sum
 }
 
 // Instance returns the bound problem instance.
@@ -109,45 +164,71 @@ func (e *Evaluator) checkDims(p *Placement) error {
 }
 
 // HitRatio computes U(X) (eq. 2) under the average channel: the fraction of
-// request mass servable from edge caches within QoS deadlines.
+// request mass servable from edge caches within QoS deadlines. Request
+// (k,i) is a hit iff the instance's server mask intersects the placement's
+// server column for model i — one AND per request instead of an M-loop.
 func (e *Evaluator) HitRatio(p *Placement) (float64, error) {
 	if err := e.checkDims(p); err != nil {
 		return 0, err
 	}
-	M, K, I := e.ins.NumServers(), e.ins.NumUsers(), e.ins.NumModels()
+	K, I := e.ins.NumUsers(), e.ins.NumModels()
+	if e.ins.ServerMaskWords() == 1 {
+		return e.packedHit(p, e.ins.PackedServerMasks()) / e.ins.TotalMass(), nil
+	}
 	var hit float64
 	for k := 0; k < K; k++ {
 		for i := 0; i < I; i++ {
-			for m := 0; m < M; m++ {
-				if p.cached[m*I+i] && e.ins.Reachable(m, k, i) {
-					hit += e.ins.Prob(k, i)
-					break
-				}
+			if bitset.Intersects(e.ins.ServerMask(k, i), p.Servers(i)) {
+				hit += e.ins.Prob(k, i)
 			}
 		}
 	}
 	return hit / e.ins.TotalMass(), nil
 }
 
-// HitRatioWithReach computes U(X) under an externally supplied reachability
-// bitmap (length M*K*I, layout (m*K+k)*I+i), e.g. one Rayleigh-fading
-// realization from Instance.FadedReach.
-func (e *Evaluator) HitRatioWithReach(p *Placement, reach []bool) (float64, error) {
+// packedHit is the single-word (M ≤ 64) evaluator kernel shared by
+// HitRatio and HitRatioWithReach: masks holds one word per (user, model)
+// request, user-major ([k*I+i]), and request (k,i) counts iff its word
+// intersects the placement's server column.
+func (e *Evaluator) packedHit(p *Placement, masks []uint64) float64 {
+	K, I := e.ins.NumUsers(), e.ins.NumModels()
+	cols := p.cols
+	var hit float64
+	for k := 0; k < K; k++ {
+		row := masks[k*I : k*I+I]
+		probs := e.ins.ProbRow(k)
+		for i, w := range row {
+			if w&cols[i] != 0 {
+				hit += probs[i]
+			}
+		}
+	}
+	return hit
+}
+
+// HitRatioWithReach computes U(X) under an externally supplied word-packed
+// reachability indicator, e.g. one Rayleigh-fading realization from
+// Instance.FadedReach.
+func (e *Evaluator) HitRatioWithReach(p *Placement, reach *scenario.Reach) (float64, error) {
 	if err := e.checkDims(p); err != nil {
 		return 0, err
 	}
-	M, K, I := e.ins.NumServers(), e.ins.NumUsers(), e.ins.NumModels()
-	if len(reach) != M*K*I {
-		return 0, fmt.Errorf("placement: reach bitmap length %d, want %d", len(reach), M*K*I)
+	if reach == nil {
+		return 0, fmt.Errorf("placement: reach indicator is required")
+	}
+	if rm, rk, ri := reach.Dims(); rm != e.ins.NumServers() || rk != e.ins.NumUsers() || ri != e.ins.NumModels() {
+		return 0, fmt.Errorf("placement: reach dims %dx%dx%d, instance %dx%dx%d",
+			rm, rk, ri, e.ins.NumServers(), e.ins.NumUsers(), e.ins.NumModels())
+	}
+	K, I := e.ins.NumUsers(), e.ins.NumModels()
+	if reach.Words() == 1 {
+		return e.packedHit(p, reach.PackedServerMasks()) / e.ins.TotalMass(), nil
 	}
 	var hit float64
 	for k := 0; k < K; k++ {
 		for i := 0; i < I; i++ {
-			for m := 0; m < M; m++ {
-				if p.cached[m*I+i] && reach[(m*K+k)*I+i] {
-					hit += e.ins.Prob(k, i)
-					break
-				}
+			if bitset.Intersects(reach.ServerMask(k, i), p.Servers(i)) {
+				hit += e.ins.Prob(k, i)
 			}
 		}
 	}

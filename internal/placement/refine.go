@@ -1,6 +1,10 @@
 package placement
 
-import "fmt"
+import (
+	"fmt"
+
+	"trimcaching/internal/bitset"
+)
 
 // Refine improves a feasible placement by local search: exchange moves that
 // evict one cached model from a server and insert a better one, plus plain
@@ -33,12 +37,26 @@ func Refine(e *Evaluator, capacities []int64, p *Placement, maxPasses int) (*Pla
 
 	storage := func(m int) int64 { return lib.BlocksUnion(cur.ModelsOn(m), scratch) }
 
+	// covered accumulates, per candidate model, the users already served by
+	// the current placement (union of user masks over the servers caching
+	// it) — the same inverted index the greedy solvers walk.
+	covered := bitset.New(ins.NumUsers())
+
 	for pass := 0; pass < maxPasses; pass++ {
 		improved := false
 		for m := 0; m < M; m++ {
 			// Insertions first: free capacity is pure upside.
 			for i := 0; i < I; i++ {
 				if cur.Has(m, i) {
+					continue
+				}
+				// An insertion can only raise U(X) if it newly covers at
+				// least one user with positive mass; checking that on the
+				// inverted index skips the full evaluation for hopeless
+				// candidates without changing any accepted move.
+				covered.Zero()
+				cur.Servers(i).ForEach(func(mm int) { covered.Or(ins.UserMask(mm, i)) })
+				if e.maskMass(i, ins.UserMask(m, i), covered) == 0 {
 					continue
 				}
 				cur.Set(m, i)

@@ -3,6 +3,8 @@ package placement
 import (
 	"fmt"
 	"sort"
+
+	"trimcaching/internal/bitset"
 )
 
 // SpecOptions configures TrimCaching Spec.
@@ -46,22 +48,22 @@ func TrimCachingSpec(e *Evaluator, capacities []int64, opts SpecOptions) (*Place
 	}
 
 	lib := ins.Library()
-	M, K, I := ins.NumServers(), ins.NumUsers(), ins.NumModels()
+	M, I := ins.NumServers(), ins.NumModels()
+	uw := ins.UserMaskWords()
 	placed := NewPlacement(M, I)
-	covered := make([]bool, K*I) // I2 bookkeeping: request (k,i) already served
+	// I2 bookkeeping: covered[i*uw..] packs the users whose request for
+	// model i is already served by an earlier server.
+	covered := make([]uint64, I*uw)
 	scratch := &dpScratch{}
 
 	for m := 0; m < M; m++ {
 		// u(m,i) with the I2 exclusion (eq. 14): mass this server can newly
-		// serve by caching model i.
+		// serve by caching model i — one AND-NOT sweep over the inverted
+		// index instead of a K-element rescan.
 		u := make([]float64, I)
 		var eligible []int
 		for i := 0; i < I; i++ {
-			for k := 0; k < K; k++ {
-				if !covered[k*I+i] && ins.Reachable(m, k, i) {
-					u[i] += ins.Prob(k, i)
-				}
-			}
+			u[i] = e.maskMass(i, ins.UserMask(m, i), covered[i*uw:(i+1)*uw])
 			if u[i] > gainTolerance {
 				eligible = append(eligible, i)
 			}
@@ -108,11 +110,7 @@ func TrimCachingSpec(e *Evaluator, capacities []int64, opts SpecOptions) (*Place
 
 		for _, i := range bestModels {
 			placed.Set(m, i)
-			for k := 0; k < K; k++ {
-				if ins.Reachable(m, k, i) {
-					covered[k*I+i] = true
-				}
-			}
+			bitset.Set(covered[i*uw : (i+1)*uw]).Or(ins.UserMask(m, i))
 		}
 	}
 	return placed, nil

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 
+	"trimcaching/internal/bitset"
 	"trimcaching/internal/modellib"
 	"trimcaching/internal/topology"
 	"trimcaching/internal/wireless"
@@ -23,11 +24,20 @@ type Instance struct {
 	work *workload.Workload
 	wcfg wireless.Config
 
-	avgRate   [][]float64 // avgRate[m][k]; 0 when m does not cover k
+	avgRate   []float64   // avgRate[m*K+k]; 0 when m does not cover k
 	bestRelay []float64   // bestRelay[k]: max covering-server avg rate, 0 if uncovered
-	reachable []bool      // reachable[(m*K+k)*I+i] = I1(m,k,i) under average channel
 	shadow    [][]float64 // optional per-link log-normal shadowing gains; nil = none
 	totalMass float64
+	sizeBits  []float64 // sizeBits[i]: model size in bits, hoisted out of hot loops
+
+	// Word-packed I1(m,k,i) under the average channel, in both orientations
+	// the algorithms need: server masks answer "which servers can serve
+	// request (k,i)" with one AND, user masks answer "which users does
+	// placing (m,i) newly cover" with one AND-NOT sweep.
+	serverWords int
+	userWords   int
+	reachSrv    []uint64 // [(k*I+i)*serverWords + w], bit m
+	reachUsr    []uint64 // [(m*I+i)*userWords + w], bit k
 }
 
 // New validates the components and precomputes rates, latencies, and I1.
@@ -72,10 +82,7 @@ func NewShadowed(topo *topology.Topology, lib *modellib.Library, work *workload.
 		}
 	}
 
-	ins.avgRate = make([][]float64, M)
-	for m := 0; m < M; m++ {
-		ins.avgRate[m] = make([]float64, K)
-	}
+	ins.avgRate = make([]float64, M*K)
 	for m := 0; m < M; m++ {
 		load := topo.Load(m)
 		for _, k := range topo.UsersOf(m) {
@@ -83,38 +90,86 @@ func NewShadowed(topo *topology.Topology, lib *modellib.Library, work *workload.
 			if err != nil {
 				return nil, fmt.Errorf("scenario: rate m=%d k=%d: %w", m, k, err)
 			}
-			ins.avgRate[m][k] = rate
+			ins.avgRate[m*K+k] = rate
 		}
 	}
 	ins.bestRelay = make([]float64, K)
 	for k := 0; k < K; k++ {
 		for _, m := range topo.ServersCovering(k) {
-			if ins.avgRate[m][k] > ins.bestRelay[k] {
-				ins.bestRelay[k] = ins.avgRate[m][k]
+			if ins.avgRate[m*K+k] > ins.bestRelay[k] {
+				ins.bestRelay[k] = ins.avgRate[m*K+k]
 			}
 		}
 	}
+	ins.sizeBits = make([]float64, I)
+	for i := 0; i < I; i++ {
+		ins.sizeBits[i] = 8 * float64(lib.ModelSize(i))
+	}
 
-	ins.reachable = make([]bool, M*K*I)
-	for m := 0; m < M; m++ {
-		for k := 0; k < K; k++ {
-			for i := 0; i < I; i++ {
-				t := ins.latency(m, k, i, ins.avgRate, ins.bestRelay)
-				ins.reachable[(m*K+k)*I+i] = t <= work.DeadlineS(k, i)
-			}
+	ins.serverWords = bitset.Words(M)
+	ins.userWords = bitset.Words(K)
+	ins.reachSrv = make([]uint64, K*I*ins.serverWords)
+	ins.fillReach(ins.avgRate, ins.bestRelay, ins.reachSrv)
+	ins.reachUsr = make([]uint64, M*I*ins.userWords)
+	for k := 0; k < K; k++ {
+		for i := 0; i < I; i++ {
+			ins.ServerMask(k, i).ForEach(func(m int) {
+				bitset.Set(ins.reachUsr[(m*I+i)*ins.userWords:]).Set(k)
+			})
 		}
 	}
 	ins.totalMass = work.TotalMass()
 	return ins, nil
 }
 
+// fillReach computes the word-packed I1 indicator under the given per-link
+// rates (rates[m*K+k], 0 for non-covering pairs) and per-user best relay
+// rates, writing server masks into dst with layout [(k*I+i)*serverWords].
+//
+// The relay-path latency (eq. 5) does not depend on the serving server m,
+// so its verdict is computed once per (k,i) and broadcast across the whole
+// mask; only the (sparse) covering servers are then patched with their
+// direct-path verdict (eq. 4). The arithmetic matches latency() exactly.
+func (ins *Instance) fillReach(rates, relay []float64, dst []uint64) {
+	K, I := ins.NumUsers(), ins.NumModels()
+	sw := ins.serverWords
+	full := bitset.Set(make([]uint64, sw))
+	full.SetAll(ins.NumServers())
+	for k := 0; k < K; k++ {
+		covering := ins.topo.ServersCovering(k)
+		relayRate := relay[k]
+		for i := 0; i < I; i++ {
+			row := bitset.Set(dst[(k*I+i)*sw : (k*I+i+1)*sw])
+			sizeBits := ins.sizeBits[i]
+			infer := ins.work.InferS(k, i)
+			deadline := ins.work.DeadlineS(k, i)
+			relayOK := relayRate > 0 &&
+				sizeBits/ins.wcfg.BackhaulBps+sizeBits/relayRate+infer <= deadline
+			if relayOK {
+				row.CopyFrom(full)
+			} else {
+				row.Zero()
+			}
+			for _, m := range covering {
+				if direct := rates[m*K+k]; direct > 0 {
+					if sizeBits/direct+infer <= deadline {
+						row.Set(m)
+					} else {
+						row.Clear(m)
+					}
+				}
+			}
+		}
+	}
+}
+
 // latency computes T_{m,k,i} in seconds under the given per-link rates.
-// rates[m][k] must be 0 for non-covering pairs; relayRate[k] is the best
+// rates[m*K+k] must be 0 for non-covering pairs; relayRate[k] is the best
 // covering-server rate of user k. Unreachable pairs yield +Inf.
-func (ins *Instance) latency(m, k, i int, rates [][]float64, relayRate []float64) float64 {
-	sizeBits := 8 * float64(ins.lib.ModelSize(i))
+func (ins *Instance) latency(m, k, i int, rates []float64, relayRate []float64) float64 {
+	sizeBits := ins.sizeBits[i]
 	infer := ins.work.InferS(k, i)
-	if direct := rates[m][k]; direct > 0 {
+	if direct := rates[m*ins.NumUsers()+k]; direct > 0 {
 		return sizeBits/direct + infer // eq. (4)
 	}
 	// eq. (5): transfer over the backhaul to the user's best covering
@@ -157,7 +212,7 @@ func (ins *Instance) NumUsers() int { return ins.work.NumUsers() }
 func (ins *Instance) NumModels() int { return ins.lib.NumModels() }
 
 // AvgRateBps returns C̄_{m,k} (eq. 1), or 0 when m does not cover k.
-func (ins *Instance) AvgRateBps(m, k int) float64 { return ins.avgRate[m][k] }
+func (ins *Instance) AvgRateBps(m, k int) float64 { return ins.avgRate[m*ins.NumUsers()+k] }
 
 // LatencyS returns T_{m,k,i} in seconds under the average channel
 // (eqs. 4–5), +Inf if unreachable.
@@ -168,11 +223,44 @@ func (ins *Instance) LatencyS(m, k, i int) float64 {
 // Reachable returns I1(m,k,i) under the average channel: whether server m
 // can deliver model i to user k within the QoS deadline.
 func (ins *Instance) Reachable(m, k, i int) bool {
-	return ins.reachable[(m*ins.NumUsers()+k)*ins.NumModels()+i]
+	return ins.ServerMask(k, i).Has(m)
 }
+
+// ServerMask returns the packed set of servers that can serve model i to
+// user k within its deadline under the average channel. The returned slice
+// aliases internal state; callers must treat it as read-only.
+func (ins *Instance) ServerMask(k, i int) bitset.Set {
+	sw := ins.serverWords
+	off := (k*ins.NumModels() + i) * sw
+	return bitset.Set(ins.reachSrv[off : off+sw])
+}
+
+// UserMask returns the packed set of users to whom server m can deliver
+// model i within their deadlines under the average channel. The returned
+// slice aliases internal state; callers must treat it as read-only.
+func (ins *Instance) UserMask(m, i int) bitset.Set {
+	uw := ins.userWords
+	off := (m*ins.NumModels() + i) * uw
+	return bitset.Set(ins.reachUsr[off : off+uw])
+}
+
+// ServerMaskWords returns the number of words in each server mask.
+func (ins *Instance) ServerMaskWords() int { return ins.serverWords }
+
+// PackedServerMasks returns every server mask concatenated, laid out
+// [(k*I+i)*ServerMaskWords() + w]. With single-word masks (M ≤ 64) this
+// lets evaluators stream one contiguous word per request. The slice
+// aliases internal state; callers must treat it as read-only.
+func (ins *Instance) PackedServerMasks() []uint64 { return ins.reachSrv }
+
+// UserMaskWords returns the number of words in each user mask.
+func (ins *Instance) UserMaskWords() int { return ins.userWords }
 
 // Prob returns p_{k,i}.
 func (ins *Instance) Prob(k, i int) float64 { return ins.work.Prob(k, i) }
+
+// ProbRow returns user k's probability vector over all models (read-only).
+func (ins *Instance) ProbRow(k int) []float64 { return ins.work.ProbRow(k) }
 
 // TotalMass returns Σ p_{k,i}, the denominator of eq. (2).
 func (ins *Instance) TotalMass() float64 { return ins.totalMass }
@@ -181,64 +269,106 @@ func (ins *Instance) TotalMass() float64 { return ins.totalMass }
 // expected request mass server m can serve by caching model i.
 func (ins *Instance) HitMass(m, i int) float64 {
 	var sum float64
-	for k := 0; k < ins.NumUsers(); k++ {
-		if ins.Reachable(m, k, i) {
-			sum += ins.Prob(k, i)
-		}
-	}
+	ins.UserMask(m, i).ForEach(func(k int) {
+		sum += ins.Prob(k, i)
+	})
 	return sum
 }
 
-// FadedReach computes the I1 indicator matrix under one Rayleigh-fading
+// Reach is a word-packed I1 indicator for one channel realization: for every
+// (user, model) request it holds the set of servers able to deliver within
+// the QoS deadline. Buffers are reusable across realizations (allocate once
+// per goroutine with MakeReachBuffer) and carry their own rate scratch so a
+// FadedReach call performs no allocation.
+type Reach struct {
+	numServers, numUsers, numModels int
+	words                           int      // server-mask words
+	bits                            []uint64 // [(k*I+i)*words + w], bit m
+	rates                           []float64
+	relay                           []float64
+}
+
+// ServerMask returns the packed set of servers that can serve model i to
+// user k under this realization. The slice aliases the buffer.
+func (r *Reach) ServerMask(k, i int) bitset.Set {
+	off := (k*r.numModels + i) * r.words
+	return bitset.Set(r.bits[off : off+r.words])
+}
+
+// Has reports I1(m,k,i) under this realization.
+func (r *Reach) Has(m, k, i int) bool { return r.ServerMask(k, i).Has(m) }
+
+// Dims returns (M, K, I).
+func (r *Reach) Dims() (numServers, numUsers, numModels int) {
+	return r.numServers, r.numUsers, r.numModels
+}
+
+// Words returns the number of words in each server mask.
+func (r *Reach) Words() int { return r.words }
+
+// PackedServerMasks returns every server mask concatenated, laid out
+// [(k*I+i)*Words() + w]. The slice aliases the buffer; callers must treat
+// it as read-only.
+func (r *Reach) PackedServerMasks() []uint64 { return r.bits }
+
+// FadedReach computes the I1 indicator under one Rayleigh-fading
 // realization. gains[m][k] is the fading power gain |h|^2 for covering
-// links (ignored elsewhere). The result is written into dst, which must
-// have length M*K*I (allocate with MakeReachBuffer); it is also returned.
+// links (ignored elsewhere). The result is written into dst (allocate with
+// MakeReachBuffer; nil allocates a fresh buffer) and returned.
 //
 // The placement is decided on average channel gains while performance is
 // examined under fading (§VII-A); this method powers that evaluation.
-func (ins *Instance) FadedReach(gains [][]float64, dst []bool) ([]bool, error) {
-	M, K, I := ins.NumServers(), ins.NumUsers(), ins.NumModels()
+func (ins *Instance) FadedReach(gains [][]float64, dst *Reach) (*Reach, error) {
+	M, K := ins.NumServers(), ins.NumUsers()
 	if len(gains) != M {
 		return nil, fmt.Errorf("scenario: gains has %d rows, want %d", len(gains), M)
 	}
-	if len(dst) != M*K*I {
-		return nil, fmt.Errorf("scenario: dst has length %d, want %d", len(dst), M*K*I)
-	}
-	rates := make([][]float64, M)
-	for m := 0; m < M; m++ {
+	for m := range gains {
 		if len(gains[m]) != K {
 			return nil, fmt.Errorf("scenario: gains[%d] has %d cols, want %d", m, len(gains[m]), K)
 		}
-		rates[m] = make([]float64, K)
+	}
+	if dst == nil {
+		dst = ins.MakeReachBuffer()
+	}
+	if dst.numServers != M || dst.numUsers != K || dst.numModels != ins.NumModels() {
+		return nil, fmt.Errorf("scenario: reach buffer dims %dx%dx%d, want %dx%dx%d",
+			dst.numServers, dst.numUsers, dst.numModels, M, K, ins.NumModels())
+	}
+	// Only covering links are written and only covering links are read, so
+	// the rate scratch needs no clearing between realizations.
+	for m := 0; m < M; m++ {
 		load := ins.topo.Load(m)
 		for _, k := range ins.topo.UsersOf(m) {
 			r, err := ins.wcfg.FadedRateBps(ins.topo.Distance(m, k), load, ins.shadowGain(m, k)*gains[m][k])
 			if err != nil {
 				return nil, fmt.Errorf("scenario: faded rate m=%d k=%d: %w", m, k, err)
 			}
-			rates[m][k] = r
+			dst.rates[m*K+k] = r
 		}
 	}
-	relay := make([]float64, K)
 	for k := 0; k < K; k++ {
+		dst.relay[k] = 0
 		for _, m := range ins.topo.ServersCovering(k) {
-			if rates[m][k] > relay[k] {
-				relay[k] = rates[m][k]
+			if dst.rates[m*K+k] > dst.relay[k] {
+				dst.relay[k] = dst.rates[m*K+k]
 			}
 		}
 	}
-	for m := 0; m < M; m++ {
-		for k := 0; k < K; k++ {
-			for i := 0; i < I; i++ {
-				t := ins.latency(m, k, i, rates, relay)
-				dst[(m*K+k)*I+i] = t <= ins.work.DeadlineS(k, i)
-			}
-		}
-	}
+	ins.fillReach(dst.rates, dst.relay, dst.bits)
 	return dst, nil
 }
 
-// MakeReachBuffer allocates a buffer for FadedReach.
-func (ins *Instance) MakeReachBuffer() []bool {
-	return make([]bool, ins.NumServers()*ins.NumUsers()*ins.NumModels())
+// MakeReachBuffer allocates a reusable buffer for FadedReach.
+func (ins *Instance) MakeReachBuffer() *Reach {
+	M, K, I := ins.NumServers(), ins.NumUsers(), ins.NumModels()
+	return &Reach{
+		numServers: M,
+		numUsers:   K,
+		numModels:  I,
+		words:      ins.serverWords,
+		bits:       make([]uint64, K*I*ins.serverWords),
+		rates:      make([]float64, M*K),
+		relay:      make([]float64, K),
+	}
 }

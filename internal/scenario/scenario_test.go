@@ -203,7 +203,7 @@ func TestFadedReachUnitGainsMatchAverage(t *testing.T) {
 	for m := 0; m < ins.NumServers(); m++ {
 		for k := 0; k < K; k++ {
 			for i := 0; i < I; i++ {
-				if got[(m*K+k)*I+i] != ins.Reachable(m, k, i) {
+				if got.Has(m, k, i) != ins.Reachable(m, k, i) {
 					t.Fatalf("unit-gain faded reach differs at (%d,%d,%d)", m, k, i)
 				}
 			}
@@ -225,9 +225,13 @@ func TestFadedReachDeepFadeKillsDirect(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, r := range got {
-		if r {
-			t.Fatal("deep fade should make everything unreachable")
+	for m := 0; m < ins.NumServers(); m++ {
+		for k := 0; k < ins.NumUsers(); k++ {
+			for i := 0; i < ins.NumModels(); i++ {
+				if got.Has(m, k, i) {
+					t.Fatal("deep fade should make everything unreachable")
+				}
+			}
 		}
 	}
 }
@@ -238,8 +242,12 @@ func TestFadedReachValidation(t *testing.T) {
 		t.Fatal("nil gains must error")
 	}
 	gains := SampleGains(ins.NumServers(), ins.NumUsers(), rng.New(13))
-	if _, err := ins.FadedReach(gains, make([]bool, 3)); err == nil {
-		t.Fatal("short buffer must error")
+	other := buildInstance(t, 4, 7, 2, 99)
+	if _, err := ins.FadedReach(gains, other.MakeReachBuffer()); err == nil {
+		t.Fatal("wrong-dimension buffer must error")
+	}
+	if got, err := ins.FadedReach(gains, nil); err != nil || got == nil {
+		t.Fatalf("nil buffer must allocate: %v", err)
 	}
 	bad := SampleGains(ins.NumServers(), ins.NumUsers()-1, rng.New(14))
 	if _, err := ins.FadedReach(bad, ins.MakeReachBuffer()); err == nil {

@@ -209,26 +209,87 @@ func runTrial(cfg TrialConfig, src *rng.Source) trialOutcome {
 
 // EvaluateUnderFading measures each placement's expected hit ratio over the
 // given number of Rayleigh fading realizations. All placements see identical
-// realizations so comparisons are paired.
+// realizations so comparisons are paired. Realizations are scored in
+// parallel on a bounded worker pool (GOMAXPROCS workers); see
+// EvaluateUnderFadingWorkers for the determinism contract.
 func EvaluateUnderFading(eval *placement.Evaluator, placements []*placement.Placement, realizations int, src *rng.Source) ([]float64, error) {
+	return EvaluateUnderFadingWorkers(eval, placements, realizations, 0, src)
+}
+
+// EvaluateUnderFadingWorkers is EvaluateUnderFading with an explicit worker
+// count (0 means GOMAXPROCS).
+//
+// Realization r draws its gains from src.SplitIndex("real", r) — a pure
+// function of the seed material, not of stream position — so every
+// realization is independent of evaluation order, and the final per-
+// placement averages are reduced in realization order. The result is
+// bit-identical for any worker count, and comparisons stay paired: every
+// placement sees the same realizations.
+func EvaluateUnderFadingWorkers(eval *placement.Evaluator, placements []*placement.Placement, realizations, workers int, src *rng.Source) ([]float64, error) {
 	if realizations <= 0 {
 		return nil, fmt.Errorf("sim: realizations must be positive, got %d", realizations)
 	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > realizations {
+		workers = realizations
+	}
 	ins := eval.Instance()
-	buf := ins.MakeReachBuffer()
+
+	// hr[r*len(placements)+a]: hit ratio of placement a under realization r.
+	hr := make([]float64, realizations*len(placements))
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := ins.MakeReachBuffer()
+			for r := range next {
+				// SplitIndex only reads the parent's immutable seed
+				// material, so concurrent splits are safe.
+				gains := scenario.SampleGains(ins.NumServers(), ins.NumUsers(), src.SplitIndex("real", r))
+				reach, err := ins.FadedReach(gains, buf)
+				if err != nil {
+					fail(err)
+					continue
+				}
+				for a, p := range placements {
+					v, err := eval.HitRatioWithReach(p, reach)
+					if err != nil {
+						fail(err)
+						break
+					}
+					hr[r*len(placements)+a] = v
+				}
+			}
+		}()
+	}
+	for r := 0; r < realizations; r++ {
+		next <- r
+	}
+	close(next)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
 	sums := make([]float64, len(placements))
 	for r := 0; r < realizations; r++ {
-		gains := scenario.SampleGains(ins.NumServers(), ins.NumUsers(), src)
-		reach, err := ins.FadedReach(gains, buf)
-		if err != nil {
-			return nil, err
-		}
-		for a, p := range placements {
-			hr, err := eval.HitRatioWithReach(p, reach)
-			if err != nil {
-				return nil, err
-			}
-			sums[a] += hr
+		for a := range placements {
+			sums[a] += hr[r*len(placements)+a]
 		}
 	}
 	for a := range sums {

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"math"
+	"runtime"
 	"testing"
 
 	"trimcaching/internal/libgen"
@@ -202,5 +203,69 @@ func TestEvaluateUnderFadingValidation(t *testing.T) {
 	}
 	if hits[0] != 0 {
 		t.Fatalf("empty placement hit ratio %v", hits[0])
+	}
+}
+
+// TestEvaluateUnderFadingDeterministic verifies the parallel evaluator's
+// contract: results are bit-identical to a sequential single-threaded
+// reference for any worker count, because realization r draws its gains
+// from src.SplitIndex("real", r) and the reduction runs in realization
+// order.
+func TestEvaluateUnderFadingDeterministic(t *testing.T) {
+	cfg := testConfig(t, defaultAlgs(t))
+	ins, err := scenario.Generate(cfg.Library, cfg.Scenario, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval, err := placement.NewEvaluator(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	caps := placement.UniformCapacities(ins.NumServers(), cfg.CapacityBytes)
+	var placements []*placement.Placement
+	for _, alg := range cfg.Algorithms {
+		p, err := alg.Place(eval, caps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		placements = append(placements, p)
+	}
+
+	const realizations = 64
+	const seed = 1234
+
+	// Sequential reference: same per-realization splits, plain loop.
+	ref := make([]float64, len(placements))
+	src := rng.New(seed)
+	buf := ins.MakeReachBuffer()
+	for r := 0; r < realizations; r++ {
+		gains := scenario.SampleGains(ins.NumServers(), ins.NumUsers(), src.SplitIndex("real", r))
+		reach, err := ins.FadedReach(gains, buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for a, p := range placements {
+			hr, err := eval.HitRatioWithReach(p, reach)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref[a] += hr
+		}
+	}
+	for a := range ref {
+		ref[a] /= realizations
+	}
+
+	for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		got, err := EvaluateUnderFadingWorkers(eval, placements, realizations, workers, rng.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for a := range placements {
+			if got[a] != ref[a] {
+				t.Fatalf("workers=%d placement %d: got %.17g, reference %.17g (must be bit-identical)",
+					workers, a, got[a], ref[a])
+			}
+		}
 	}
 }

@@ -52,15 +52,18 @@ func (c Config) Validate() error {
 	if c.ZipfExponent < 0 {
 		return fmt.Errorf("workload: ZipfExponent must be >= 0, got %v", c.ZipfExponent)
 	}
-	if !(c.DeadlineMinS > 0 && c.DeadlineMaxS >= c.DeadlineMinS) {
+	if !(c.DeadlineMinS >= 0 && c.DeadlineMaxS >= c.DeadlineMinS) {
 		return fmt.Errorf("workload: bad deadline range [%v, %v]", c.DeadlineMinS, c.DeadlineMaxS)
 	}
 	if !(c.InferMinS >= 0 && c.InferMaxS >= c.InferMinS) {
 		return fmt.Errorf("workload: bad inference range [%v, %v]", c.InferMinS, c.InferMaxS)
 	}
-	if c.InferMaxS >= c.DeadlineMinS {
-		return fmt.Errorf("workload: inference max %v must stay below deadline min %v",
-			c.InferMaxS, c.DeadlineMinS)
+	// Inference latency may exceed individual deadlines (such requests are
+	// simply unservable, I1 = 0), but a workload where even the fastest
+	// inference exceeds the loosest deadline is vacuous.
+	if c.InferMinS >= c.DeadlineMaxS {
+		return fmt.Errorf("workload: inference min %v leaves no request servable within deadline max %v",
+			c.InferMinS, c.DeadlineMaxS)
 	}
 	return nil
 }
@@ -128,6 +131,10 @@ func (w *Workload) NumModels() int { return w.numModels }
 
 // Prob returns p_{k,i}, user k's request probability for model i.
 func (w *Workload) Prob(k, i int) float64 { return w.prob[k][i] }
+
+// ProbRow returns user k's probability vector over all models. The slice
+// aliases internal state; callers must treat it as read-only.
+func (w *Workload) ProbRow(k int) []float64 { return w.prob[k] }
 
 // DeadlineS returns T̄_{k,i}, the E2E latency QoS in seconds.
 func (w *Workload) DeadlineS(k, i int) float64 { return w.deadlineS[k][i] }

@@ -13,11 +13,12 @@ func TestConfigValidate(t *testing.T) {
 	}
 	muts := []func(*Config){
 		func(c *Config) { c.ZipfExponent = -1 },
-		func(c *Config) { c.DeadlineMinS = 0 },
+		func(c *Config) { c.DeadlineMinS = -0.1 },
 		func(c *Config) { c.DeadlineMaxS = c.DeadlineMinS - 0.1 },
 		func(c *Config) { c.InferMinS = -0.1 },
 		func(c *Config) { c.InferMaxS = c.InferMinS - 0.01 },
-		func(c *Config) { c.InferMaxS = 0.6 }, // would exceed the deadline budget
+		// Even the fastest inference exceeds the loosest deadline: vacuous.
+		func(c *Config) { c.InferMinS, c.InferMaxS = 1.2, 1.3 },
 	}
 	for i, mut := range muts {
 		c := DefaultConfig()
@@ -25,6 +26,18 @@ func TestConfigValidate(t *testing.T) {
 		if err := c.Validate(); err == nil {
 			t.Fatalf("mutation %d: expected error", i)
 		}
+	}
+	// Zero-minimum deadlines and inference latencies overlapping the
+	// deadline window are valid (such requests are just unservable).
+	c := DefaultConfig()
+	c.DeadlineMinS = 0
+	if err := c.Validate(); err != nil {
+		t.Fatalf("zero-minimum deadline must validate: %v", err)
+	}
+	c = DefaultConfig()
+	c.InferMaxS = 0.6
+	if err := c.Validate(); err != nil {
+		t.Fatalf("inference overlapping the deadline window must validate: %v", err)
 	}
 }
 

@@ -103,6 +103,17 @@ type ScenarioConfig struct {
 	// (0 keeps the defaults).
 	InferMinS float64
 	InferMaxS float64
+
+	// Explicit has-value flags. A zero value in the fields above normally
+	// means "keep the default"; setting the matching flag applies the field
+	// even when it is zero, making uniform popularity (Zipf exponent 0) and
+	// zero-minimum deadline/inference windows expressible. Existing callers
+	// that leave the flags false keep the old behavior.
+	ZipfExponentSet bool
+	DeadlineMinSSet bool
+	DeadlineMaxSSet bool
+	InferMinSSet    bool
+	InferMaxSSet    bool
 }
 
 // DefaultScenarioConfig mirrors the paper's main setting: M = 10, K = 30,
@@ -140,20 +151,20 @@ func BuildScenario(lib *Library, cfg ScenarioConfig, seed uint64) (*Scenario, er
 		w.BackhaulBps = cfg.BackhaulBps
 	}
 	wl := workload.DefaultConfig()
-	if cfg.ZipfExponent > 0 {
+	if cfg.ZipfExponentSet || cfg.ZipfExponent > 0 {
 		wl.ZipfExponent = cfg.ZipfExponent
 	}
 	wl.PerUserPermutation = cfg.PerUserPopularity
-	if cfg.DeadlineMinS > 0 {
+	if cfg.DeadlineMinSSet || cfg.DeadlineMinS > 0 {
 		wl.DeadlineMinS = cfg.DeadlineMinS
 	}
-	if cfg.DeadlineMaxS > 0 {
+	if cfg.DeadlineMaxSSet || cfg.DeadlineMaxS > 0 {
 		wl.DeadlineMaxS = cfg.DeadlineMaxS
 	}
-	if cfg.InferMinS > 0 {
+	if cfg.InferMinSSet || cfg.InferMinS > 0 {
 		wl.InferMinS = cfg.InferMinS
 	}
-	if cfg.InferMaxS > 0 {
+	if cfg.InferMaxSSet || cfg.InferMaxS > 0 {
 		wl.InferMaxS = cfg.InferMaxS
 	}
 	gen := scenario.GenConfig{
