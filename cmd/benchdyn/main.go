@@ -1,0 +1,190 @@
+// Command benchdyn times the dynamics engine's per-checkpoint costs at
+// LoRA scale (M = 10, K = 300, I = 1000) and writes them as JSON, so CI
+// can track the perf trajectory machine-readably.
+//
+// Three numbers are reported, each as rebuild vs incremental:
+//
+//   - refresh: bringing the instance and evaluator up to date with one
+//     checkpoint of user movement — the cost every checkpoint pays, and
+//     the one the incremental engine turns from O(M·K·I) into
+//     O(M·I·|moved| reachability flips).
+//   - replace: a forced placement re-solve at every checkpoint (warm-start
+//     repair vs cold solve) — the worst-case trigger cadence; under the
+//     paper's degradation-threshold protocol replacement is exceptional.
+//   - timeline: a full §VII-E timeline end to end, including the fading
+//     measurement, which is mode-independent by construction.
+//
+// Usage:
+//
+//	benchdyn -checkpoints 12 -out BENCH_dynamics.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"trimcaching/internal/dynamics"
+	"trimcaching/internal/rng"
+)
+
+type phase struct {
+	Ops           int     `json:"ops"`
+	RebuildNs     int64   `json:"rebuild_ns_per_op"`
+	IncrementalNs int64   `json:"incremental_ns_per_op"`
+	Speedup       float64 `json:"speedup"`
+}
+
+type report struct {
+	Scenario struct {
+		Servers       int     `json:"servers"`
+		Users         int     `json:"users"`
+		Models        int     `json:"models"`
+		CheckpointMin int     `json:"checkpointMin"`
+		SlotS         float64 `json:"slotS"`
+	} `json:"scenario"`
+	// Refresh is the per-checkpoint instance+evaluator update alone.
+	Refresh phase `json:"refresh"`
+	// Replace is refresh plus a forced placement re-solve per checkpoint.
+	Replace phase `json:"replace"`
+	// Timeline is the full engine loop including fading measurement.
+	Timeline phase `json:"timeline_end_to_end"`
+	// Speedup is the headline number: per-checkpoint refresh speedup of
+	// the incremental engine over the full-rebuild path.
+	Speedup           float64 `json:"speedup"`
+	SpeedupDefinition string  `json:"speedup_definition"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdyn:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchdyn", flag.ContinueOnError)
+	checkpoints := fs.Int("checkpoints", 12, "checkpoints per measured round (the §VII-E timeline has 12)")
+	rounds := fs.Int("rounds", 4, "measured rounds per phase; the fastest round is reported")
+	out := fs.String("out", "BENCH_dynamics.json", "output JSON path, - for stdout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *checkpoints <= 0 || *rounds <= 0 {
+		return fmt.Errorf("checkpoints and rounds must be positive, got %d and %d", *checkpoints, *rounds)
+	}
+
+	var rep report
+	cfg, err := dynamics.NewLoRAScaleConfig(dynamics.Incremental)
+	if err != nil {
+		return err
+	}
+	rep.Scenario.Servers = cfg.Instance.NumServers()
+	rep.Scenario.Users = cfg.Instance.NumUsers()
+	rep.Scenario.Models = cfg.Instance.NumModels()
+	rep.Scenario.CheckpointMin = cfg.CheckpointMin
+	rep.Scenario.SlotS = cfg.SlotS
+
+	// Each phase runs `rounds` rounds and keeps the fastest. Every round
+	// gets a fresh engine with the same seed, so all rounds replay the
+	// identical checkpoint sequence and the minimum is a clean filter for
+	// scheduler and GC noise; a warm-up checkpoint first absorbs the
+	// incremental mode's one-time threshold flip index build.
+	profile := func(mode dynamics.Mode, forceReplace bool) (refresh, repair time.Duration, err error) {
+		for r := 0; r < *rounds; r++ {
+			cfg, err := dynamics.NewLoRAScaleConfig(mode)
+			if err != nil {
+				return 0, 0, err
+			}
+			e, err := dynamics.NewEngine(cfg, rng.New(1))
+			if err != nil {
+				return 0, 0, err
+			}
+			if _, _, err := e.ProfileCheckpoints(1, false); err != nil {
+				return 0, 0, err
+			}
+			runtime.GC()
+			rf, rp, err := e.ProfileCheckpoints(*checkpoints, forceReplace)
+			if err != nil {
+				return 0, 0, err
+			}
+			if r == 0 || rf+rp < refresh+repair {
+				refresh, repair = rf, rp
+			}
+		}
+		return refresh, repair, nil
+	}
+	// Refresh is measured on its own pass: under the paper's protocol a
+	// checkpoint normally only refreshes and measures, and interleaving
+	// forced solves would pollute its cache behavior.
+	rebRefresh, _, err := profile(dynamics.Rebuild, false)
+	if err != nil {
+		return err
+	}
+	incRefresh, _, err := profile(dynamics.Incremental, false)
+	if err != nil {
+		return err
+	}
+	rebRefresh2, rebRepair, err := profile(dynamics.Rebuild, true)
+	if err != nil {
+		return err
+	}
+	incRefresh2, incRepair, err := profile(dynamics.Incremental, true)
+	if err != nil {
+		return err
+	}
+	fill := func(p *phase, reb, inc time.Duration) {
+		p.Ops = *checkpoints
+		p.RebuildNs = reb.Nanoseconds() / int64(*checkpoints)
+		p.IncrementalNs = inc.Nanoseconds() / int64(*checkpoints)
+		if inc > 0 {
+			p.Speedup = float64(reb) / float64(inc)
+		}
+	}
+	fill(&rep.Refresh, rebRefresh, incRefresh)
+	fill(&rep.Replace, rebRefresh2+rebRepair, incRefresh2+incRepair)
+
+	timeline := func(mode dynamics.Mode) (time.Duration, error) {
+		cfg, err := dynamics.NewLoRAScaleConfig(mode)
+		if err != nil {
+			return 0, err
+		}
+		start := time.Now()
+		if _, err := dynamics.Run(cfg, rng.New(2)); err != nil {
+			return 0, err
+		}
+		return time.Since(start), nil
+	}
+	rebTimeline, err := timeline(dynamics.Rebuild)
+	if err != nil {
+		return err
+	}
+	incTimeline, err := timeline(dynamics.Incremental)
+	if err != nil {
+		return err
+	}
+	fill(&rep.Timeline, rebTimeline, incTimeline)
+
+	rep.Speedup = rep.Refresh.Speedup
+	rep.SpeedupDefinition = "per-checkpoint instance refresh (delta reachability update + evaluator reuse) vs full rebuild; replace and timeline_end_to_end report the forced-re-solve and measurement-included views"
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		_, err = stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "refresh %.2fx, replace %.2fx, timeline %.2fx -> %s\n",
+		rep.Refresh.Speedup, rep.Replace.Speedup, rep.Timeline.Speedup, *out)
+	return nil
+}

@@ -2,12 +2,17 @@
 // build a library and scenario, place models with a chosen algorithm,
 // generate (or replay) a Poisson request trace, and report route counts,
 // QoS hit ratio, and latency percentiles under processor-shared spectrum.
+// With -mobility it instead drives the incremental dynamics engine: users
+// walk the §VII-E mobility model, the hit ratio is re-measured under
+// fading at every checkpoint, and the placement is repaired whenever it
+// degrades past -replace-threshold.
 //
 // Usage:
 //
 //	servesim -alg gen -rate 60 -duration 1800
 //	servesim -alg independent -trace requests.jsonl
 //	servesim -alg gen -save-trace requests.jsonl
+//	servesim -alg gen -mobility 120 -replace-threshold 0.1
 package main
 
 import (
@@ -18,6 +23,7 @@ import (
 	"text/tabwriter"
 
 	"trimcaching/internal/cachesim"
+	"trimcaching/internal/dynamics"
 	"trimcaching/internal/libgen"
 	"trimcaching/internal/placement"
 	"trimcaching/internal/rng"
@@ -47,6 +53,11 @@ func run(args []string, stdout io.Writer) error {
 	seed := fs.Uint64("seed", 1, "random seed")
 	traceIn := fs.String("trace", "", "replay this JSONL trace instead of generating one")
 	traceOut := fs.String("save-trace", "", "write the generated trace to this JSONL file")
+	mobilityMin := fs.Int("mobility", 0, "run a mobility timeline of this many minutes instead of serving a trace")
+	checkpointMin := fs.Int("checkpoint", 10, "mobility checkpoint interval in minutes")
+	replaceThreshold := fs.Float64("replace-threshold", 0, "re-place when the hit ratio degrades by this fraction (0 = never)")
+	mobRealizations := fs.Int("mob-realizations", 200, "fading realizations per mobility checkpoint")
+	rebuild := fs.Bool("rebuild", false, "use full per-checkpoint instance rebuilds instead of incremental deltas")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -74,11 +85,15 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	caps := placement.UniformCapacities(ins.NumServers(), int64(*capacityGB*1e9))
+	if *mobilityMin > 0 {
+		return runMobility(stdout, ins, algorithm, caps, *mobilityMin, *checkpointMin,
+			*replaceThreshold, *mobRealizations, *rebuild, src.Split("dynamics"))
+	}
 	eval, err := placement.NewEvaluator(ins)
 	if err != nil {
 		return err
 	}
-	caps := placement.UniformCapacities(ins.NumServers(), int64(*capacityGB*1e9))
 	p, err := algorithm.Place(eval, caps)
 	if err != nil {
 		return err
@@ -131,5 +146,46 @@ func run(args []string, stdout io.Writer) error {
 		res.MeanLatency.Round(1_000_000), res.P50Latency.Round(1_000_000),
 		res.P95Latency.Round(1_000_000), res.P99Latency.Round(1_000_000))
 	fmt.Fprintf(tw, "peak concurrency\t%d downloads on one server\n", res.PeakConcurrency)
+	return tw.Flush()
+}
+
+// runMobility drives the dynamics engine and prints the per-checkpoint
+// timeline.
+func runMobility(stdout io.Writer, ins *scenario.Instance, alg placement.Algorithm, caps []int64,
+	durationMin, checkpointMin int, threshold float64, realizations int, rebuild bool, src *rng.Source) error {
+	mode := dynamics.Incremental
+	if rebuild {
+		mode = dynamics.Rebuild
+	}
+	var trigger dynamics.Trigger = dynamics.NeverTrigger{}
+	if threshold > 0 {
+		trigger = dynamics.ThresholdTrigger{Degradation: threshold}
+	}
+	res, err := dynamics.Run(dynamics.Config{
+		Instance:      ins,
+		Capacities:    caps,
+		Tracks:        []dynamics.Track{{Algorithm: alg, Trigger: trigger}},
+		DurationMin:   durationMin,
+		CheckpointMin: checkpointMin,
+		SlotS:         5,
+		Realizations:  realizations,
+		Mode:          mode,
+	}, src)
+	if err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(stdout, 0, 0, 2, ' ', 0)
+	fmt.Fprintf(tw, "algorithm\t%s\n", alg.Name())
+	fmt.Fprintf(tw, "scenario\tM=%d K=%d I=%d\n", ins.NumServers(), ins.NumUsers(), ins.NumModels())
+	fmt.Fprintf(tw, "policy\t%s, %d realizations/checkpoint\n", trigger.Name(), realizations)
+	fmt.Fprintf(tw, "time (min)\thit ratio\treplaced\n")
+	for _, s := range res.Steps {
+		marker := ""
+		if s.Replaced[0] {
+			marker = "  <- replaced"
+		}
+		fmt.Fprintf(tw, "%.0f\t%.4f\t%s\n", s.TimeMin, s.HitRatio[0], marker)
+	}
+	fmt.Fprintf(tw, "replacements\t%d\n", res.Replacements[0])
 	return tw.Flush()
 }

@@ -46,6 +46,31 @@ func TestRunSaveAndReplayTrace(t *testing.T) {
 	}
 }
 
+func TestRunMobilityTimeline(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-alg", "gen", "-servers", "5", "-users", "10", "-models", "10",
+		"-mobility", "20", "-checkpoint", "10", "-replace-threshold", "0.05", "-mob-realizations", "10"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"TrimCaching Gen", "time (min)", "replacements"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("mobility output missing %q:\n%s", want, out.String())
+		}
+	}
+	// The incremental and rebuild paths must print identical timelines.
+	var reb bytes.Buffer
+	err = run([]string{"-alg", "gen", "-servers", "5", "-users", "10", "-models", "10",
+		"-mobility", "20", "-checkpoint", "10", "-replace-threshold", "0.05", "-mob-realizations", "10",
+		"-rebuild"}, &reb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != reb.String() {
+		t.Fatalf("incremental and rebuild timelines differ:\n%s\nvs\n%s", out.String(), reb.String())
+	}
+}
+
 func TestRunUnknownAlgorithm(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-alg", "nope"}, &out); err == nil {

@@ -1,0 +1,103 @@
+package trimcaching
+
+import (
+	"fmt"
+
+	"trimcaching/internal/dynamics"
+	"trimcaching/internal/placement"
+	"trimcaching/internal/rng"
+)
+
+// DynamicsConfig parameterizes a mobility timeline run: users walk with the
+// paper's pedestrian/bike/vehicle model, the hit ratio is measured under
+// fading at every checkpoint, and the placement is re-initiated when it
+// degrades past a threshold (§IV, §VII-E).
+type DynamicsConfig struct {
+	// Algorithm is the placement algorithm's short name ("spec", "gen", ...).
+	Algorithm string
+	// DurationMin and CheckpointMin shape the timeline (§VII-E: 120 / 10).
+	DurationMin   int
+	CheckpointMin int
+	// SlotS is the mobility slot length; 0 keeps the paper's 5 s.
+	SlotS float64
+	// Realizations is the fading realizations per checkpoint measurement.
+	Realizations int
+	// ReplaceThreshold re-places when the hit ratio falls below
+	// (1 - ReplaceThreshold) times the post-placement baseline; 0 never
+	// replaces (the Fig. 7 protocol).
+	ReplaceThreshold float64
+	// Rebuild switches the engine from incremental delta updates (the
+	// default) to full instance rebuilds at every checkpoint. Both modes
+	// produce identical timelines; Rebuild exists as the reference path.
+	Rebuild bool
+}
+
+// DefaultDynamicsConfig mirrors the §VII-E protocol: a two-hour walk in
+// five-second slots, measured every ten minutes, placement frozen.
+func DefaultDynamicsConfig() DynamicsConfig {
+	return DynamicsConfig{
+		Algorithm:     "spec",
+		DurationMin:   120,
+		CheckpointMin: 10,
+		SlotS:         5,
+		Realizations:  400,
+	}
+}
+
+// DynamicsStep is one checkpoint of a mobility timeline.
+type DynamicsStep struct {
+	// TimeMin is minutes since the start.
+	TimeMin float64
+	// HitRatio is the fading-averaged hit ratio at this checkpoint.
+	HitRatio float64
+	// Replaced reports whether the placement was re-initiated here.
+	Replaced bool
+}
+
+// RunDynamics walks the scenario's users through a mobility timeline and
+// returns the per-checkpoint hit ratios plus the number of replacements.
+// Deterministic in seed; the scenario itself is left untouched (the engine
+// runs on a private rebuild of its instance).
+func (s *Scenario) RunDynamics(cfg DynamicsConfig, seed uint64) ([]DynamicsStep, int, error) {
+	alg, err := placement.ByName(cfg.Algorithm)
+	if err != nil {
+		return nil, 0, fmt.Errorf("trimcaching: %w", err)
+	}
+	if cfg.SlotS == 0 {
+		cfg.SlotS = 5
+	}
+	// The incremental engine mutates its instance in place; hand it a
+	// private copy so s keeps serving the caller afterwards.
+	ins, err := s.instance.Rebuild(s.instance.Topology().UserPositions())
+	if err != nil {
+		return nil, 0, fmt.Errorf("trimcaching: %w", err)
+	}
+	mode := dynamics.Incremental
+	if cfg.Rebuild {
+		mode = dynamics.Rebuild
+	}
+	var trigger dynamics.Trigger = dynamics.NeverTrigger{}
+	if cfg.ReplaceThreshold > 0 {
+		trigger = dynamics.ThresholdTrigger{Degradation: cfg.ReplaceThreshold}
+	}
+	caps := make([]int64, len(s.caps))
+	copy(caps, s.caps)
+	res, err := dynamics.Run(dynamics.Config{
+		Instance:      ins,
+		Capacities:    caps,
+		Tracks:        []dynamics.Track{{Algorithm: alg, Trigger: trigger}},
+		DurationMin:   cfg.DurationMin,
+		CheckpointMin: cfg.CheckpointMin,
+		SlotS:         cfg.SlotS,
+		Realizations:  cfg.Realizations,
+		Mode:          mode,
+	}, rng.New(seed))
+	if err != nil {
+		return nil, 0, fmt.Errorf("trimcaching: %w", err)
+	}
+	steps := make([]DynamicsStep, len(res.Steps))
+	for si, st := range res.Steps {
+		steps[si] = DynamicsStep{TimeMin: st.TimeMin, HitRatio: st.HitRatio[0], Replaced: st.Replaced[0]}
+	}
+	return steps, res.Replacements[0], nil
+}

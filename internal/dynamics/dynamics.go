@@ -1,0 +1,454 @@
+// Package dynamics is the time axis of the reproduction: one engine for
+// the "walk users → refresh the instance → measure → maybe re-place"
+// control loop that §IV sketches and §VII-E measures. The replacement
+// study (internal/replacement), the Fig. 7 experiment, and the mobility
+// examples all run on this engine instead of hand-rolling the loop.
+//
+// The engine runs in one of two modes. Rebuild is the historical path: a
+// fresh scenario.Instance and placement.Evaluator every checkpoint, with
+// placement re-solved from scratch — O(M·K·I) per checkpoint before the
+// solve. Incremental threads deltas through every layer instead: the
+// topology moves only the walked users, the instance recomputes only the
+// affected rate and reachability rows (scenario.Instance.UpdateUsers), the
+// evaluator keeps its marginal-gain memo minus the invalidated pairs, and
+// algorithms that support warm starts repair their previous placement.
+// Both modes produce bit-identical timelines — incremental updates are
+// pinned against Rebuild, and warm-started solves against cold ones — so
+// Incremental is the default and Rebuild survives as the reference and
+// benchmark baseline.
+package dynamics
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"trimcaching/internal/bitset"
+	"trimcaching/internal/geom"
+	"trimcaching/internal/mobility"
+	"trimcaching/internal/placement"
+	"trimcaching/internal/rng"
+	"trimcaching/internal/scenario"
+	"trimcaching/internal/sim"
+)
+
+// Mode selects how the engine refreshes the instance at each checkpoint.
+type Mode int
+
+const (
+	// Incremental applies delta updates in place and warm-starts placement
+	// repair. The engine takes ownership of the configured instance.
+	Incremental Mode = iota
+	// Rebuild constructs a fresh instance and evaluator every checkpoint
+	// and re-solves placement from scratch.
+	Rebuild
+)
+
+// Trigger decides, per checkpoint, whether a track re-places its models.
+type Trigger interface {
+	// Name identifies the policy in logs and tables.
+	Name() string
+	// Fire reports whether to re-place at this checkpoint given the
+	// measured hit ratio and the baseline measured right after the track's
+	// last placement.
+	Fire(checkpoint int, hitRatio, baseline float64) bool
+}
+
+// NeverTrigger freezes the initial placement (the Fig. 7 protocol).
+type NeverTrigger struct{}
+
+// Name implements Trigger.
+func (NeverTrigger) Name() string { return "never" }
+
+// Fire implements Trigger.
+func (NeverTrigger) Fire(int, float64, float64) bool { return false }
+
+// PeriodicTrigger re-places every Every checkpoints regardless of
+// performance.
+type PeriodicTrigger struct {
+	Every int
+}
+
+// Name implements Trigger.
+func (t PeriodicTrigger) Name() string { return fmt.Sprintf("every %d checkpoints", t.Every) }
+
+// Fire implements Trigger.
+func (t PeriodicTrigger) Fire(checkpoint int, _, _ float64) bool {
+	return t.Every > 0 && checkpoint%t.Every == 0
+}
+
+// ThresholdTrigger re-places when the measured hit ratio degrades more
+// than Degradation below the post-placement baseline — the paper's
+// "re-initiate when performance degrades to a certain threshold" policy
+// (§IV). Degradation ≥ 1 never fires.
+type ThresholdTrigger struct {
+	Degradation float64
+}
+
+// Name implements Trigger.
+func (t ThresholdTrigger) Name() string { return fmt.Sprintf("%.0f%% degradation", 100*t.Degradation) }
+
+// Fire implements Trigger.
+func (t ThresholdTrigger) Fire(_ int, hitRatio, baseline float64) bool {
+	return hitRatio < (1-t.Degradation)*baseline
+}
+
+// Track is one placement algorithm living on the timeline with its own
+// replacement policy. A nil Trigger defaults to NeverTrigger.
+type Track struct {
+	Algorithm placement.Algorithm
+	Trigger   Trigger
+}
+
+// Config parameterizes one timeline run.
+type Config struct {
+	// Instance is the t = 0 problem instance. In Incremental mode the
+	// engine mutates it in place; pass a private instance (or rebuild one
+	// with Instance.Rebuild) when the caller needs the original afterwards.
+	Instance *scenario.Instance
+	// Capacities is the per-server storage budget.
+	Capacities []int64
+	// Tracks are the algorithms evaluated side by side on identical
+	// mobility and fading draws.
+	Tracks []Track
+	// DurationMin and CheckpointMin shape the timeline (§VII-E: 120 / 10).
+	DurationMin   int
+	CheckpointMin int
+	// SlotS is the mobility slot length (§VII-E: 5 s).
+	SlotS float64
+	// Realizations is the fading realizations per checkpoint measurement.
+	Realizations int
+	// Workers bounds the fading evaluation parallelism; 0 means
+	// GOMAXPROCS. Results are bit-identical for any worker count.
+	Workers int
+	// Mode selects Incremental (default) or Rebuild.
+	Mode Mode
+}
+
+// Validate reports the first invalid field, if any.
+func (c Config) Validate() error {
+	if c.Instance == nil {
+		return fmt.Errorf("dynamics: instance is required")
+	}
+	if len(c.Capacities) != c.Instance.NumServers() {
+		return fmt.Errorf("dynamics: %d capacities for %d servers", len(c.Capacities), c.Instance.NumServers())
+	}
+	if len(c.Tracks) == 0 {
+		return fmt.Errorf("dynamics: at least one track is required")
+	}
+	for a, tr := range c.Tracks {
+		if tr.Algorithm == nil {
+			return fmt.Errorf("dynamics: track %d has no algorithm", a)
+		}
+	}
+	if c.DurationMin <= 0 || c.CheckpointMin <= 0 || c.DurationMin < c.CheckpointMin {
+		return fmt.Errorf("dynamics: bad timeline %d/%d min", c.DurationMin, c.CheckpointMin)
+	}
+	if c.SlotS <= 0 {
+		return fmt.Errorf("dynamics: SlotS must be positive")
+	}
+	if c.Realizations <= 0 {
+		return fmt.Errorf("dynamics: Realizations must be positive")
+	}
+	if c.Mode != Incremental && c.Mode != Rebuild {
+		return fmt.Errorf("dynamics: unknown mode %d", int(c.Mode))
+	}
+	return nil
+}
+
+// Step is one checkpoint of the timeline.
+type Step struct {
+	// TimeMin is minutes since the start.
+	TimeMin float64 `json:"timeMin"`
+	// HitRatio is the fading-averaged hit ratio per track.
+	HitRatio []float64 `json:"hitRatio"`
+	// Replaced reports, per track, whether its trigger fired here.
+	Replaced []bool `json:"replaced"`
+}
+
+// Result is a completed timeline.
+type Result struct {
+	// Steps holds one entry per checkpoint, including t = 0.
+	Steps []Step
+	// Replacements counts each track's re-placements (excluding the
+	// initial placement).
+	Replacements []int
+}
+
+// Engine is a running timeline. Callers either drive the whole loop with
+// Run or step it manually (Advance → Refresh → Measure/Replace), which is
+// how the benchmarks time each phase in isolation.
+type Engine struct {
+	cfg     Config
+	src     *rng.Source
+	walkSrc *rng.Source
+
+	ins     *scenario.Instance
+	eval    *placement.Evaluator
+	session *sim.FadingSession
+	pop     *mobility.Population
+
+	allUsers  []int
+	positions []geom.Point
+
+	placements []*placement.Placement
+	baselines  []float64
+	accPairs   []bitset.Set // per track: reach pairs changed since its last solve
+
+	slotsPerCheckpoint int
+	checkpoints        int // excluding t = 0
+	replacements       []int
+}
+
+// NewEngine validates the configuration, wires the mobility population,
+// and computes the initial placements and their fading baselines (the
+// t = 0 step). The random source fuels three independent streams —
+// "mobility" (walker initialization), "walk" (per-slot dynamics), and
+// "fading"/"refade" (per-checkpoint measurement) — so timelines are
+// deterministic in (config, seed) and independent of Workers.
+func NewEngine(cfg Config, src *rng.Source) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ins := cfg.Instance
+	pop, err := mobility.NewPopulation(ins.Topology().Area(), ins.Topology().UserPositions(), src.Split("mobility"))
+	if err != nil {
+		return nil, fmt.Errorf("dynamics: %w", err)
+	}
+	eval, err := placement.NewEvaluator(ins)
+	if err != nil {
+		return nil, fmt.Errorf("dynamics: %w", err)
+	}
+	K := ins.NumUsers()
+	// Clamp the fading workers to the realization count before sizing the
+	// session, so no per-worker buffers are allocated that Evaluate can
+	// never use.
+	sessionWorkers := cfg.Workers
+	if sessionWorkers <= 0 {
+		sessionWorkers = runtime.GOMAXPROCS(0)
+	}
+	if sessionWorkers > cfg.Realizations {
+		sessionWorkers = cfg.Realizations
+	}
+	e := &Engine{
+		cfg:                cfg,
+		src:                src,
+		walkSrc:            src.Split("walk"),
+		ins:                ins,
+		eval:               eval,
+		session:            sim.NewFadingSession(ins, sessionWorkers),
+		pop:                pop,
+		allUsers:           make([]int, K),
+		positions:          make([]geom.Point, K),
+		placements:         make([]*placement.Placement, len(cfg.Tracks)),
+		baselines:          make([]float64, len(cfg.Tracks)),
+		accPairs:           make([]bitset.Set, len(cfg.Tracks)),
+		slotsPerCheckpoint: int(float64(cfg.CheckpointMin*60)/cfg.SlotS + 0.5),
+		checkpoints:        cfg.DurationMin / cfg.CheckpointMin,
+		replacements:       make([]int, len(cfg.Tracks)),
+	}
+	for k := range e.allUsers {
+		e.allUsers[k] = k
+	}
+	for a, tr := range cfg.Tracks {
+		e.accPairs[a] = bitset.New(ins.NumServers() * ins.NumModels())
+		p, err := tr.Algorithm.Place(eval, cfg.Capacities)
+		if err != nil {
+			return nil, fmt.Errorf("dynamics: %s: %w", tr.Algorithm.Name(), err)
+		}
+		e.placements[a] = p
+	}
+	base, err := e.Measure(0)
+	if err != nil {
+		return nil, err
+	}
+	copy(e.baselines, base)
+	return e, nil
+}
+
+// Instance returns the engine's current instance (the configured one in
+// Incremental mode, the latest rebuild otherwise).
+func (e *Engine) Instance() *scenario.Instance { return e.ins }
+
+// Placement returns track a's current placement.
+func (e *Engine) Placement(a int) *placement.Placement { return e.placements[a] }
+
+// Baseline returns track a's post-placement baseline hit ratio.
+func (e *Engine) Baseline(a int) float64 { return e.baselines[a] }
+
+// Checkpoints returns the number of checkpoints after t = 0.
+func (e *Engine) Checkpoints() int { return e.checkpoints }
+
+// Advance walks every user through one checkpoint worth of mobility slots.
+func (e *Engine) Advance() error {
+	for s := 0; s < e.slotsPerCheckpoint; s++ {
+		if err := e.pop.Step(e.cfg.SlotS, e.walkSrc); err != nil {
+			return fmt.Errorf("dynamics: %w", err)
+		}
+	}
+	return nil
+}
+
+// Refresh brings the instance (and evaluator) up to date with the walkers'
+// current positions: a delta update in Incremental mode, a fresh instance
+// in Rebuild mode.
+func (e *Engine) Refresh() error {
+	e.pop.PositionsInto(e.positions)
+	if e.cfg.Mode == Rebuild {
+		ins, err := e.ins.Rebuild(e.positions)
+		if err != nil {
+			return fmt.Errorf("dynamics: %w", err)
+		}
+		eval, err := placement.NewEvaluator(ins)
+		if err != nil {
+			return fmt.Errorf("dynamics: %w", err)
+		}
+		e.ins, e.eval = ins, eval
+		return nil
+	}
+	delta, err := e.ins.UpdateUsers(e.allUsers, e.positions)
+	if err != nil {
+		return fmt.Errorf("dynamics: %w", err)
+	}
+	if err := e.eval.ApplyDelta(delta); err != nil {
+		return fmt.Errorf("dynamics: %w", err)
+	}
+	for a := range e.accPairs {
+		e.accPairs[a].Or(delta.Pairs)
+	}
+	return nil
+}
+
+// Measure evaluates every track's current placement under checkpoint cp's
+// fading realizations (paired across tracks).
+func (e *Engine) Measure(cp int) ([]float64, error) {
+	hits, err := e.session.Evaluate(e.eval, e.placements, e.cfg.Realizations, e.src.SplitIndex("fading", cp))
+	if err != nil {
+		return nil, fmt.Errorf("dynamics: %w", err)
+	}
+	return hits, nil
+}
+
+// resolve computes track a's placement on the current instance: warm-start
+// repair from its previous placement and accumulated delta when the
+// algorithm supports it and the engine is incremental, a cold solve
+// otherwise.
+func (e *Engine) resolve(a int) (*placement.Placement, error) {
+	tr := e.cfg.Tracks[a]
+	if ws, ok := tr.Algorithm.(placement.WarmStartAlgorithm); ok && e.cfg.Mode == Incremental {
+		d := &scenario.Delta{Gen: e.ins.Generation(), Pairs: e.accPairs[a]}
+		return ws.Repair(e.eval, e.cfg.Capacities, e.placements[a], d)
+	}
+	return tr.Algorithm.Place(e.eval, e.cfg.Capacities)
+}
+
+// Replace re-places track a on the current instance — warm-start repair
+// when the algorithm supports it and the engine is incremental — and
+// re-measures its baseline on checkpoint cp's replacement stream.
+func (e *Engine) Replace(a, cp int) (float64, error) {
+	p, err := e.resolve(a)
+	if err != nil {
+		return 0, fmt.Errorf("dynamics: %s: %w", e.cfg.Tracks[a].Algorithm.Name(), err)
+	}
+	e.accPairs[a].Zero()
+	e.placements[a] = p
+	e.replacements[a]++
+	base, err := e.session.Evaluate(e.eval, e.placements[a:a+1], e.cfg.Realizations, e.src.SplitIndex("refade", cp))
+	if err != nil {
+		return 0, fmt.Errorf("dynamics: %w", err)
+	}
+	e.baselines[a] = base[0]
+	return base[0], nil
+}
+
+// ProfileCheckpoints advances n checkpoints and returns the wall time
+// spent refreshing the instance and — when forceReplace is set — re-solving
+// every track's placement at every checkpoint. The fading measurement is
+// excluded on purpose: it is identical in both modes, while refresh +
+// re-solve is the cost the incremental engine exists to cut — the
+// tentpole's "checkpoint cost". Used by the dynamics benchmarks and
+// cmd/benchdyn; forceReplace models the worst-case trigger cadence, while
+// the paper's degradation-threshold protocol replaces only exceptionally.
+func (e *Engine) ProfileCheckpoints(n int, forceReplace bool) (refresh, repair time.Duration, err error) {
+	for cp := 0; cp < n; cp++ {
+		if err := e.Advance(); err != nil {
+			return 0, 0, err
+		}
+		start := time.Now()
+		if err := e.Refresh(); err != nil {
+			return 0, 0, err
+		}
+		refresh += time.Since(start)
+		if !forceReplace {
+			continue
+		}
+		for a := range e.cfg.Tracks {
+			start = time.Now()
+			p, err := e.resolve(a)
+			if err != nil {
+				return 0, 0, fmt.Errorf("dynamics: %s: %w", e.cfg.Tracks[a].Algorithm.Name(), err)
+			}
+			repair += time.Since(start)
+			e.accPairs[a].Zero()
+			e.placements[a] = p
+		}
+	}
+	return refresh, repair, nil
+}
+
+// Run drives the whole timeline: measure at t = 0, then per checkpoint
+// walk, refresh, measure, and fire each track's trigger.
+func (e *Engine) Run() (*Result, error) {
+	res := &Result{
+		Steps:        make([]Step, 0, e.checkpoints+1),
+		Replacements: e.replacements,
+	}
+	first := Step{TimeMin: 0, HitRatio: make([]float64, len(e.cfg.Tracks)), Replaced: make([]bool, len(e.cfg.Tracks))}
+	copy(first.HitRatio, e.baselines)
+	res.Steps = append(res.Steps, first)
+
+	for cp := 1; cp <= e.checkpoints; cp++ {
+		if err := e.Advance(); err != nil {
+			return nil, err
+		}
+		if err := e.Refresh(); err != nil {
+			return nil, err
+		}
+		hits, err := e.Measure(cp)
+		if err != nil {
+			return nil, err
+		}
+		step := Step{
+			TimeMin:  float64(cp * e.cfg.CheckpointMin),
+			HitRatio: make([]float64, len(e.cfg.Tracks)),
+			Replaced: make([]bool, len(e.cfg.Tracks)),
+		}
+		copy(step.HitRatio, hits)
+		for a, tr := range e.cfg.Tracks {
+			trigger := tr.Trigger
+			if trigger == nil {
+				trigger = NeverTrigger{}
+			}
+			if !trigger.Fire(cp, hits[a], e.baselines[a]) {
+				continue
+			}
+			hr, err := e.Replace(a, cp)
+			if err != nil {
+				return nil, err
+			}
+			step.HitRatio[a] = hr
+			step.Replaced[a] = true
+		}
+		res.Steps = append(res.Steps, step)
+	}
+	return res, nil
+}
+
+// Run builds an engine and drives the full timeline.
+func Run(cfg Config, src *rng.Source) (*Result, error) {
+	e, err := NewEngine(cfg, src)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run()
+}

@@ -1,0 +1,52 @@
+package dynamics
+
+import (
+	"trimcaching/internal/libgen"
+	"trimcaching/internal/placement"
+	"trimcaching/internal/rng"
+	"trimcaching/internal/scenario"
+	"trimcaching/internal/topology"
+	"trimcaching/internal/wireless"
+	"trimcaching/internal/workload"
+)
+
+// NewLoRAScaleConfig builds the canonical LoRA-scale benchmark setting:
+// M = 10 edge servers, K = 300 users walking the §VII-E mobility model,
+// and a 1000-adapter LoRA library (one shared foundation model, >99%
+// parameter sharing) under LLM-grade deadlines — the scale at which a full
+// per-checkpoint rebuild costs O(M·K·I). Shared by the dynamics benchmarks
+// and cmd/benchdyn so both report the same workload.
+func NewLoRAScaleConfig(mode Mode) (Config, error) {
+	lib, err := libgen.GenerateLoRA(libgen.DefaultLoRAConfig(1000))
+	if err != nil {
+		return Config{}, err
+	}
+	w := wireless.DefaultConfig()
+	w.BackhaulBps = 1e9
+	wl := workload.DefaultConfig()
+	// A multi-GB model takes tens of seconds over the air: LLM provisioning
+	// tolerates minutes, with seconds of on-device warm-up.
+	wl.DeadlineMinS, wl.DeadlineMaxS = 60, 180
+	wl.InferMinS, wl.InferMaxS = 1, 5
+	ins, err := scenario.Generate(lib, scenario.GenConfig{
+		Topology: topology.Config{AreaSideM: 1000, NumServers: 10, NumUsers: 300, CoverageRadiusM: w.CoverageRadiusM},
+		Wireless: w,
+		Workload: wl,
+	}, rng.New(1).Split("instance"))
+	if err != nil {
+		return Config{}, err
+	}
+	return Config{
+		Instance:   ins,
+		Capacities: placement.UniformCapacities(ins.NumServers(), 8<<30),
+		Tracks: []Track{{
+			Algorithm: placement.GenAlgorithm{Options: placement.GenOptions{Lazy: true}},
+			Trigger:   ThresholdTrigger{Degradation: 0.05},
+		}},
+		DurationMin:   120,
+		CheckpointMin: 10,
+		SlotS:         5,
+		Realizations:  10,
+		Mode:          mode,
+	}, nil
+}

@@ -5,12 +5,11 @@ import (
 	"runtime"
 	"sync"
 
-	"trimcaching/internal/mobility"
+	"trimcaching/internal/dynamics"
 	"trimcaching/internal/modellib"
 	"trimcaching/internal/placement"
 	"trimcaching/internal/rng"
 	"trimcaching/internal/scenario"
-	"trimcaching/internal/sim"
 	"trimcaching/internal/stats"
 )
 
@@ -120,7 +119,10 @@ type fig7Outcome struct {
 }
 
 // fig7Trial runs one topology: place at t = 0, then walk users and
-// re-evaluate the frozen placements at every checkpoint.
+// re-evaluate the frozen placements at every checkpoint. The loop is the
+// dynamics engine with never-firing triggers; the engine's incremental
+// instance updates are pinned bit-identical to the historical rebuild
+// path, so the figure is unchanged.
 func fig7Trial(lib *modellib.Library, algs []placement.Algorithm, checkpoints, perCheckpoint int, src *rng.Source) fig7Outcome {
 	out := fig7Outcome{hit: make([][]float64, len(algs))}
 	for a := range out.hit {
@@ -133,63 +135,26 @@ func fig7Trial(lib *modellib.Library, algs []placement.Algorithm, checkpoints, p
 		out.err = err
 		return out
 	}
-	eval, err := placement.NewEvaluator(ins)
-	if err != nil {
-		out.err = err
-		return out
-	}
-	caps := placement.UniformCapacities(fig7Servers, int64(defaultQGB*GB))
-	placements := make([]*placement.Placement, len(algs))
+	tracks := make([]dynamics.Track, len(algs))
 	for a, alg := range algs {
-		p, err := alg.Place(eval, caps)
-		if err != nil {
-			out.err = fmt.Errorf("%s: %w", alg.Name(), err)
-			return out
-		}
-		placements[a] = p
+		tracks[a] = dynamics.Track{Algorithm: alg, Trigger: dynamics.NeverTrigger{}}
 	}
-
-	pop, err := mobility.NewPopulation(ins.Topology().Area(), ins.Topology().UserPositions(), src.Split("mobility"))
+	res, err := dynamics.Run(dynamics.Config{
+		Instance:      ins,
+		Capacities:    placement.UniformCapacities(fig7Servers, int64(defaultQGB*GB)),
+		Tracks:        tracks,
+		DurationMin:   (checkpoints - 1) * fig7CheckpointMin,
+		CheckpointMin: fig7CheckpointMin,
+		SlotS:         fig7SlotS,
+		Realizations:  perCheckpoint,
+	}, src)
 	if err != nil {
 		out.err = err
 		return out
 	}
-
-	walkSrc := src.Split("walk")
-	slotsPerCheckpoint := fig7CheckpointMin * 60 / fig7SlotS
-	cur := ins
-	curEval := eval
-	for cp := 0; cp < checkpoints; cp++ {
-		if cp > 0 {
-			for s := 0; s < slotsPerCheckpoint; s++ {
-				if err := pop.Step(fig7SlotS, walkSrc); err != nil {
-					out.err = err
-					return out
-				}
-			}
-			topo, err := ins.Topology().WithUserPositions(pop.Positions())
-			if err != nil {
-				out.err = err
-				return out
-			}
-			cur, err = scenario.New(topo, lib, ins.Workload(), ins.Wireless())
-			if err != nil {
-				out.err = err
-				return out
-			}
-			curEval, err = placement.NewEvaluator(cur)
-			if err != nil {
-				out.err = err
-				return out
-			}
-		}
-		hits, err := sim.EvaluateUnderFading(curEval, placements, perCheckpoint, src.SplitIndex("fading", cp))
-		if err != nil {
-			out.err = err
-			return out
-		}
+	for cp, step := range res.Steps {
 		for a := range algs {
-			out.hit[a][cp] = hits[a]
+			out.hit[a][cp] = step.HitRatio[a]
 		}
 	}
 	return out

@@ -168,11 +168,17 @@ func (p *Population) Step(dtS float64, src *rng.Source) error {
 
 // Positions returns the current position of every walker.
 func (p *Population) Positions() []geom.Point {
-	out := make([]geom.Point, len(p.walkers))
+	return p.PositionsInto(make([]geom.Point, len(p.walkers)))
+}
+
+// PositionsInto writes the current position of every walker into dst, which
+// must have one slot per walker, and returns it. Time-stepped loops reuse
+// one buffer across checkpoints.
+func (p *Population) PositionsInto(dst []geom.Point) []geom.Point {
 	for i, w := range p.walkers {
-		out[i] = w.Pos()
+		dst[i] = w.Pos()
 	}
-	return out
+	return dst
 }
 
 // Walker returns walker i.

@@ -1,6 +1,10 @@
 package placement
 
-import "fmt"
+import (
+	"fmt"
+
+	"trimcaching/internal/scenario"
+)
 
 // Algorithm is a named placement solver, the unit the experiment harness
 // sweeps over.
@@ -9,6 +13,46 @@ type Algorithm interface {
 	Name() string
 	// Place computes a placement respecting the per-server capacities.
 	Place(e *Evaluator, capacities []int64) (*Placement, error)
+}
+
+// WarmStartAlgorithm is an Algorithm that can repair the placement it
+// produced before an incremental instance update instead of solving cold.
+//
+// Contract: prev must be the placement this algorithm produced for the
+// same capacities before the instance absorbed delta, and delta.Pairs must
+// cover every reachability change since prev was computed (union the Pairs
+// of intermediate deltas when several updates elapsed). Under that
+// contract Repair returns a placement identical to Place on the updated
+// instance — warm-starting is a pure optimization, never a drift source,
+// which is what lets replacement studies compare trigger policies without
+// the solver's start state confounding them. Repair may return prev itself
+// when it can prove nothing the solver consumes changed.
+type WarmStartAlgorithm interface {
+	Algorithm
+	Repair(e *Evaluator, capacities []int64, prev *Placement, delta *scenario.Delta) (*Placement, error)
+}
+
+// repair is the shared eviction/insertion repair path: absorb the delta
+// into the evaluator's marginal-gain memo (invalidating exactly the pairs
+// the update changed), short-circuit to prev when no pair a solver could
+// consume changed, and otherwise re-run the solver — whose first sweep now
+// reuses every still-valid memoized gain, recomputing only the invalidated
+// entries, and whose insertion loop rebuilds coverage from the gains it
+// certifies. Placement storage costs depend only on the library, so prev
+// staying feasible needs no re-check on the unchanged-capacity path.
+func repair(a Algorithm, e *Evaluator, capacities []int64, prev *Placement, delta *scenario.Delta) (*Placement, error) {
+	if delta != nil {
+		if err := e.ApplyDelta(delta); err != nil {
+			return nil, err
+		}
+		if prev != nil && !delta.Pairs.Any() &&
+			prev.NumServers() == e.ins.NumServers() && prev.NumModels() == e.ins.NumModels() {
+			// No user mask changed, and probabilities and capacities are
+			// what prev was solved under: a cold solve would reproduce it.
+			return prev, nil
+		}
+	}
+	return a.Place(e, capacities)
 }
 
 // GenAlgorithm is TrimCaching Gen (Algorithm 3).
@@ -24,6 +68,16 @@ func (GenAlgorithm) Name() string { return "TrimCaching Gen" }
 // Place implements Algorithm.
 func (a GenAlgorithm) Place(e *Evaluator, capacities []int64) (*Placement, error) {
 	return TrimCachingGen(e, capacities, a.Options)
+}
+
+var _ WarmStartAlgorithm = GenAlgorithm{}
+
+// Repair implements WarmStartAlgorithm. The lazy variant's heap
+// construction reuses the memoized marginal gains directly; the naive
+// variant re-solves but still benefits from the delta-scoped invalidation
+// on its next lazy siblings sharing the evaluator.
+func (a GenAlgorithm) Repair(e *Evaluator, capacities []int64, prev *Placement, delta *scenario.Delta) (*Placement, error) {
+	return repair(a, e, capacities, prev, delta)
 }
 
 // SpecAlgorithm is TrimCaching Spec (Algorithms 1–2). The zero value runs
@@ -43,6 +97,17 @@ func (a SpecAlgorithm) Place(e *Evaluator, capacities []int64) (*Placement, erro
 	return TrimCachingSpec(e, capacities, a.Options)
 }
 
+var _ WarmStartAlgorithm = SpecAlgorithm{}
+
+// Repair implements WarmStartAlgorithm. Spec's successive per-server
+// structure admits no sound partial reuse once masks shift (each server's
+// knapsack depends on every earlier server's choice), so beyond the
+// nothing-changed short-circuit it re-solves, reusing the memoized u0
+// values for models no earlier server has covered yet.
+func (a SpecAlgorithm) Repair(e *Evaluator, capacities []int64, prev *Placement, delta *scenario.Delta) (*Placement, error) {
+	return repair(a, e, capacities, prev, delta)
+}
+
 // IndependentAlgorithm is the Independent Caching baseline.
 type IndependentAlgorithm struct{}
 
@@ -54,6 +119,14 @@ func (IndependentAlgorithm) Name() string { return "Independent Caching" }
 // Place implements Algorithm.
 func (IndependentAlgorithm) Place(e *Evaluator, capacities []int64) (*Placement, error) {
 	return IndependentCaching(e, capacities)
+}
+
+var _ WarmStartAlgorithm = IndependentAlgorithm{}
+
+// Repair implements WarmStartAlgorithm; the baseline shares the greedy
+// warm-start machinery (storage mode does not affect marginal gains).
+func (a IndependentAlgorithm) Repair(e *Evaluator, capacities []int64, prev *Placement, delta *scenario.Delta) (*Placement, error) {
+	return repair(a, e, capacities, prev, delta)
 }
 
 // OptimalAlgorithm is the exhaustive search.

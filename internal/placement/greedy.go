@@ -177,7 +177,11 @@ func runLazyGreedy(s *greedyState) {
 	h := make(candidateHeap, 0, M*I)
 	for m := 0; m < M; m++ {
 		for i := 0; i < I; i++ {
-			if g := s.gain(m, i); g > gainTolerance {
+			// On the empty placement the marginal gain is the evaluator's
+			// memoized u0(m,i), so a warm-started solve (evaluator reused
+			// across an incremental instance update) recomputes only the
+			// pairs the delta invalidated.
+			if g := s.e.BaseGain(m, i); g > gainTolerance {
 				h = append(h, candidate{key: g, m: int32(m), i: int32(i)})
 			}
 		}

@@ -109,9 +109,24 @@ func (p *Placement) Clone() *Placement {
 // It precomputes the model-major probability table the bitset kernels
 // consume, so the greedy algorithms can sum request mass along a user mask
 // without striding through the user-major workload layout.
+//
+// The evaluator is designed to be reused across incremental instance
+// updates: the probability table depends only on the workload (which user
+// movement never touches), and the empty-placement marginal-gain memo
+// below tracks the instance's mutation generation. It is not safe for
+// concurrent Place calls; read-only evaluation (HitRatio*) is.
 type Evaluator struct {
 	ins   *scenario.Instance
 	probT []float64 // probT[i*K+k] = p_{k,i}
+
+	// Empty-placement marginal-gain memo u0(m,i) = Σ_{k∈UserMask(m,i)} p_{k,i},
+	// the quantity every solver's first sweep computes M·I times. Validity is
+	// per-pair: ApplyDelta clears exactly the pairs an UpdateUsers call
+	// changed; if the instance advanced without ApplyDelta the whole memo
+	// drops (generation mismatch).
+	baseGain  []float64
+	baseValid bitset.Set
+	baseGen   int
 }
 
 // NewEvaluator returns an evaluator for the instance.
@@ -119,14 +134,60 @@ func NewEvaluator(ins *scenario.Instance) (*Evaluator, error) {
 	if ins == nil {
 		return nil, fmt.Errorf("placement: instance is required")
 	}
-	K, I := ins.NumUsers(), ins.NumModels()
+	M, K, I := ins.NumServers(), ins.NumUsers(), ins.NumModels()
 	probT := make([]float64, I*K)
 	for k := 0; k < K; k++ {
 		for i := 0; i < I; i++ {
 			probT[i*K+k] = ins.Prob(k, i)
 		}
 	}
-	return &Evaluator{ins: ins, probT: probT}, nil
+	return &Evaluator{
+		ins:       ins,
+		probT:     probT,
+		baseGain:  make([]float64, M*I),
+		baseValid: bitset.New(M * I),
+		baseGen:   ins.Generation(),
+	}, nil
+}
+
+// BaseGain returns u0(m,i): the marginal cache-hit mass of placing model i
+// on server m into an empty placement, memoized across calls. The value is
+// bit-identical to recomputing the masked probability sum from scratch, so
+// warm-started solves reproduce cold solves exactly.
+func (e *Evaluator) BaseGain(m, i int) float64 {
+	if e.baseGen != e.ins.Generation() {
+		// The instance mutated without ApplyDelta: drop the whole memo.
+		e.baseValid.Zero()
+		e.baseGen = e.ins.Generation()
+	}
+	idx := m*e.ins.NumModels() + i
+	if !e.baseValid.Has(idx) {
+		e.baseGain[idx] = e.maskMass(i, e.ins.UserMask(m, i), nil)
+		e.baseValid.Set(idx)
+	}
+	return e.baseGain[idx]
+}
+
+// ApplyDelta absorbs an incremental scenario.Instance.UpdateUsers change
+// into the evaluator's caches: only the marginal gains of the delta's
+// changed (server, model) pairs are invalidated. Applying the same delta
+// twice is a no-op; skipping a delta degrades to a full invalidation via
+// the generation check, never to stale reads.
+func (e *Evaluator) ApplyDelta(d *scenario.Delta) error {
+	if d == nil {
+		return fmt.Errorf("placement: delta is required")
+	}
+	switch {
+	case d.Gen == e.baseGen:
+		// Already applied.
+	case d.Gen == e.baseGen+1 && len(d.Pairs) == len(e.baseValid):
+		e.baseValid.AndNot(d.Pairs)
+		e.baseGen = d.Gen
+	default:
+		e.baseValid.Zero()
+		e.baseGen = d.Gen
+	}
+	return nil
 }
 
 // maskMass sums p_{k,i} over the users in mask \ excluded, in ascending

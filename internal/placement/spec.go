@@ -59,11 +59,18 @@ func TrimCachingSpec(e *Evaluator, capacities []int64, opts SpecOptions) (*Place
 	for m := 0; m < M; m++ {
 		// u(m,i) with the I2 exclusion (eq. 14): mass this server can newly
 		// serve by caching model i — one AND-NOT sweep over the inverted
-		// index instead of a K-element rescan.
+		// index instead of a K-element rescan. While nothing is excluded yet
+		// (no earlier server covered model i) the value is exactly the
+		// evaluator's memoized u0(m,i), bit-identical since the excluded
+		// words are all zero.
 		u := make([]float64, I)
 		var eligible []int
 		for i := 0; i < I; i++ {
-			u[i] = e.maskMass(i, ins.UserMask(m, i), covered[i*uw:(i+1)*uw])
+			if cov := bitset.Set(covered[i*uw : (i+1)*uw]); !cov.Any() {
+				u[i] = e.BaseGain(m, i)
+			} else {
+				u[i] = e.maskMass(i, ins.UserMask(m, i), cov)
+			}
 			if u[i] > gainTolerance {
 				eligible = append(eligible, i)
 			}

@@ -10,12 +10,11 @@ package replacement
 import (
 	"fmt"
 
-	"trimcaching/internal/mobility"
+	"trimcaching/internal/dynamics"
 	"trimcaching/internal/modellib"
 	"trimcaching/internal/placement"
 	"trimcaching/internal/rng"
 	"trimcaching/internal/scenario"
-	"trimcaching/internal/sim"
 )
 
 // Policy decides when to re-run placement.
@@ -90,7 +89,9 @@ func (c Config) Validate() error {
 // Run simulates the control loop once: place at t = 0, walk users, measure
 // at each checkpoint, and re-place whenever the policy fires. It returns
 // the timeline and the number of replacements (excluding the initial
-// placement).
+// placement). The loop itself is the dynamics engine in incremental mode:
+// the instance absorbs each checkpoint's user movement as a delta update
+// and the algorithm warm-starts from its previous placement.
 func Run(cfg Config, pol Policy, src *rng.Source) ([]Step, int, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, 0, err
@@ -103,84 +104,24 @@ func Run(cfg Config, pol Policy, src *rng.Source) ([]Step, int, error) {
 	if err != nil {
 		return nil, 0, err
 	}
-	caps := placement.UniformCapacities(ins.NumServers(), cfg.CapacityBytes)
-
-	place := func(cur *scenario.Instance) (*placement.Placement, error) {
-		eval, err := placement.NewEvaluator(cur)
-		if err != nil {
-			return nil, err
-		}
-		p, err := pol.Algorithm.Place(eval, caps)
-		if err != nil {
-			return nil, fmt.Errorf("replacement: %s: %w", pol.Algorithm.Name(), err)
-		}
-		return p, nil
-	}
-	measure := func(cur *scenario.Instance, p *placement.Placement, cp int) (float64, error) {
-		eval, err := placement.NewEvaluator(cur)
-		if err != nil {
-			return 0, err
-		}
-		hits, err := sim.EvaluateUnderFading(eval, []*placement.Placement{p}, cfg.Realizations,
-			src.SplitIndex("fading", cp))
-		if err != nil {
-			return 0, err
-		}
-		return hits[0], nil
-	}
-
-	current, err := place(ins)
+	res, err := dynamics.Run(dynamics.Config{
+		Instance:   ins,
+		Capacities: placement.UniformCapacities(ins.NumServers(), cfg.CapacityBytes),
+		Tracks: []dynamics.Track{{
+			Algorithm: pol.Algorithm,
+			Trigger:   dynamics.ThresholdTrigger{Degradation: pol.DegradationThreshold},
+		}},
+		DurationMin:   cfg.DurationMin,
+		CheckpointMin: cfg.CheckpointMin,
+		SlotS:         cfg.SlotS,
+		Realizations:  cfg.Realizations,
+	}, src)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, fmt.Errorf("replacement: %w", err)
 	}
-	baseline, err := measure(ins, current, 0)
-	if err != nil {
-		return nil, 0, err
+	steps := make([]Step, len(res.Steps))
+	for si, s := range res.Steps {
+		steps[si] = Step{TimeMin: s.TimeMin, HitRatio: s.HitRatio[0], Replaced: s.Replaced[0]}
 	}
-
-	pop, err := mobility.NewPopulation(ins.Topology().Area(), ins.Topology().UserPositions(), src.Split("mobility"))
-	if err != nil {
-		return nil, 0, err
-	}
-	walkSrc := src.Split("walk")
-
-	steps := []Step{{TimeMin: 0, HitRatio: baseline}}
-	replacements := 0
-	slotsPerCheckpoint := int(float64(cfg.CheckpointMin*60)/cfg.SlotS + 0.5)
-	cur := ins
-	for tMin := cfg.CheckpointMin; tMin <= cfg.DurationMin; tMin += cfg.CheckpointMin {
-		for s := 0; s < slotsPerCheckpoint; s++ {
-			if err := pop.Step(cfg.SlotS, walkSrc); err != nil {
-				return nil, 0, err
-			}
-		}
-		topo, err := ins.Topology().WithUserPositions(pop.Positions())
-		if err != nil {
-			return nil, 0, err
-		}
-		cur, err = scenario.New(topo, cfg.Library, ins.Workload(), ins.Wireless())
-		if err != nil {
-			return nil, 0, err
-		}
-		hr, err := measure(cur, current, tMin)
-		if err != nil {
-			return nil, 0, err
-		}
-		replaced := false
-		if hr < (1-pol.DegradationThreshold)*baseline {
-			current, err = place(cur)
-			if err != nil {
-				return nil, 0, err
-			}
-			baseline, err = measure(cur, current, tMin+1)
-			if err != nil {
-				return nil, 0, err
-			}
-			hr = baseline
-			replaced = true
-			replacements++
-		}
-		steps = append(steps, Step{TimeMin: float64(tMin), HitRatio: hr, Replaced: replaced})
-	}
-	return steps, replacements, nil
+	return steps, res.Replacements[0], nil
 }

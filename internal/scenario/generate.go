@@ -51,9 +51,19 @@ func SampleGains(numServers, numUsers int, src *rng.Source) [][]float64 {
 	gains := make([][]float64, numServers)
 	for m := range gains {
 		gains[m] = make([]float64, numUsers)
-		for k := range gains[m] {
-			gains[m][k] = src.Exp()
+	}
+	SampleGainsInto(gains, src)
+	return gains
+}
+
+// SampleGainsInto fills a preallocated gain matrix with one realization,
+// drawing in the same order as SampleGains. Reusing the matrix across
+// realizations keeps the Monte-Carlo inner loop allocation-free.
+func SampleGainsInto(gains [][]float64, src *rng.Source) {
+	for m := range gains {
+		row := gains[m]
+		for k := range row {
+			row[k] = src.Exp()
 		}
 	}
-	return gains
 }

@@ -9,15 +9,23 @@ package scenario
 import (
 	"fmt"
 	"math"
+	mbits "math/bits"
+	"runtime"
+	"slices"
+	"sort"
+	"sync"
 
 	"trimcaching/internal/bitset"
+	"trimcaching/internal/geom"
 	"trimcaching/internal/modellib"
 	"trimcaching/internal/topology"
 	"trimcaching/internal/wireless"
 	"trimcaching/internal/workload"
 )
 
-// Instance is an immutable problem instance.
+// Instance is a problem instance. It is immutable except through
+// UpdateUsers, which moves users and incrementally refreshes every derived
+// quantity; callers that need a frozen snapshot use Rebuild.
 type Instance struct {
 	topo *topology.Topology
 	lib  *modellib.Library
@@ -30,6 +38,16 @@ type Instance struct {
 	totalMass float64
 	sizeBits  []float64 // sizeBits[i]: model size in bits, hoisted out of hot loops
 
+	// Threshold form of the QoS verdicts (eqs. 3–5): server m can serve
+	// (k,i) directly iff its rate ≥ minDirRate, and any server can relay
+	// iff the user's best rate ≥ minRelRate (+Inf marks requests no rate
+	// can satisfy). The thresholds depend only on the workload, library,
+	// and backhaul — never on positions — so they survive user movement
+	// and turn the per-realization reachability fill into one compare per
+	// entry, with no divisions.
+	minDirRate []float64 // minDirRate[k*I+i] = sizeBits / (deadline − infer)
+	minRelRate []float64 // minRelRate[k*I+i] = sizeBits / (deadline − infer − sizeBits/backhaul)
+
 	// Word-packed I1(m,k,i) under the average channel, in both orientations
 	// the algorithms need: server masks answer "which servers can serve
 	// request (k,i)" with one AND, user masks answer "which users does
@@ -38,6 +56,27 @@ type Instance struct {
 	userWords   int
 	reachSrv    []uint64 // [(k*I+i)*serverWords + w], bit m
 	reachUsr    []uint64 // [(m*I+i)*userWords + w], bit k
+
+	// Incremental-update state: gen counts UpdateUsers calls (warm-start
+	// caches key their validity on it), the scratch below is reused across
+	// calls so a delta update performs no steady-state allocation. Dirty
+	// users are processed in parallel — their rate columns and reach rows
+	// are disjoint — with inverted-index flips collected per worker and
+	// applied serially, so results are bit-identical for any worker count.
+	gen        int
+	updDirty   []bool   // per-user dirty flag scratch
+	updUsers   []int    // dirty-user list scratch
+	updFullRow []uint64 // all-servers mask, serverWords
+	updWorkers []*updWorker
+
+	// Flip index for delta updates, built lazily on first UpdateUsers: each
+	// user's models ordered by ascending rate threshold, so a rate change
+	// old→new flips exactly the verdicts whose threshold lies between them
+	// — two binary searches instead of an I-element rescan.
+	flipDirOrder []int32   // flipDirOrder[k*I+j]: model at rank j of user k's direct thresholds
+	flipDirVals  []float64 // flipDirVals[k*I+j] = minDirRate[k, flipDirOrder[k*I+j]]
+	flipRelOrder []int32
+	flipRelVals  []float64
 }
 
 // New validates the components and precomputes rates, latencies, and I1.
@@ -105,6 +144,15 @@ func NewShadowed(topo *topology.Topology, lib *modellib.Library, work *workload.
 	for i := 0; i < I; i++ {
 		ins.sizeBits[i] = 8 * float64(lib.ModelSize(i))
 	}
+	ins.minDirRate = make([]float64, K*I)
+	ins.minRelRate = make([]float64, K*I)
+	for k := 0; k < K; k++ {
+		for i := 0; i < I; i++ {
+			slack := work.DeadlineS(k, i) - work.InferS(k, i)
+			ins.minDirRate[k*I+i] = rateThreshold(ins.sizeBits[i], slack)
+			ins.minRelRate[k*I+i] = rateThreshold(ins.sizeBits[i], slack-ins.sizeBits[i]/wcfg.BackhaulBps)
+		}
+	}
 
 	ins.serverWords = bitset.Words(M)
 	ins.userWords = bitset.Words(K)
@@ -125,38 +173,79 @@ func NewShadowed(topo *topology.Topology, lib *modellib.Library, work *workload.
 // fillReach computes the word-packed I1 indicator under the given per-link
 // rates (rates[m*K+k], 0 for non-covering pairs) and per-user best relay
 // rates, writing server masks into dst with layout [(k*I+i)*serverWords].
-//
-// The relay-path latency (eq. 5) does not depend on the serving server m,
-// so its verdict is computed once per (k,i) and broadcast across the whole
-// mask; only the (sparse) covering servers are then patched with their
-// direct-path verdict (eq. 4). The arithmetic matches latency() exactly.
 func (ins *Instance) fillReach(rates, relay []float64, dst []uint64) {
 	K, I := ins.NumUsers(), ins.NumModels()
 	sw := ins.serverWords
 	full := bitset.Set(make([]uint64, sw))
 	full.SetAll(ins.NumServers())
 	for k := 0; k < K; k++ {
-		covering := ins.topo.ServersCovering(k)
-		relayRate := relay[k]
+		ins.fillReachRows(k, ins.topo.ServersCovering(k), rates, relay[k], full,
+			dst[k*I*sw:(k+1)*I*sw])
+	}
+}
+
+// rateThreshold returns the minimum rate that satisfies the QoS slack
+// (seconds available for the over-the-air transfer): sizeBits/slack, or
+// +Inf when no rate can (slack ≤ 0).
+func rateThreshold(sizeBits, slack float64) float64 {
+	if slack <= 0 {
+		return math.Inf(1)
+	}
+	return sizeBits / slack
+}
+
+// fillReachRows recomputes user k's I server masks into rows (I*serverWords
+// words) under the given per-link rates and relay rate. This is the
+// reachability engine's innermost fill, shared by full builds (fillReach),
+// fading realizations (FadedReach), and delta updates (UpdateUsers), so all
+// three stay bit-identical by construction.
+//
+// The relay-path latency (eq. 5) does not depend on the serving server m,
+// so its verdict is computed once per (k,i) and broadcast across the whole
+// mask; only the (sparse) covering servers are then patched with their
+// direct-path verdict (eq. 4). Both verdicts use the precomputed threshold
+// form — rate ≥ sizeBits/slack instead of sizeBits/rate + … ≤ deadline —
+// which is algebraically the same test reduced to one compare per entry,
+// and which UpdateUsers' flip index shares so delta updates agree exactly.
+func (ins *Instance) fillReachRows(k int, covering []int, rates []float64, relayRate float64, full bitset.Set, rows []uint64) {
+	K, I := ins.NumUsers(), ins.NumModels()
+	sw := ins.serverWords
+	minDir := ins.minDirRate[k*I : (k+1)*I]
+	minRel := ins.minRelRate[k*I : (k+1)*I]
+	if sw == 1 {
+		// Single-word masks (M ≤ 64): each row is one uint64.
+		fullWord := full[0]
 		for i := 0; i < I; i++ {
-			row := bitset.Set(dst[(k*I+i)*sw : (k*I+i+1)*sw])
-			sizeBits := ins.sizeBits[i]
-			infer := ins.work.InferS(k, i)
-			deadline := ins.work.DeadlineS(k, i)
-			relayOK := relayRate > 0 &&
-				sizeBits/ins.wcfg.BackhaulBps+sizeBits/relayRate+infer <= deadline
-			if relayOK {
-				row.CopyFrom(full)
-			} else {
-				row.Zero()
+			var w uint64
+			if relayRate > 0 && relayRate >= minRel[i] {
+				w = fullWord
 			}
 			for _, m := range covering {
 				if direct := rates[m*K+k]; direct > 0 {
-					if sizeBits/direct+infer <= deadline {
-						row.Set(m)
+					if direct >= minDir[i] {
+						w |= 1 << uint(m)
 					} else {
-						row.Clear(m)
+						w &^= 1 << uint(m)
 					}
+				}
+			}
+			rows[i] = w
+		}
+		return
+	}
+	for i := 0; i < I; i++ {
+		row := bitset.Set(rows[i*sw : (i+1)*sw])
+		if relayRate > 0 && relayRate >= minRel[i] {
+			row.CopyFrom(full)
+		} else {
+			row.Zero()
+		}
+		for _, m := range covering {
+			if direct := rates[m*K+k]; direct > 0 {
+				if direct >= minDir[i] {
+					row.Set(m)
+				} else {
+					row.Clear(m)
 				}
 			}
 		}
@@ -188,6 +277,391 @@ func (ins *Instance) shadowGain(m, k int) float64 {
 		return 1
 	}
 	return ins.shadow[m][k]
+}
+
+// Generation counts the UpdateUsers calls applied to this instance. Caches
+// derived from the reachability masks (e.g. the placement evaluator's
+// marginal-gain memo) key their validity on it.
+func (ins *Instance) Generation() int { return ins.gen }
+
+// Delta describes what one UpdateUsers call changed, in the form the
+// warm-start machinery consumes.
+type Delta struct {
+	// Gen is the instance generation this delta produced.
+	Gen int
+	// Users lists, ascending, the users whose rate and reachability rows
+	// were recomputed: the moved users plus every user of a server whose
+	// association load changed.
+	Users []int
+	// Pairs packs the (server, model) pairs — bit m*I+i — whose user
+	// reachability mask changed. Placement warm starts recompute exactly
+	// these marginal gains and reuse the rest.
+	Pairs bitset.Set
+}
+
+// Rebuild returns a fresh instance with the same servers, library,
+// workload, wireless configuration, and per-link shadowing, but users at
+// the given positions. It is the one rebuild path shared by every dynamic
+// layer — and the reference UpdateUsers is pinned against.
+func (ins *Instance) Rebuild(users []geom.Point) (*Instance, error) {
+	topo, err := ins.topo.WithUserPositions(users)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	return NewShadowed(topo, ins.lib, ins.work, ins.wcfg, ins.shadow)
+}
+
+// UpdateUsers moves user moved[j] to pos[j] and incrementally refreshes the
+// association sets, average rates, relay rates, and both packed
+// reachability orientations, bit-identical to Rebuild on the full updated
+// position vector but touching only the users the move affects: the moved
+// users plus the users of servers whose load changed. Per-link shadowing,
+// when present, stays attached to the (server, user) index pair. The
+// returned delta reports the changed reachability pairs for warm-start
+// consumers.
+func (ins *Instance) UpdateUsers(moved []int, pos []geom.Point) (*Delta, error) {
+	M, K, I := ins.NumServers(), ins.NumUsers(), ins.NumModels()
+	oldTopo := ins.topo
+	newTopo, loadChanged, err := oldTopo.MoveUsers(moved, pos)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+
+	if ins.updDirty == nil {
+		ins.updDirty = make([]bool, K)
+		ins.updFullRow = make([]uint64, ins.serverWords)
+		bitset.Set(ins.updFullRow).SetAll(M)
+	}
+	ins.ensureFlipIndex()
+	dirty := ins.updDirty
+	for _, k := range moved {
+		dirty[k] = true
+	}
+	for _, m := range loadChanged {
+		// Users that left m's coverage are movers and already dirty; the
+		// remaining (old ∩ new) and entering users are all in the new list.
+		for _, k := range newTopo.UsersOf(m) {
+			dirty[k] = true
+		}
+	}
+	ins.topo = newTopo
+	dirtyUsers := ins.updUsers[:0]
+	for k := 0; k < K; k++ {
+		if dirty[k] {
+			dirty[k] = false // reset scratch for the next call
+			dirtyUsers = append(dirtyUsers, k)
+		}
+	}
+	ins.updUsers = dirtyUsers
+
+	// Phase 1, parallel over dirty users: rate columns, relay rates, and
+	// reach rows are disjoint per user, so workers write them directly;
+	// inverted-index flips land in per-worker buffers. Phase 2 applies the
+	// flips serially — flip targets are unique per (user, server, model),
+	// so the outcome is bit-identical for any worker count.
+	workers := len(dirtyUsers) / minUsersPerWorker
+	if gmp := runtime.GOMAXPROCS(0); workers > gmp {
+		workers = gmp
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	for len(ins.updWorkers) < workers {
+		ins.updWorkers = append(ins.updWorkers, newUpdWorker(M, I, ins.serverWords))
+	}
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := w*len(dirtyUsers)/workers, (w+1)*len(dirtyUsers)/workers
+		uw := ins.updWorkers[w]
+		uw.flips = uw.flips[:0]
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			for _, k := range dirtyUsers[lo:hi] {
+				if err := ins.updateUser(k, oldTopo, uw); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	pairs := bitset.New(M * I)
+	uwords := ins.userWords
+	for _, uw := range ins.updWorkers[:workers] {
+		for _, op := range uw.flips {
+			pairs.Set(int(op.pair))
+			um := bitset.Set(ins.reachUsr[int(op.pair)*uwords : (int(op.pair)+1)*uwords])
+			if op.set {
+				um.Set(int(op.k))
+			} else {
+				um.Clear(int(op.k))
+			}
+		}
+	}
+	ins.gen++
+	// The dirty-user list scratch is reused by the next call; the delta
+	// gets its own copy so callers can hold deltas across updates.
+	return &Delta{Gen: ins.gen, Users: append([]int(nil), dirtyUsers...), Pairs: pairs}, nil
+}
+
+// minUsersPerWorker keeps the parallel update phase from spawning workers
+// for trivially small dirty sets.
+const minUsersPerWorker = 32
+
+// flipOp is one deferred inverted-index update: set or clear user k's bit
+// in pair (server, model)'s user mask.
+type flipOp struct {
+	pair int32 // m*I + i
+	k    int32
+	set  bool
+}
+
+// updWorker is one parallel update worker's scratch.
+type updWorker struct {
+	oldRate  []float64 // old covering rates, indexed by server
+	dirRates []float64 // gathered covering rates
+	dirBits  []uint64  // matching single-word bit masks
+	covMask  []uint64  // covering-servers mask, serverWords
+	rows     []uint64  // recompute scratch (multi-word masks), I*serverWords
+	flips    []flipOp
+}
+
+func newUpdWorker(M, I, serverWords int) *updWorker {
+	return &updWorker{
+		oldRate:  make([]float64, M),
+		dirRates: make([]float64, 0, M),
+		dirBits:  make([]uint64, 0, M),
+		covMask:  make([]uint64, serverWords),
+		rows:     make([]uint64, I*serverWords),
+	}
+}
+
+// flip records a deferred inverted-index update.
+func (w *updWorker) flip(k, pair int, set bool) {
+	w.flips = append(w.flips, flipOp{pair: int32(pair), k: int32(k), set: set})
+}
+
+// updateUser refreshes one dirty user: rates and relay rate first (with
+// the old covering rates captured for the flip search), then the reach
+// rows — threshold flips when the coverage set is unchanged, a fused
+// recompute otherwise. Clean users keep bit-identical rates: their
+// positions, their servers' loads, and their shadowing gains are all
+// unchanged.
+func (ins *Instance) updateUser(k int, oldTopo *topology.Topology, w *updWorker) error {
+	K := ins.NumUsers()
+	oldCovering := oldTopo.ServersCovering(k)
+	newCovering := ins.topo.ServersCovering(k)
+	oldRelay := ins.bestRelay[k]
+	for _, m := range oldCovering {
+		w.oldRate[m] = ins.avgRate[m*K+k]
+		ins.avgRate[m*K+k] = 0
+	}
+	best := 0.0
+	for _, m := range newCovering {
+		rate, err := ins.wcfg.FadedRateBps(ins.topo.Distance(m, k), ins.topo.Load(m), ins.shadowGain(m, k))
+		if err != nil {
+			return fmt.Errorf("scenario: rate m=%d k=%d: %w", m, k, err)
+		}
+		ins.avgRate[m*K+k] = rate
+		if rate > best {
+			best = rate
+		}
+	}
+	ins.bestRelay[k] = best
+
+	if slices.Equal(oldCovering, newCovering) {
+		ins.flipUserRows(k, newCovering, oldRelay, best, w)
+	} else {
+		ins.recomputeUserRows(k, newCovering, w)
+	}
+	return nil
+}
+
+// ensureFlipIndex builds, once per instance, each user's models ordered by
+// ascending direct and relay rate thresholds. The thresholds are
+// position-independent, so the index never invalidates; it is built lazily
+// because only delta updates consume it.
+func (ins *Instance) ensureFlipIndex() {
+	if ins.flipDirOrder != nil {
+		return
+	}
+	K, I := ins.NumUsers(), ins.NumModels()
+	ins.flipDirOrder = make([]int32, K*I)
+	ins.flipDirVals = make([]float64, K*I)
+	ins.flipRelOrder = make([]int32, K*I)
+	ins.flipRelVals = make([]float64, K*I)
+	buildRanks(ins.flipDirOrder, ins.flipDirVals, ins.minDirRate, K, I)
+	buildRanks(ins.flipRelOrder, ins.flipRelVals, ins.minRelRate, K, I)
+}
+
+// buildRanks fills, per user, the model permutation sorted by ascending
+// threshold and the matching sorted threshold values.
+func buildRanks(order []int32, vals, thresholds []float64, K, I int) {
+	for k := 0; k < K; k++ {
+		ord := order[k*I : (k+1)*I]
+		for j := range ord {
+			ord[j] = int32(j)
+		}
+		th := thresholds[k*I : (k+1)*I]
+		sort.Slice(ord, func(a, b int) bool { return th[ord[a]] < th[ord[b]] })
+		v := vals[k*I : (k+1)*I]
+		for j, i := range ord {
+			v[j] = th[i]
+		}
+	}
+}
+
+// flipRange returns the rank interval [lo, hi) of thresholds crossed by a
+// rate change old→new: thresholds t with min(old,new) < t ≤ max(old,new).
+// Exactly these verdicts (rate ≥ t) flip; rising rates set them, falling
+// rates clear them.
+func flipRange(vals []float64, oldRate, newRate float64) (lo, hi int, set bool) {
+	a, b := oldRate, newRate
+	set = newRate > oldRate
+	if !set {
+		a, b = b, a
+	}
+	lo = sort.Search(len(vals), func(j int) bool { return vals[j] > a })
+	hi = lo + sort.Search(len(vals)-lo, func(j int) bool { return vals[lo+j] > b })
+	return lo, hi, set
+}
+
+// flipUserRows applies a same-coverage rate change to user k's reach rows:
+// binary-search the user's threshold ranks for the verdicts the relay and
+// per-server rate changes crossed, and toggle exactly those bits in both
+// packed orientations — O(M·log I + flips) instead of an O(I) refill.
+func (ins *Instance) flipUserRows(k int, covering []int, oldRelay, newRelay float64, w *updWorker) {
+	K, I := ins.NumUsers(), ins.NumModels()
+	sw := ins.serverWords
+	rows := ins.reachSrv[k*I*sw : (k+1)*I*sw]
+
+	// Relay flips toggle every non-covering server's bit (covering bits are
+	// always governed by their direct verdict, since covering rates are
+	// positive).
+	if oldRelay != newRelay {
+		cov := bitset.Set(w.covMask)
+		cov.Zero()
+		for _, m := range covering {
+			cov.Set(m)
+		}
+		nonCov := bitset.Set(w.rows[:sw]) // borrow row scratch for the mask
+		nonCov.CopyFrom(bitset.Set(ins.updFullRow))
+		nonCov.AndNot(cov)
+		relVals := ins.flipRelVals[k*I : (k+1)*I]
+		relOrder := ins.flipRelOrder[k*I : (k+1)*I]
+		lo, hi, set := flipRange(relVals, oldRelay, newRelay)
+		for j := lo; j < hi; j++ {
+			i := int(relOrder[j])
+			row := bitset.Set(rows[i*sw : (i+1)*sw])
+			for wd, v := range nonCov {
+				word := v
+				if set {
+					row[wd] |= word
+				} else {
+					row[wd] &^= word
+				}
+				for ; word != 0; word &= word - 1 {
+					m := wd<<6 | mbits.TrailingZeros64(word)
+					w.flip(k, m*I+i, set)
+				}
+			}
+		}
+	}
+
+	dirVals := ins.flipDirVals[k*I : (k+1)*I]
+	dirOrder := ins.flipDirOrder[k*I : (k+1)*I]
+	for _, m := range covering {
+		oldRate, newRate := w.oldRate[m], ins.avgRate[m*K+k]
+		if oldRate == newRate {
+			continue
+		}
+		lo, hi, set := flipRange(dirVals, oldRate, newRate)
+		for j := lo; j < hi; j++ {
+			i := int(dirOrder[j])
+			row := bitset.Set(rows[i*sw : (i+1)*sw])
+			if set {
+				row.Set(m)
+			} else {
+				row.Clear(m)
+			}
+			w.flip(k, m*I+i, set)
+		}
+	}
+}
+
+// recomputeUserRows is the coverage-changed fallback: recompute user k's
+// rows in one fused pass — verdict, diff against the stored row, inverted-
+// index flip, store — with the covering rates hoisted out of the model
+// loop. The verdicts are the same compares fillReachRows performs, so the
+// result stays bit-identical to a full rebuild.
+func (ins *Instance) recomputeUserRows(k int, covering []int, w *updWorker) {
+	K, I := ins.NumUsers(), ins.NumModels()
+	sw := ins.serverWords
+	minDir := ins.minDirRate[k*I : (k+1)*I]
+	minRel := ins.minRelRate[k*I : (k+1)*I]
+	relay := ins.bestRelay[k]
+	// Covering rates and their bit masks, gathered once (rates are positive
+	// for every covering link, matching fillReachRows' direct > 0 guard).
+	dirRates := w.dirRates[:0]
+	dirBits := w.dirBits[:0]
+	for _, m := range covering {
+		if r := ins.avgRate[m*K+k]; r > 0 {
+			dirRates = append(dirRates, r)
+			dirBits = append(dirBits, 1<<uint(m&63))
+		}
+	}
+	if sw == 1 {
+		fullWord := ins.updFullRow[0]
+		if relay <= 0 {
+			fullWord = 0 // relay verdict constant-false; compare below can't pass
+		}
+		rows := ins.reachSrv[k*I : (k+1)*I : (k+1)*I]
+		minRel, minDir := minRel[:len(rows)], minDir[:len(rows)]
+		for i := range rows {
+			var word uint64
+			if relay >= minRel[i] {
+				word = fullWord
+			}
+			for j, direct := range dirRates {
+				if direct >= minDir[i] {
+					word |= dirBits[j]
+				} else {
+					word &^= dirBits[j]
+				}
+			}
+			diff := rows[i] ^ word
+			if diff == 0 {
+				continue
+			}
+			rows[i] = word
+			for ; diff != 0; diff &= diff - 1 {
+				m := mbits.TrailingZeros64(diff)
+				w.flip(k, m*I+i, word&(1<<uint(m)) != 0)
+			}
+		}
+		return
+	}
+	ins.fillReachRows(k, covering, ins.avgRate, relay, bitset.Set(ins.updFullRow), w.rows)
+	rows := ins.reachSrv[k*I*sw : (k+1)*I*sw]
+	for i := 0; i < I; i++ {
+		for wd := 0; wd < sw; wd++ {
+			newWord := w.rows[i*sw+wd]
+			diff := rows[i*sw+wd] ^ newWord
+			for ; diff != 0; diff &= diff - 1 {
+				m := wd<<6 | mbits.TrailingZeros64(diff)
+				w.flip(k, m*I+i, newWord&(1<<uint(m&63)) != 0)
+			}
+		}
+	}
+	copy(rows, w.rows)
 }
 
 // Topology returns the deployment.

@@ -217,7 +217,63 @@ func EvaluateUnderFading(eval *placement.Evaluator, placements []*placement.Plac
 }
 
 // EvaluateUnderFadingWorkers is EvaluateUnderFading with an explicit worker
-// count (0 means GOMAXPROCS).
+// count (0 means GOMAXPROCS). It builds a one-shot FadingSession; loops
+// that evaluate repeatedly over same-sized instances (one call per mobility
+// checkpoint) should hold a session and reuse its buffers instead.
+func EvaluateUnderFadingWorkers(eval *placement.Evaluator, placements []*placement.Placement, realizations, workers int, src *rng.Source) ([]float64, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	// Clamp before building the one-shot session so no unused per-worker
+	// buffers are allocated for small realization counts.
+	if realizations > 0 && workers > realizations {
+		workers = realizations
+	}
+	return NewFadingSession(eval.Instance(), workers).Evaluate(eval, placements, realizations, src)
+}
+
+// FadingSession owns the scratch a Monte-Carlo fading evaluation needs —
+// per-worker reach buffers and gain matrices, plus the per-realization
+// score table — so repeated Evaluate calls perform no steady-state
+// allocation. The buffers are sized by instance dimensions, not bound to
+// one instance: a session built at t = 0 serves every later checkpoint of
+// a mobility timeline, whether the instance was updated in place or
+// rebuilt.
+type FadingSession struct {
+	numServers, numUsers, numModels int
+	workers                         int
+	bufs                            []*scenario.Reach
+	gains                           [][][]float64
+	hr                              []float64
+}
+
+// NewFadingSession allocates a session for instances with ins's dimensions
+// and the given worker count (0 means GOMAXPROCS).
+func NewFadingSession(ins *scenario.Instance, workers int) *FadingSession {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	s := &FadingSession{
+		numServers: ins.NumServers(),
+		numUsers:   ins.NumUsers(),
+		numModels:  ins.NumModels(),
+		workers:    workers,
+		bufs:       make([]*scenario.Reach, workers),
+		gains:      make([][][]float64, workers),
+	}
+	for w := 0; w < workers; w++ {
+		s.bufs[w] = ins.MakeReachBuffer()
+		s.gains[w] = make([][]float64, ins.NumServers())
+		for m := range s.gains[w] {
+			s.gains[w][m] = make([]float64, ins.NumUsers())
+		}
+	}
+	return s
+}
+
+// Evaluate measures each placement's expected hit ratio over the given
+// number of Rayleigh fading realizations against eval's instance, which
+// must match the session's dimensions.
 //
 // Realization r draws its gains from src.SplitIndex("real", r) — a pure
 // function of the seed material, not of stream position — so every
@@ -225,20 +281,25 @@ func EvaluateUnderFading(eval *placement.Evaluator, placements []*placement.Plac
 // placement averages are reduced in realization order. The result is
 // bit-identical for any worker count, and comparisons stay paired: every
 // placement sees the same realizations.
-func EvaluateUnderFadingWorkers(eval *placement.Evaluator, placements []*placement.Placement, realizations, workers int, src *rng.Source) ([]float64, error) {
+func (s *FadingSession) Evaluate(eval *placement.Evaluator, placements []*placement.Placement, realizations int, src *rng.Source) ([]float64, error) {
 	if realizations <= 0 {
 		return nil, fmt.Errorf("sim: realizations must be positive, got %d", realizations)
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	ins := eval.Instance()
+	if ins.NumServers() != s.numServers || ins.NumUsers() != s.numUsers || ins.NumModels() != s.numModels {
+		return nil, fmt.Errorf("sim: instance dims %dx%dx%d, session %dx%dx%d",
+			ins.NumServers(), ins.NumUsers(), ins.NumModels(), s.numServers, s.numUsers, s.numModels)
 	}
+	workers := s.workers
 	if workers > realizations {
 		workers = realizations
 	}
-	ins := eval.Instance()
 
 	// hr[r*len(placements)+a]: hit ratio of placement a under realization r.
-	hr := make([]float64, realizations*len(placements))
+	if need := realizations * len(placements); cap(s.hr) < need {
+		s.hr = make([]float64, need)
+	}
+	hr := s.hr[:realizations*len(placements)]
 	var (
 		wg       sync.WaitGroup
 		errMu    sync.Mutex
@@ -254,13 +315,13 @@ func EvaluateUnderFadingWorkers(eval *placement.Evaluator, placements []*placeme
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
-			buf := ins.MakeReachBuffer()
+			buf, gains := s.bufs[w], s.gains[w]
 			for r := range next {
 				// SplitIndex only reads the parent's immutable seed
 				// material, so concurrent splits are safe.
-				gains := scenario.SampleGains(ins.NumServers(), ins.NumUsers(), src.SplitIndex("real", r))
+				scenario.SampleGainsInto(gains, src.SplitIndex("real", r))
 				reach, err := ins.FadedReach(gains, buf)
 				if err != nil {
 					fail(err)
@@ -275,7 +336,7 @@ func EvaluateUnderFadingWorkers(eval *placement.Evaluator, placements []*placeme
 					hr[r*len(placements)+a] = v
 				}
 			}
-		}()
+		}(w)
 	}
 	for r := 0; r < realizations; r++ {
 		next <- r
@@ -286,6 +347,8 @@ func EvaluateUnderFadingWorkers(eval *placement.Evaluator, placements []*placeme
 		return nil, firstErr
 	}
 
+	// The result is freshly allocated (callers keep it across Evaluate
+	// calls); only the O(realizations) scratch above is reused.
 	sums := make([]float64, len(placements))
 	for r := 0; r < realizations; r++ {
 		for a := range placements {

@@ -1,0 +1,121 @@
+package topology
+
+import (
+	"testing"
+
+	"trimcaching/internal/geom"
+	"trimcaching/internal/rng"
+)
+
+func moveTestTopology(t *testing.T) *Topology {
+	t.Helper()
+	topo, err := Generate(Config{AreaSideM: 1000, NumServers: 6, NumUsers: 14, CoverageRadiusM: 275}, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func assertTopologiesEqual(t *testing.T, got, want *Topology) {
+	t.Helper()
+	for k := 0; k < want.NumUsers(); k++ {
+		if got.UserPos(k) != want.UserPos(k) {
+			t.Fatalf("user %d at %v, want %v", k, got.UserPos(k), want.UserPos(k))
+		}
+		g, w := got.ServersCovering(k), want.ServersCovering(k)
+		if len(g) != len(w) {
+			t.Fatalf("user %d covered by %d servers, want %d", k, len(g), len(w))
+		}
+		for j := range g {
+			if g[j] != w[j] {
+				t.Fatalf("user %d coverage[%d] = %d, want %d", k, j, g[j], w[j])
+			}
+		}
+	}
+	for m := 0; m < want.NumServers(); m++ {
+		g, w := got.UsersOf(m), want.UsersOf(m)
+		if len(g) != len(w) {
+			t.Fatalf("server %d load %d, want %d", m, len(g), len(w))
+		}
+		for j := range g {
+			if g[j] != w[j] {
+				t.Fatalf("server %d users[%d] = %d, want %d", m, j, g[j], w[j])
+			}
+		}
+	}
+}
+
+// TestMoveUsersMatchesWithUserPositions drifts random subsets of users
+// through repeated incremental moves and pins each snapshot against the
+// full O(K·M) rebuild.
+func TestMoveUsersMatchesWithUserPositions(t *testing.T) {
+	topo := moveTestTopology(t)
+	src := rng.New(9)
+	area := topo.Area()
+	for round := 0; round < 20; round++ {
+		n := 1 + int(src.Uint64()%uint64(topo.NumUsers()))
+		perm := src.Perm(topo.NumUsers())
+		moved := perm[:n]
+		pos := make([]geom.Point, n)
+		for j := range pos {
+			pos[j] = area.SamplePoints(src, 1)[0]
+		}
+		next, loadChanged, err := topo.MoveUsers(moved, pos)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full := topo.UserPositions()
+		for j, k := range moved {
+			full[k] = pos[j]
+		}
+		want, err := topo.WithUserPositions(full)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertTopologiesEqual(t, next, want)
+		// loadChanged must be exactly the servers whose load differs... or
+		// whose membership changed with equal load (one in, one out).
+		for _, m := range loadChanged {
+			if m < 0 || m >= topo.NumServers() {
+				t.Fatalf("loadChanged server %d out of range", m)
+			}
+		}
+		for m := 0; m < topo.NumServers(); m++ {
+			if topo.Load(m) != want.Load(m) {
+				found := false
+				for _, c := range loadChanged {
+					if c == m {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("server %d load changed %d→%d but not reported", m, topo.Load(m), want.Load(m))
+				}
+			}
+		}
+		// The source topology must be untouched by the move.
+		before, err := topo.WithUserPositions(topo.UserPositions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertTopologiesEqual(t, topo, before)
+		topo = next
+	}
+}
+
+func TestMoveUsersValidation(t *testing.T) {
+	topo := moveTestTopology(t)
+	p := topo.UserPos(0)
+	if _, _, err := topo.MoveUsers([]int{0}, nil); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+	if _, _, err := topo.MoveUsers([]int{-1}, []geom.Point{p}); err == nil {
+		t.Fatal("negative index must error")
+	}
+	if _, _, err := topo.MoveUsers([]int{topo.NumUsers()}, []geom.Point{p}); err == nil {
+		t.Fatal("out-of-range index must error")
+	}
+	if _, _, err := topo.MoveUsers([]int{2, 2}, []geom.Point{p, p}); err == nil {
+		t.Fatal("duplicate index must error")
+	}
+}

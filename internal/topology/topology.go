@@ -7,6 +7,7 @@ package topology
 
 import (
 	"fmt"
+	"sort"
 
 	"trimcaching/internal/geom"
 	"trimcaching/internal/rng"
@@ -105,6 +106,92 @@ func New(area geom.Area, servers, users []geom.Point, coverageRadiusM float64) (
 // but moved users (used by the mobility experiment, §VII-E).
 func (t *Topology) WithUserPositions(users []geom.Point) (*Topology, error) {
 	return New(t.area, t.servers, users, t.radius)
+}
+
+// MoveUsers returns a snapshot with user moved[j] relocated to newPos[j],
+// recomputing associations only for the moved users — O(|moved|·M) instead
+// of WithUserPositions' O(K·M) — plus the ascending list of servers whose
+// coverage set (and hence load) changed. The result is identical to
+// WithUserPositions on the full updated position vector: association lists
+// stay ascending, and untouched rows are shared with the receiver.
+func (t *Topology) MoveUsers(moved []int, newPos []geom.Point) (*Topology, []int, error) {
+	if len(moved) != len(newPos) {
+		return nil, nil, fmt.Errorf("topology: %d moved users with %d positions", len(moved), len(newPos))
+	}
+	nt := &Topology{
+		area:        t.area,
+		radius:      t.radius,
+		servers:     t.servers, // servers never move
+		users:       append([]geom.Point(nil), t.users...),
+		userServers: append([][]int(nil), t.userServers...),
+		serverUsers: append([][]int(nil), t.serverUsers...),
+	}
+	seen := make([]bool, len(t.users))
+	copied := make([]bool, len(t.servers)) // serverUsers row privately owned by nt
+	changed := make([]bool, len(t.servers))
+	for j, k := range moved {
+		if k < 0 || k >= len(t.users) {
+			return nil, nil, fmt.Errorf("topology: moved user %d out of range [0,%d)", k, len(t.users))
+		}
+		if seen[k] {
+			return nil, nil, fmt.Errorf("topology: user %d moved twice", k)
+		}
+		seen[k] = true
+		nt.users[k] = newPos[j]
+		var cov []int
+		for m, s := range t.servers {
+			if newPos[j].Dist(s) <= t.radius {
+				cov = append(cov, m)
+			}
+		}
+		old := t.userServers[k]
+		nt.userServers[k] = cov
+		// Merge-diff the ascending old and new coverage lists; splice k out
+		// of (into) the users list of every server it left (entered).
+		oi, ci := 0, 0
+		for oi < len(old) || ci < len(cov) {
+			switch {
+			case ci == len(cov) || (oi < len(old) && old[oi] < cov[ci]):
+				nt.spliceUser(old[oi], k, false, copied)
+				changed[old[oi]] = true
+				oi++
+			case oi == len(old) || cov[ci] < old[oi]:
+				nt.spliceUser(cov[ci], k, true, copied)
+				changed[cov[ci]] = true
+				ci++
+			default:
+				oi++
+				ci++
+			}
+		}
+	}
+	var loadChanged []int
+	for m, c := range changed {
+		if c {
+			loadChanged = append(loadChanged, m)
+		}
+	}
+	return nt, loadChanged, nil
+}
+
+// spliceUser inserts (add=true) or removes user k from server m's ascending
+// users list, copying the row on first touch so the source topology stays
+// intact.
+func (t *Topology) spliceUser(m, k int, add bool, copied []bool) {
+	row := t.serverUsers[m]
+	if !copied[m] {
+		row = append([]int(nil), row...)
+		copied[m] = true
+	}
+	pos := sort.SearchInts(row, k)
+	if add {
+		row = append(row, 0)
+		copy(row[pos+1:], row[pos:])
+		row[pos] = k
+	} else {
+		row = append(row[:pos], row[pos+1:]...)
+	}
+	t.serverUsers[m] = row
 }
 
 // NumServers returns M.

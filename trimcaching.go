@@ -16,6 +16,25 @@
 //	hr, _ := sc.HitRatio(p)                              // eq. (2)
 //	faded, _ := sc.HitRatioUnderFading(p, 1000, 7)       // §VII-A evaluation
 //
+// # Dynamic scenarios
+//
+// The paper's §IV/§VII-E story is dynamic: users move, the hit ratio
+// degrades, and placement is re-initiated only when degradation crosses a
+// threshold. Scenario.RunDynamics drives that whole timeline — walk,
+// per-checkpoint measurement under fading, threshold-triggered
+// replacement — on the incremental dynamics engine, which updates the
+// problem instance in place (delta reachability updates, warm-start
+// placement repair) instead of rebuilding it each checkpoint:
+//
+//	steps, replacements, _ := sc.RunDynamics(trimcaching.DynamicsConfig{
+//		Algorithm: "gen", DurationMin: 120, CheckpointMin: 10,
+//		Realizations: 400, ReplaceThreshold: 0.1,
+//	}, 7)
+//
+// Incremental updates are pinned bit-identical to full rebuilds, so the
+// timeline is exactly what the rebuild path would produce, only faster.
+// StartWalk remains for callers that want to drive mobility by hand.
+//
 // The internal packages hold the substrates (wireless channel, topology,
 // workload, placement algorithms, Monte-Carlo harness); this package wires
 // them together behind a small, stable surface. The experiment drivers that
