@@ -5,14 +5,19 @@
 // With -mobility it instead drives the incremental dynamics engine: users
 // walk the §VII-E mobility model, the hit ratio is re-measured under
 // fading at every checkpoint, and the placement is repaired whenever it
-// degrades past -replace-threshold.
+// degrades past -replace-threshold. With -trace the engine runs its
+// trace-driven track instead: every checkpoint synthesizes a request
+// window at -rate arrivals/user/hour, serves it through the event-driven
+// simulator, and replacement fires on measured hit-ratio degradation
+// (windowed over -trigger-window checkpoints).
 //
 // Usage:
 //
 //	servesim -alg gen -rate 60 -duration 1800
-//	servesim -alg independent -trace requests.jsonl
+//	servesim -alg independent -replay requests.jsonl
 //	servesim -alg gen -save-trace requests.jsonl
 //	servesim -alg gen -mobility 120 -replace-threshold 0.1
+//	servesim -alg gen -trace -replace-threshold 0.1 -trigger-window 2
 package main
 
 import (
@@ -51,15 +56,26 @@ func run(args []string, stdout io.Writer) error {
 	rate := fs.Float64("rate", 30, "requests per user per hour")
 	duration := fs.Float64("duration", 1800, "trace horizon in seconds")
 	seed := fs.Uint64("seed", 1, "random seed")
-	traceIn := fs.String("trace", "", "replay this JSONL trace instead of generating one")
+	traceIn := fs.String("replay", "", "replay this JSONL trace instead of generating one")
 	traceOut := fs.String("save-trace", "", "write the generated trace to this JSONL file")
 	mobilityMin := fs.Int("mobility", 0, "run a mobility timeline of this many minutes instead of serving a trace")
 	checkpointMin := fs.Int("checkpoint", 10, "mobility checkpoint interval in minutes")
 	replaceThreshold := fs.Float64("replace-threshold", 0, "re-place when the hit ratio degrades by this fraction (0 = never)")
 	mobRealizations := fs.Int("mob-realizations", 200, "fading realizations per mobility checkpoint")
 	rebuild := fs.Bool("rebuild", false, "use full per-checkpoint instance rebuilds instead of incremental deltas")
+	traceDriven := fs.Bool("trace", false, "trace-driven mobility: measure checkpoints by serving synthesized request windows at -rate instead of fading Monte-Carlo")
+	triggerWindow := fs.Int("trigger-window", 1, "checkpoints averaged by the trace-driven replacement trigger")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	// -trace used to take the replay path as a value; a stray positional
+	// argument is almost certainly that old spelling, so fail loudly
+	// instead of silently ignoring it (and every flag after it).
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected argument %q (replay a trace file with -replay <file>)", fs.Arg(0))
+	}
+	if *traceDriven && *mobilityMin <= 0 {
+		*mobilityMin = 120 // the §VII-E timeline
 	}
 
 	algorithm, err := placement.ByName(*alg)
@@ -87,8 +103,17 @@ func run(args []string, stdout io.Writer) error {
 	}
 	caps := placement.UniformCapacities(ins.NumServers(), int64(*capacityGB*1e9))
 	if *mobilityMin > 0 {
-		return runMobility(stdout, ins, algorithm, caps, *mobilityMin, *checkpointMin,
-			*replaceThreshold, *mobRealizations, *rebuild, src.Split("dynamics"))
+		mob := mobilityOptions{
+			durationMin:   *mobilityMin,
+			checkpointMin: *checkpointMin,
+			threshold:     *replaceThreshold,
+			realizations:  *mobRealizations,
+			rebuild:       *rebuild,
+			traceDriven:   *traceDriven,
+			traceRate:     *rate,
+			triggerWindow: *triggerWindow,
+		}
+		return runMobility(stdout, ins, algorithm, caps, mob, src.Split("dynamics"))
 	}
 	eval, err := placement.NewEvaluator(ins)
 	if err != nil {
@@ -149,27 +174,50 @@ func run(args []string, stdout io.Writer) error {
 	return tw.Flush()
 }
 
+// mobilityOptions collects the -mobility / -trace mode knobs.
+type mobilityOptions struct {
+	durationMin, checkpointMin int
+	threshold                  float64
+	realizations               int
+	rebuild                    bool
+	traceDriven                bool
+	traceRate                  float64
+	triggerWindow              int
+}
+
 // runMobility drives the dynamics engine and prints the per-checkpoint
 // timeline.
 func runMobility(stdout io.Writer, ins *scenario.Instance, alg placement.Algorithm, caps []int64,
-	durationMin, checkpointMin int, threshold float64, realizations int, rebuild bool, src *rng.Source) error {
+	opt mobilityOptions, src *rng.Source) error {
 	mode := dynamics.Incremental
-	if rebuild {
+	if opt.rebuild {
 		mode = dynamics.Rebuild
 	}
+	var measurement dynamics.Measurement
 	var trigger dynamics.Trigger = dynamics.NeverTrigger{}
-	if threshold > 0 {
-		trigger = dynamics.ThresholdTrigger{Degradation: threshold}
+	measureDesc := fmt.Sprintf("fading, %d realizations/checkpoint", opt.realizations)
+	if opt.traceDriven {
+		measurement = &dynamics.TraceMeasurement{
+			RequestsPerUserPerHour: opt.traceRate,
+			WindowS:                float64(opt.checkpointMin) * 60,
+		}
+		measureDesc = fmt.Sprintf("trace-driven, %.0f requests/user/hour", opt.traceRate)
+		if opt.threshold > 0 {
+			trigger = &dynamics.TraceTrigger{Window: opt.triggerWindow, Degradation: opt.threshold}
+		}
+	} else if opt.threshold > 0 {
+		trigger = dynamics.ThresholdTrigger{Degradation: opt.threshold}
 	}
 	res, err := dynamics.Run(dynamics.Config{
 		Instance:      ins,
 		Capacities:    caps,
 		Tracks:        []dynamics.Track{{Algorithm: alg, Trigger: trigger}},
-		DurationMin:   durationMin,
-		CheckpointMin: checkpointMin,
+		DurationMin:   opt.durationMin,
+		CheckpointMin: opt.checkpointMin,
 		SlotS:         5,
-		Realizations:  realizations,
+		Realizations:  opt.realizations,
 		Mode:          mode,
+		Measurement:   measurement,
 	}, src)
 	if err != nil {
 		return err
@@ -177,7 +225,7 @@ func runMobility(stdout io.Writer, ins *scenario.Instance, alg placement.Algorit
 	tw := tabwriter.NewWriter(stdout, 0, 0, 2, ' ', 0)
 	fmt.Fprintf(tw, "algorithm\t%s\n", alg.Name())
 	fmt.Fprintf(tw, "scenario\tM=%d K=%d I=%d\n", ins.NumServers(), ins.NumUsers(), ins.NumModels())
-	fmt.Fprintf(tw, "policy\t%s, %d realizations/checkpoint\n", trigger.Name(), realizations)
+	fmt.Fprintf(tw, "policy\t%s; %s\n", trigger.Name(), measureDesc)
 	fmt.Fprintf(tw, "time (min)\thit ratio\treplaced\n")
 	for _, s := range res.Steps {
 		marker := ""

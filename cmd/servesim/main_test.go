@@ -37,7 +37,7 @@ func TestRunSaveAndReplayTrace(t *testing.T) {
 	// Replay the same trace with a different algorithm.
 	out.Reset()
 	err = run([]string{"-alg", "independent", "-servers", "4", "-users", "8", "-models", "9",
-		"-trace", path}, &out)
+		"-replay", path}, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +80,44 @@ func TestRunUnknownAlgorithm(t *testing.T) {
 
 func TestRunBadTraceFile(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-trace", "/nonexistent/trace.jsonl"}, &out); err == nil {
+	if err := run([]string{"-replay", "/nonexistent/trace.jsonl"}, &out); err == nil {
 		t.Fatal("missing trace file must error")
+	}
+}
+
+func TestRunRejectsPositionalArgs(t *testing.T) {
+	// The old spelling `-trace <file>` must error loudly, not silently run
+	// a mobility timeline with the file ignored.
+	var out bytes.Buffer
+	err := run([]string{"-alg", "independent", "-trace", "requests.jsonl"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "-replay") {
+		t.Fatalf("positional arg not rejected with -replay hint: %v", err)
+	}
+}
+
+func TestRunTraceDrivenTimeline(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-alg", "gen", "-servers", "5", "-users", "10", "-models", "10",
+		"-trace", "-mobility", "30", "-checkpoint", "10", "-rate", "40",
+		"-replace-threshold", "0.2", "-trigger-window", "2"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"trace-driven", "measured degradation over 2 checkpoints", "time (min)", "replacements"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("trace-driven output missing %q:\n%s", want, out.String())
+		}
+	}
+	// The trace track must be mode-independent too: incremental and rebuild
+	// engines print identical timelines.
+	var reb bytes.Buffer
+	err = run([]string{"-alg", "gen", "-servers", "5", "-users", "10", "-models", "10",
+		"-trace", "-mobility", "30", "-checkpoint", "10", "-rate", "40",
+		"-replace-threshold", "0.2", "-trigger-window", "2", "-rebuild"}, &reb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != reb.String() {
+		t.Fatalf("incremental and rebuild trace timelines differ:\n%s\nvs\n%s", out.String(), reb.String())
 	}
 }

@@ -9,9 +9,10 @@ import (
 )
 
 // DynamicsConfig parameterizes a mobility timeline run: users walk with the
-// paper's pedestrian/bike/vehicle model, the hit ratio is measured under
-// fading at every checkpoint, and the placement is re-initiated when it
-// degrades past a threshold (§IV, §VII-E).
+// paper's pedestrian/bike/vehicle model, the hit ratio is measured at every
+// checkpoint (under fading, or by serving a synthesized request trace — see
+// Measurement), and the placement is re-initiated when it degrades past a
+// threshold (§IV, §VII-E).
 type DynamicsConfig struct {
 	// Algorithm is the placement algorithm's short name ("spec", "gen", ...).
 	Algorithm string
@@ -30,6 +31,21 @@ type DynamicsConfig struct {
 	// default) to full instance rebuilds at every checkpoint. Both modes
 	// produce identical timelines; Rebuild exists as the reference path.
 	Rebuild bool
+	// Measurement selects the checkpoint measurement track: "fading" (the
+	// default, or ""), where the hit ratio is the analytic objective
+	// averaged over Realizations Rayleigh draws, or "trace", where each
+	// checkpoint synthesizes a request window (Poisson arrivals, Zipf model
+	// popularity) and serves it through the event-driven simulator — the
+	// measured QoS hit ratio of actual request traffic. In "trace" mode the
+	// replacement trigger fires on windowed measured degradation and
+	// Realizations is unused.
+	Measurement string
+	// RequestsPerUserPerHour is the arrival rate of the synthesized windows
+	// ("trace" measurement only); 0 keeps 30.
+	RequestsPerUserPerHour float64
+	// TriggerWindow smooths the "trace" replacement trigger over this many
+	// checkpoints (0 keeps 1: fire on a single degraded measurement).
+	TriggerWindow int
 }
 
 // DefaultDynamicsConfig mirrors the §VII-E protocol: a two-hour walk in
@@ -76,9 +92,27 @@ func (s *Scenario) RunDynamics(cfg DynamicsConfig, seed uint64) ([]DynamicsStep,
 	if cfg.Rebuild {
 		mode = dynamics.Rebuild
 	}
+	var measurement dynamics.Measurement
 	var trigger dynamics.Trigger = dynamics.NeverTrigger{}
-	if cfg.ReplaceThreshold > 0 {
-		trigger = dynamics.ThresholdTrigger{Degradation: cfg.ReplaceThreshold}
+	switch cfg.Measurement {
+	case "", "fading":
+		if cfg.ReplaceThreshold > 0 {
+			trigger = dynamics.ThresholdTrigger{Degradation: cfg.ReplaceThreshold}
+		}
+	case "trace":
+		rate := cfg.RequestsPerUserPerHour
+		if rate == 0 {
+			rate = 30
+		}
+		measurement = &dynamics.TraceMeasurement{
+			RequestsPerUserPerHour: rate,
+			WindowS:                float64(cfg.CheckpointMin) * 60,
+		}
+		if cfg.ReplaceThreshold > 0 {
+			trigger = &dynamics.TraceTrigger{Window: cfg.TriggerWindow, Degradation: cfg.ReplaceThreshold}
+		}
+	default:
+		return nil, 0, fmt.Errorf("trimcaching: unknown measurement %q (want \"fading\" or \"trace\")", cfg.Measurement)
 	}
 	caps := make([]int64, len(s.caps))
 	copy(caps, s.caps)
@@ -91,6 +125,7 @@ func (s *Scenario) RunDynamics(cfg DynamicsConfig, seed uint64) ([]DynamicsStep,
 		SlotS:         cfg.SlotS,
 		Realizations:  cfg.Realizations,
 		Mode:          mode,
+		Measurement:   measurement,
 	}, rng.New(seed))
 	if err != nil {
 		return nil, 0, fmt.Errorf("trimcaching: %w", err)

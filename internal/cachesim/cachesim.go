@@ -5,6 +5,15 @@
 // a cloud fallback, and reports hit ratios and latency percentiles. It
 // exercises placements as a running system rather than as an objective
 // value.
+//
+// Two simulators ship: Serve is the closed-form replay (each download gets
+// its full link rate), and ServeTrace / ServeSession is the event-driven
+// simulator, where downloads processor-share each server's spectrum so
+// latency grows with instantaneous load. ServeSession owns reusable
+// scratch for serving trace windows checkpoint after checkpoint — the
+// serving-side counterpart of sim.FadingSession, and the measurement
+// kernel of the dynamics engine's trace-driven track. Both simulators are
+// deterministic in their rng.Source.
 package cachesim
 
 import (

@@ -116,18 +116,75 @@ type reqState struct {
 	done     bool
 }
 
+// ServeSession owns the scratch one event-driven serving run needs — the
+// per-request states, per-server flow lists, event heap, and latency
+// buffer — so repeated Serve calls perform no steady-state allocation
+// beyond growth to the largest trace seen. The session is sized by instance
+// dimensions, not bound to one instance: a session built at t = 0 serves
+// every later checkpoint of a mobility timeline, whether the instance was
+// delta-updated in place or rebuilt from scratch. It is how the dynamics
+// engine's trace-driven measurement track amortizes serving across
+// checkpoints, mirroring sim.FadingSession on the Monte-Carlo track.
+//
+// A session is not safe for concurrent use.
+type ServeSession struct {
+	cfg                             EventConfig
+	numServers, numUsers, numModels int
+
+	reqs      []reqState
+	servers   []serverState
+	flowPool  []flow
+	h         eventHeap
+	latencies []float64
+}
+
+// NewServeSession allocates a session for instances with ins's dimensions.
+func NewServeSession(ins *scenario.Instance, cfg EventConfig) (*ServeSession, error) {
+	if ins == nil {
+		return nil, fmt.Errorf("cachesim: instance is required")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &ServeSession{
+		cfg:        cfg,
+		numServers: ins.NumServers(),
+		numUsers:   ins.NumUsers(),
+		numModels:  ins.NumModels(),
+		servers:    make([]serverState, ins.NumServers()),
+	}, nil
+}
+
 // ServeTrace runs the event-driven simulation of a request trace against a
 // placement. Each server's bandwidth is shared equally among its active
 // downloads (processor sharing); relayed and cloud downloads first traverse
 // a fixed-rate prefetch hop, then join the radio queue of the user's best
-// covering server.
+// covering server. One-shot convenience over NewServeSession + Serve; loops
+// that serve repeatedly over same-sized instances should hold a session.
 func ServeTrace(ins *scenario.Instance, p *placement.Placement, tr *trace.Trace, cfg EventConfig, src *rng.Source) (EventResult, error) {
+	if ins == nil {
+		return EventResult{}, fmt.Errorf("cachesim: instance, placement, and trace are required")
+	}
+	s, err := NewServeSession(ins, cfg)
+	if err != nil {
+		return EventResult{}, err
+	}
+	return s.Serve(ins, p, tr, src)
+}
+
+// Serve replays the trace against the placement on the given instance,
+// which must match the session's dimensions. The run is deterministic in
+// (instance, placement, trace, src) and independent of previous Serve
+// calls: all scratch is reset, and fading gains are drawn from src in
+// event order.
+func (s *ServeSession) Serve(ins *scenario.Instance, p *placement.Placement, tr *trace.Trace, src *rng.Source) (EventResult, error) {
 	var res EventResult
 	if ins == nil || p == nil || tr == nil {
 		return res, fmt.Errorf("cachesim: instance, placement, and trace are required")
 	}
-	if err := cfg.Validate(); err != nil {
-		return res, err
+	if ins.NumServers() != s.numServers || ins.NumUsers() != s.numUsers || ins.NumModels() != s.numModels {
+		return res, fmt.Errorf("cachesim: instance dims %dx%dx%d, session %dx%dx%d",
+			ins.NumServers(), ins.NumUsers(), ins.NumModels(), s.numServers, s.numUsers, s.numModels)
 	}
 	if p.NumServers() != ins.NumServers() || p.NumModels() != ins.NumModels() {
 		return res, fmt.Errorf("cachesim: placement dims %dx%d, instance %dx%d",
@@ -136,13 +193,29 @@ func ServeTrace(ins *scenario.Instance, p *placement.Placement, tr *trace.Trace,
 	if err := tr.Validate(ins.NumUsers(), ins.NumModels()); err != nil {
 		return res, err
 	}
+	cfg := s.cfg
 
 	topo := ins.Topology()
 	wcfg := ins.Wireless()
-	reqs := make([]reqState, len(tr.Requests))
-	servers := make([]serverState, ins.NumServers())
+	if cap(s.reqs) < len(tr.Requests) {
+		s.reqs = make([]reqState, len(tr.Requests))
+	}
+	reqs := s.reqs[:len(tr.Requests)]
+	for idx := range reqs {
+		reqs[idx] = reqState{}
+	}
+	servers := s.servers
+	for m := range servers {
+		servers[m].flows = servers[m].flows[:0]
+	}
+	// Each request opens at most one flow; pre-sizing the pool keeps the
+	// *flow pointers handed to servers stable across appends.
+	if cap(s.flowPool) < len(tr.Requests) {
+		s.flowPool = make([]flow, 0, len(tr.Requests))
+	}
+	flowPool := s.flowPool[:0]
 
-	var h eventHeap
+	h := s.h[:0]
 	seq := 0
 	push := func(t float64, kind eventKind, idx int) {
 		heap.Push(&h, event{timeS: t, kind: kind, reqIdx: idx, seq: seq})
@@ -171,7 +244,7 @@ func ServeTrace(ins *scenario.Instance, p *placement.Placement, tr *trace.Trace,
 	// advance progresses all active flows from now to target, completing
 	// flows as they drain. Flow completions within the window are processed
 	// in time order per server.
-	var latencies []float64
+	latencies := s.latencies[:0]
 	complete := func(m int, fi int, at float64) {
 		st := &servers[m]
 		f := st.flows[fi]
@@ -230,11 +303,12 @@ func ServeTrace(ins *scenario.Instance, p *placement.Placement, tr *trace.Trace,
 		r := &reqs[idx]
 		i := tr.Requests[idx].Model
 		st := &servers[r.server]
-		st.flows = append(st.flows, &flow{
+		flowPool = append(flowPool, flow{
 			remainingBits: 8 * float64(ins.Library().ModelSize(i)),
 			seBitsPerHz:   r.se,
 			reqIdx:        idx,
 		})
+		st.flows = append(st.flows, &flowPool[len(flowPool)-1])
 		if len(st.flows) > res.PeakConcurrency {
 			res.PeakConcurrency = len(st.flows)
 		}
@@ -276,7 +350,7 @@ func ServeTrace(ins *scenario.Instance, p *placement.Placement, tr *trace.Trace,
 				r.se = bestCachedSE
 				res.Direct++
 				startRadio(idx)
-			case cachedAnywhere(p, i):
+			case p.Servers(i).Any():
 				r.route = RouteRelay
 				r.server = bestM
 				r.se = bestSE
@@ -320,15 +394,7 @@ func ServeTrace(ins *scenario.Instance, p *placement.Placement, tr *trace.Trace,
 		res.P95Latency = secToDur(stats.Quantile(latencies, 0.95))
 		res.P99Latency = secToDur(stats.Quantile(latencies, 0.99))
 	}
+	// Hand the grown scratch back for the next Serve.
+	s.h, s.latencies, s.flowPool = h[:0], latencies[:0], flowPool[:0]
 	return res, nil
-}
-
-// cachedAnywhere reports whether any server caches model i.
-func cachedAnywhere(p *placement.Placement, i int) bool {
-	for m := 0; m < p.NumServers(); m++ {
-		if p.Has(m, i) {
-			return true
-		}
-	}
-	return false
 }

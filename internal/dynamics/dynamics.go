@@ -16,11 +16,18 @@
 // pinned against Rebuild, and warm-started solves against cold ones — so
 // Incremental is the default and Rebuild survives as the reference and
 // benchmark baseline.
+//
+// Orthogonal to the mode, the Measurement seam selects how checkpoint
+// quality is scored: FadingMeasurement (the default) averages the analytic
+// hit ratio over Rayleigh realizations, while TraceMeasurement synthesizes
+// a per-checkpoint request window and serves it through the event-driven
+// simulator, so triggers (see TraceTrigger) react to measured request
+// traffic rather than Monte-Carlo estimates. Every combination is
+// deterministic in (config, seed) and bit-identical for any worker count.
 package dynamics
 
 import (
 	"fmt"
-	"runtime"
 	"time"
 
 	"trimcaching/internal/bitset"
@@ -29,7 +36,6 @@ import (
 	"trimcaching/internal/placement"
 	"trimcaching/internal/rng"
 	"trimcaching/internal/scenario"
-	"trimcaching/internal/sim"
 )
 
 // Mode selects how the engine refreshes the instance at each checkpoint.
@@ -45,6 +51,9 @@ const (
 )
 
 // Trigger decides, per checkpoint, whether a track re-places its models.
+// Stateful triggers may additionally implement Resetter; the engine calls
+// Reset right after the track is re-placed so history from before the
+// replacement cannot re-fire the trigger.
 type Trigger interface {
 	// Name identifies the policy in logs and tables.
 	Name() string
@@ -52,6 +61,12 @@ type Trigger interface {
 	// measured hit ratio and the baseline measured right after the track's
 	// last placement.
 	Fire(checkpoint int, hitRatio, baseline float64) bool
+}
+
+// Resetter is the optional state-clearing hook of a stateful Trigger (see
+// TraceTrigger).
+type Resetter interface {
+	Reset()
 }
 
 // NeverTrigger freezes the initial placement (the Fig. 7 protocol).
@@ -116,13 +131,22 @@ type Config struct {
 	CheckpointMin int
 	// SlotS is the mobility slot length (§VII-E: 5 s).
 	SlotS float64
-	// Realizations is the fading realizations per checkpoint measurement.
+	// Realizations is the fading realizations per checkpoint measurement
+	// (used by the default FadingMeasurement; ignored when Measurement is
+	// set).
 	Realizations int
 	// Workers bounds the fading evaluation parallelism; 0 means
 	// GOMAXPROCS. Results are bit-identical for any worker count.
 	Workers int
 	// Mode selects Incremental (default) or Rebuild.
 	Mode Mode
+	// Measurement selects how checkpoint quality is measured. Nil selects
+	// the Monte-Carlo track, &FadingMeasurement{Realizations, Workers};
+	// &TraceMeasurement{...} selects the trace-driven track, where each
+	// checkpoint serves a synthesized request window instead. Measurements
+	// are stateful (they keep reusable sessions): pass a fresh value per
+	// engine.
+	Measurement Measurement
 }
 
 // Validate reports the first invalid field, if any.
@@ -147,7 +171,7 @@ func (c Config) Validate() error {
 	if c.SlotS <= 0 {
 		return fmt.Errorf("dynamics: SlotS must be positive")
 	}
-	if c.Realizations <= 0 {
+	if c.Measurement == nil && c.Realizations <= 0 {
 		return fmt.Errorf("dynamics: Realizations must be positive")
 	}
 	if c.Mode != Incremental && c.Mode != Rebuild {
@@ -185,7 +209,7 @@ type Engine struct {
 
 	ins     *scenario.Instance
 	eval    *placement.Evaluator
-	session *sim.FadingSession
+	measure Measurement
 	pop     *mobility.Population
 
 	allUsers  []int
@@ -220,15 +244,9 @@ func NewEngine(cfg Config, src *rng.Source) (*Engine, error) {
 		return nil, fmt.Errorf("dynamics: %w", err)
 	}
 	K := ins.NumUsers()
-	// Clamp the fading workers to the realization count before sizing the
-	// session, so no per-worker buffers are allocated that Evaluate can
-	// never use.
-	sessionWorkers := cfg.Workers
-	if sessionWorkers <= 0 {
-		sessionWorkers = runtime.GOMAXPROCS(0)
-	}
-	if sessionWorkers > cfg.Realizations {
-		sessionWorkers = cfg.Realizations
+	measure := cfg.Measurement
+	if measure == nil {
+		measure = &FadingMeasurement{Realizations: cfg.Realizations, Workers: cfg.Workers}
 	}
 	e := &Engine{
 		cfg:                cfg,
@@ -236,7 +254,7 @@ func NewEngine(cfg Config, src *rng.Source) (*Engine, error) {
 		walkSrc:            src.Split("walk"),
 		ins:                ins,
 		eval:               eval,
-		session:            sim.NewFadingSession(ins, sessionWorkers),
+		measure:            measure,
 		pop:                pop,
 		allUsers:           make([]int, K),
 		positions:          make([]geom.Point, K),
@@ -319,10 +337,11 @@ func (e *Engine) Refresh() error {
 	return nil
 }
 
-// Measure evaluates every track's current placement under checkpoint cp's
-// fading realizations (paired across tracks).
+// Measure scores every track's current placement on checkpoint cp's
+// measurement stream (paired across tracks): fading realizations on the
+// Monte-Carlo track, a synthesized request window on the trace track.
 func (e *Engine) Measure(cp int) ([]float64, error) {
-	hits, err := e.session.Evaluate(e.eval, e.placements, e.cfg.Realizations, e.src.SplitIndex("fading", cp))
+	hits, err := e.measure.Measure(e.eval, e.placements, e.src.SplitIndex("fading", cp))
 	if err != nil {
 		return nil, fmt.Errorf("dynamics: %w", err)
 	}
@@ -353,7 +372,7 @@ func (e *Engine) Replace(a, cp int) (float64, error) {
 	e.accPairs[a].Zero()
 	e.placements[a] = p
 	e.replacements[a]++
-	base, err := e.session.Evaluate(e.eval, e.placements[a:a+1], e.cfg.Realizations, e.src.SplitIndex("refade", cp))
+	base, err := e.measure.Measure(e.eval, e.placements[a:a+1], e.src.SplitIndex("refade", cp))
 	if err != nil {
 		return 0, fmt.Errorf("dynamics: %w", err)
 	}
@@ -435,6 +454,9 @@ func (e *Engine) Run() (*Result, error) {
 			hr, err := e.Replace(a, cp)
 			if err != nil {
 				return nil, err
+			}
+			if r, ok := trigger.(Resetter); ok {
+				r.Reset()
 			}
 			step.HitRatio[a] = hr
 			step.Replaced[a] = true

@@ -1,0 +1,198 @@
+package dynamics
+
+import (
+	"fmt"
+	"runtime"
+
+	"trimcaching/internal/cachesim"
+	"trimcaching/internal/placement"
+	"trimcaching/internal/rng"
+	"trimcaching/internal/sim"
+	"trimcaching/internal/trace"
+)
+
+// Measurement is the engine's quality seam: it scores every track's current
+// placement on the current instance at one checkpoint. The engine hands it
+// a per-checkpoint random stream (split as "fading"/cp for the regular
+// measurement and "refade"/cp for post-replacement baselines, names kept
+// from the original Monte-Carlo-only engine), so implementations are
+// deterministic in (instance, placements, stream) and bit-identical for any
+// engine worker count.
+//
+// Two implementations ship: FadingMeasurement (the default) averages the
+// analytic hit ratio over Rayleigh realizations, and TraceMeasurement
+// serves a synthesized request trace through the event-driven simulator and
+// reports the realized QoS hit ratio. Implementations may keep per-run
+// scratch (sessions) and are not safe for concurrent use; they bind
+// lazily to the first instance's dimensions and accept any same-sized
+// instance afterwards, delta-updated or rebuilt.
+type Measurement interface {
+	// Name identifies the measurement track in logs and tables.
+	Name() string
+	// Measure returns each placement's hit ratio on eval's instance.
+	Measure(eval *placement.Evaluator, placements []*placement.Placement, src *rng.Source) ([]float64, error)
+}
+
+// FadingMeasurement is the Monte-Carlo track: each checkpoint's hit ratio
+// is the analytic objective averaged over Realizations Rayleigh fading
+// realizations (§VII-A), evaluated in parallel on Workers goroutines with
+// per-realization RNG splits — bit-identical for any worker count.
+type FadingMeasurement struct {
+	// Realizations is the fading realizations per measurement.
+	Realizations int
+	// Workers bounds the evaluation parallelism; 0 means GOMAXPROCS.
+	Workers int
+
+	session *sim.FadingSession
+}
+
+// Name implements Measurement.
+func (m *FadingMeasurement) Name() string { return "fading" }
+
+// Measure implements Measurement.
+func (m *FadingMeasurement) Measure(eval *placement.Evaluator, placements []*placement.Placement, src *rng.Source) ([]float64, error) {
+	if m.Realizations <= 0 {
+		return nil, fmt.Errorf("dynamics: Realizations must be positive, got %d", m.Realizations)
+	}
+	if m.session == nil {
+		// Clamp the workers to the realization count before sizing the
+		// session, so no per-worker buffers are allocated that Evaluate can
+		// never use.
+		workers := m.Workers
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		if workers > m.Realizations {
+			workers = m.Realizations
+		}
+		m.session = sim.NewFadingSession(eval.Instance(), workers)
+	}
+	return m.session.Evaluate(eval, placements, m.Realizations, src)
+}
+
+// TraceMeasurement is the trace-driven track: each checkpoint synthesizes a
+// request window (Poisson arrivals per user, the workload's Zipf model
+// popularity) and serves it through the event-driven simulator
+// (cachesim.ServeSession), reporting the realized QoS hit ratio — measured
+// request traffic rather than a fading-averaged estimate. All tracks are
+// served against the same window (arrivals are paired); each track's
+// serving fades from its own split, so a track's measurement does not
+// depend on which other tracks run. A window with zero requests reports a
+// zero hit ratio.
+type TraceMeasurement struct {
+	// RequestsPerUserPerHour is the Poisson arrival rate of the synthesized
+	// windows. Zero synthesizes empty windows.
+	RequestsPerUserPerHour float64
+	// WindowS is the horizon of each synthesized window in seconds; the
+	// engine wirings default it to the checkpoint length.
+	WindowS float64
+	// Event configures the serving simulator; a zero CloudRateBps selects
+	// cachesim.DefaultEventConfig.
+	Event cachesim.EventConfig
+
+	synth   *trace.Synthesizer
+	session *cachesim.ServeSession
+}
+
+// Name implements Measurement.
+func (m *TraceMeasurement) Name() string { return "trace" }
+
+// Measure implements Measurement.
+func (m *TraceMeasurement) Measure(eval *placement.Evaluator, placements []*placement.Placement, src *rng.Source) ([]float64, error) {
+	ins := eval.Instance()
+	if m.synth == nil {
+		synth, err := trace.NewSynthesizer(m.RequestsPerUserPerHour, m.WindowS)
+		if err != nil {
+			return nil, fmt.Errorf("dynamics: %w", err)
+		}
+		cfg := m.Event
+		if cfg.CloudRateBps == 0 {
+			cfg = cachesim.DefaultEventConfig()
+		}
+		session, err := cachesim.NewServeSession(ins, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("dynamics: %w", err)
+		}
+		m.synth, m.session = synth, session
+	}
+	tr, err := m.synth.Window(ins.Workload(), src.Split("arrivals"))
+	if err != nil {
+		return nil, fmt.Errorf("dynamics: %w", err)
+	}
+	hits := make([]float64, len(placements))
+	for a, p := range placements {
+		res, err := m.session.Serve(ins, p, tr, src.SplitIndex("serve", a))
+		if err != nil {
+			return nil, fmt.Errorf("dynamics: %w", err)
+		}
+		hits[a] = res.HitRatio
+	}
+	return hits, nil
+}
+
+// TraceTrigger re-places on measured (windowed) hit-ratio degradation: it
+// keeps the last Window measured hit ratios since the track's placement and
+// fires when their mean drops more than Degradation below the
+// post-placement baseline. Windowing smooths the sampling noise of
+// trace-driven measurements, where a single quiet or unlucky window says
+// little; Window <= 1 fires on any single degraded measurement, matching
+// ThresholdTrigger's behavior on the measured track. The trigger is
+// stateful: the engine calls Reset after every replacement so stale
+// pre-replacement measurements cannot re-fire it (Fire also drops its
+// history when it observes the baseline change, as a fallback for custom
+// loops that forget Reset). Use a fresh value per engine run and share
+// nothing across tracks.
+type TraceTrigger struct {
+	// Window is the number of recent measurements averaged; 0 means 1.
+	Window int
+	// Degradation is the firing threshold; >= 1 never fires.
+	Degradation float64
+
+	baseline float64
+	recent   []float64
+}
+
+// Name implements Trigger.
+func (t *TraceTrigger) Name() string {
+	w := t.Window
+	if w <= 1 {
+		return fmt.Sprintf("%.0f%% measured degradation", 100*t.Degradation)
+	}
+	return fmt.Sprintf("%.0f%% measured degradation over %d checkpoints", 100*t.Degradation, w)
+}
+
+// Reset clears the measurement window. The engine calls it right after a
+// track is re-placed; custom loops must do the same (a re-measured baseline
+// can coincide exactly with the old one — hit ratios are discrete
+// QoSHits/Requests rationals — so Fire's baseline-change fallback alone is
+// not sufficient).
+func (t *TraceTrigger) Reset() {
+	t.recent = t.recent[:0]
+}
+
+// Fire implements Trigger.
+func (t *TraceTrigger) Fire(_ int, hitRatio, baseline float64) bool {
+	if baseline != t.baseline {
+		// Fallback for loops that skip Reset: a changed baseline means the
+		// track was re-placed, so pre-replacement measurements are stale.
+		t.baseline = baseline
+		t.recent = t.recent[:0]
+	}
+	w := t.Window
+	if w <= 1 {
+		w = 1
+	}
+	t.recent = append(t.recent, hitRatio)
+	if len(t.recent) > w {
+		t.recent = append(t.recent[:0], t.recent[len(t.recent)-w:]...)
+	}
+	if len(t.recent) < w {
+		return false
+	}
+	var mean float64
+	for _, v := range t.recent {
+		mean += v
+	}
+	mean /= float64(len(t.recent))
+	return mean < (1-t.Degradation)*baseline
+}

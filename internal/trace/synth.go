@@ -1,0 +1,82 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"trimcaching/internal/rng"
+	"trimcaching/internal/workload"
+)
+
+// Synthesizer generates the per-checkpoint request windows of a mobility
+// timeline: each measurement window is an independent Poisson arrival
+// process per user (rate RequestsPerUserPerHour) whose model choices follow
+// the workload's Zipf request distribution. It is the arrival source of the
+// dynamics engine's trace-driven measurement track.
+//
+// Determinism contract: Window(work, src) is a pure function of the
+// workload and src's seed material — user k draws from
+// src.SplitIndex("user", k), so the window is independent of user
+// iteration order and of any other window synthesized from a sibling
+// stream. Callers derive one stream per checkpoint (for example
+// src.SplitIndex("fading", cp) in the dynamics engine) and get
+// reproducible, window-independent traces.
+type Synthesizer struct {
+	ratePerUserPerHour float64
+	windowS            float64
+
+	// Scratch reused across Window calls; see Window for the aliasing
+	// contract.
+	tr Trace
+}
+
+// NewSynthesizer validates the arrival parameters. A zero rate is allowed
+// and synthesizes empty windows (a silent cell still measures: zero
+// requests); the window length must be positive.
+func NewSynthesizer(ratePerUserPerHour, windowS float64) (*Synthesizer, error) {
+	if ratePerUserPerHour < 0 {
+		return nil, fmt.Errorf("trace: RequestsPerUserPerHour must be >= 0, got %v", ratePerUserPerHour)
+	}
+	if windowS <= 0 {
+		return nil, fmt.Errorf("trace: window length must be positive, got %v", windowS)
+	}
+	return &Synthesizer{ratePerUserPerHour: ratePerUserPerHour, windowS: windowS}, nil
+}
+
+// Window synthesizes one measurement window's request arrivals against the
+// given workload. The returned trace aliases the synthesizer's scratch and
+// is only valid until the next Window call; callers that need to keep it
+// must copy the Requests slice.
+func (s *Synthesizer) Window(work *workload.Workload, src *rng.Source) (*Trace, error) {
+	if work == nil {
+		return nil, fmt.Errorf("trace: workload is required")
+	}
+	if src == nil {
+		return nil, fmt.Errorf("trace: random source is required")
+	}
+	s.tr.DurationS = s.windowS
+	s.tr.Requests = s.tr.Requests[:0]
+	if s.ratePerUserPerHour == 0 {
+		return &s.tr, nil
+	}
+	ratePerSec := s.ratePerUserPerHour / 3600
+	for k := 0; k < work.NumUsers(); k++ {
+		usrc := src.SplitIndex("user", k)
+		probRow := work.ProbRow(k)
+		for t := usrc.Exp() / ratePerSec; t < s.windowS; t += usrc.Exp() / ratePerSec {
+			s.tr.Requests = append(s.tr.Requests, Request{
+				TimeS: t,
+				User:  k,
+				Model: usrc.Categorical(probRow),
+			})
+		}
+	}
+	reqs := s.tr.Requests
+	sort.Slice(reqs, func(a, b int) bool {
+		if reqs[a].TimeS != reqs[b].TimeS {
+			return reqs[a].TimeS < reqs[b].TimeS
+		}
+		return reqs[a].User < reqs[b].User
+	})
+	return &s.tr, nil
+}

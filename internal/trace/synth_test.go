@@ -1,0 +1,200 @@
+package trace
+
+import (
+	"testing"
+
+	"trimcaching/internal/rng"
+	"trimcaching/internal/workload"
+)
+
+func synthWorkload(t *testing.T, numUsers, numModels int) *workload.Workload {
+	t.Helper()
+	work, err := workload.Generate(numUsers, numModels, workload.DefaultConfig(), rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return work
+}
+
+func cloneTrace(tr *Trace) *Trace {
+	out := &Trace{DurationS: tr.DurationS, Requests: make([]Request, len(tr.Requests))}
+	copy(out.Requests, tr.Requests)
+	return out
+}
+
+func TestSynthesizerValidation(t *testing.T) {
+	if _, err := NewSynthesizer(-1, 600); err == nil {
+		t.Fatal("negative rate must error")
+	}
+	if _, err := NewSynthesizer(10, 0); err == nil {
+		t.Fatal("zero window must error")
+	}
+	s, err := NewSynthesizer(10, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Window(nil, rng.New(1)); err == nil {
+		t.Fatal("nil workload must error")
+	}
+	if _, err := s.Window(synthWorkload(t, 3, 4), nil); err == nil {
+		t.Fatal("nil source must error")
+	}
+}
+
+func TestSynthesizerWindowValid(t *testing.T) {
+	work := synthWorkload(t, 8, 12)
+	s, err := NewSynthesizer(60, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := s.Window(work, rng.New(3).SplitIndex("ckpt", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(work.NumUsers(), work.NumModels()); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Requests) == 0 {
+		t.Fatal("60 req/user/hour over 10 min and 8 users synthesized nothing")
+	}
+	if tr.DurationS != 600 {
+		t.Fatalf("window duration %v, want 600", tr.DurationS)
+	}
+}
+
+// TestSynthesizerDeterministic pins the SplitIndex determinism contract: a
+// window is a pure function of (workload, stream seed material) — the same
+// stream reproduces it bit-for-bit on a fresh synthesizer, and windows do
+// not depend on which other windows were synthesized before them.
+func TestSynthesizerDeterministic(t *testing.T) {
+	work := synthWorkload(t, 6, 10)
+	root := rng.New(11)
+
+	a, err := NewSynthesizer(40, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inOrder []*Trace
+	for cp := 0; cp < 4; cp++ {
+		tr, err := a.Window(work, root.SplitIndex("ckpt", cp))
+		if err != nil {
+			t.Fatal(err)
+		}
+		inOrder = append(inOrder, cloneTrace(tr))
+	}
+
+	// A fresh synthesizer drawing the windows in reverse order must
+	// reproduce every one of them exactly.
+	b, err := NewSynthesizer(40, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cp := 3; cp >= 0; cp-- {
+		tr, err := b.Window(work, root.SplitIndex("ckpt", cp))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := inOrder[cp]
+		if len(tr.Requests) != len(want.Requests) {
+			t.Fatalf("window %d: %d requests out of order vs %d in order", cp, len(tr.Requests), len(want.Requests))
+		}
+		for ri := range want.Requests {
+			if tr.Requests[ri] != want.Requests[ri] {
+				t.Fatalf("window %d request %d: %+v, want %+v", cp, ri, tr.Requests[ri], want.Requests[ri])
+			}
+		}
+	}
+
+	// Distinct windows must not repeat each other.
+	if len(inOrder[0].Requests) == len(inOrder[1].Requests) {
+		same := true
+		for ri := range inOrder[0].Requests {
+			if inOrder[0].Requests[ri] != inOrder[1].Requests[ri] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("windows 0 and 1 are identical; checkpoint streams are not independent")
+		}
+	}
+}
+
+func TestSynthesizerZeroRate(t *testing.T) {
+	work := synthWorkload(t, 5, 7)
+	s, err := NewSynthesizer(0, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := s.Window(work, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Requests) != 0 {
+		t.Fatalf("zero rate synthesized %d requests", len(tr.Requests))
+	}
+	if err := tr.Validate(work.NumUsers(), work.NumModels()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSynthesizerZipfHead checks the popularity sanity: the model at the
+// head of the workload's (globally permuted) Zipf ranking must receive
+// clearly more requests than the tail model over many windows.
+func TestSynthesizerZipfHead(t *testing.T) {
+	work := synthWorkload(t, 10, 20)
+	head, tail := 0, 0
+	for i := 1; i < work.NumModels(); i++ {
+		if work.Prob(0, i) > work.Prob(0, head) {
+			head = i
+		}
+		if work.Prob(0, i) < work.Prob(0, tail) {
+			tail = i
+		}
+	}
+	s, err := NewSynthesizer(120, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, work.NumModels())
+	root := rng.New(17)
+	for cp := 0; cp < 30; cp++ {
+		tr, err := s.Window(work, root.SplitIndex("ckpt", cp))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range tr.Requests {
+			counts[r.Model]++
+		}
+	}
+	if counts[head] <= 2*counts[tail] {
+		t.Fatalf("Zipf head (model %d) got %d requests vs tail (model %d) %d; popularity skew lost",
+			head, counts[head], tail, counts[tail])
+	}
+}
+
+// TestSynthesizerScratchReuse documents the aliasing contract: a second
+// Window call overwrites the previously returned trace.
+func TestSynthesizerScratchReuse(t *testing.T) {
+	work := synthWorkload(t, 6, 8)
+	s, err := NewSynthesizer(80, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := s.Window(work, rng.New(4).SplitIndex("ckpt", 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshot := cloneTrace(first)
+	second, err := s.Window(work, rng.New(4).SplitIndex("ckpt", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != second {
+		t.Fatal("Window must reuse its scratch trace")
+	}
+	if len(snapshot.Requests) == len(second.Requests) && len(snapshot.Requests) > 0 &&
+		snapshot.Requests[0] == second.Requests[0] && snapshot.Requests[len(snapshot.Requests)-1] == second.Requests[len(second.Requests)-1] {
+		t.Fatal("second window left the first window's content in place")
+	}
+}

@@ -2,7 +2,11 @@
 // per-user Poisson arrival processes with Zipf-distributed model choices,
 // matching the demand model of §VII-A. Traces drive the event-driven
 // serving simulator (internal/cachesim) and can be persisted as JSON Lines
-// for replay across runs.
+// for replay across runs. Generate samples one whole-horizon trace;
+// Synthesizer emits the per-checkpoint windows consumed by the dynamics
+// engine's trace-driven measurement track, each a pure function of the
+// workload and a per-window RNG split (rng.SplitIndex) so timelines stay
+// deterministic for any evaluation order or worker count.
 package trace
 
 import (

@@ -1,0 +1,56 @@
+package trimcaching
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestReadmeQuickstartCompiles pins the README quickstart against the real
+// API: the first Go code block in README.md is extracted into a throwaway
+// module (with a replace directive onto this repository) and built with the
+// Go toolchain. Drift between the documented snippet and the public API
+// fails tier-1 instead of rotting silently.
+func TestReadmeQuickstartCompiles(t *testing.T) {
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	readme, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := regexp.MustCompile("(?s)```go\n(.*?)```").FindSubmatch(readme)
+	if m == nil {
+		t.Fatal("README.md has no ```go code block")
+	}
+	snippet := string(m[1])
+	if !strings.Contains(snippet, "package main") {
+		t.Fatalf("quickstart snippet is not a main package:\n%s", snippet)
+	}
+
+	repoRoot, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "main.go"), []byte(snippet), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	gomod := "module readmecheck\n\ngo 1.24\n\nrequire trimcaching v0.0.0\n\nreplace trimcaching => " + repoRoot + "\n"
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte(gomod), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cmd := exec.Command(goBin, "build", "./...")
+	cmd.Dir = dir
+	// -mod=mod lets the build resolve the replace directive without a
+	// go.sum; everything is local, so no network is touched.
+	cmd.Env = append(os.Environ(), "GOFLAGS=-mod=mod")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("README quickstart does not compile: %v\n%s\nsnippet:\n%s", err, out, snippet)
+	}
+}
