@@ -2,7 +2,7 @@
 // LoRA scale (M = 10, K = 300, I = 1000) and writes them as JSON, so CI
 // can track the perf trajectory machine-readably.
 //
-// Three numbers are reported, each as rebuild vs incremental:
+// Three phases are reported as rebuild vs incremental:
 //
 //   - refresh: bringing the instance and evaluator up to date with one
 //     checkpoint of user movement — the cost every checkpoint pays, and
@@ -12,11 +12,28 @@
 //     repair vs cold solve) — the worst-case trigger cadence; under the
 //     paper's degradation-threshold protocol replacement is exceptional.
 //   - timeline: a full §VII-E timeline end to end, including the fading
-//     measurement, which is mode-independent by construction.
+//     measurement.
+//
+// Two per-kernel sections isolate the fused hot loops:
+//
+//   - measurement: one checkpoint measurement (all configured fading
+//     realizations) through the fused single-pass kernel vs the two-pass
+//     FadedReach + HitRatioWithReach reference, on the incremental
+//     engine's live instance.
+//   - resolve: a warm placement re-solve with the evaluator's persistent
+//     commit heap carried across checkpoints vs the same solve with the
+//     heap rebuilt from all M·I pairs each time.
+//
+// The emitted JSON is validated against the documented schema
+// (docs/BENCHMARKS.md) before it is written: missing sections, zero-op
+// phases, and non-finite speedups fail the run, so the perf plumbing
+// cannot rot silently. -smoke runs the whole pipeline on a toy scenario in
+// seconds for CI.
 //
 // Usage:
 //
 //	benchdyn -checkpoints 12 -out BENCH_dynamics.json
+//	benchdyn -smoke -out -
 package main
 
 import (
@@ -26,16 +43,39 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"trimcaching/internal/dynamics"
+	"trimcaching/internal/placement"
 	"trimcaching/internal/rng"
+	"trimcaching/internal/sim"
 )
 
 type phase struct {
 	Ops           int     `json:"ops"`
 	RebuildNs     int64   `json:"rebuild_ns_per_op"`
 	IncrementalNs int64   `json:"incremental_ns_per_op"`
+	Speedup       float64 `json:"speedup"`
+}
+
+// kernelPhase compares the fused measurement kernel against the two-pass
+// reference; one op is one full checkpoint measurement (Realizations
+// fading realizations).
+type kernelPhase struct {
+	Ops          int     `json:"ops"`
+	Realizations int     `json:"realizations"`
+	FusedNs      int64   `json:"fused_ns_per_op"`
+	UnfusedNs    int64   `json:"unfused_ns_per_op"`
+	Speedup      float64 `json:"speedup"`
+}
+
+// resolvePhase compares a warm re-solve with the persistent commit heap
+// against the same solve rebuilding its heap from all M·I pairs.
+type resolvePhase struct {
+	Ops           int     `json:"ops"`
+	HeapRebuildNs int64   `json:"heap_rebuild_ns_per_op"`
+	PersistentNs  int64   `json:"persistent_ns_per_op"`
 	Speedup       float64 `json:"speedup"`
 }
 
@@ -53,6 +93,12 @@ type report struct {
 	Replace phase `json:"replace"`
 	// Timeline is the full engine loop including fading measurement.
 	Timeline phase `json:"timeline_end_to_end"`
+	// Measurement is the per-checkpoint fading measurement, fused vs
+	// two-pass.
+	Measurement kernelPhase `json:"measurement"`
+	// Resolve is the warm re-solve, persistent commit heap vs per-solve
+	// heap rebuild.
+	Resolve resolvePhase `json:"resolve"`
 	// Speedup is the headline number: per-checkpoint refresh speedup of
 	// the incremental engine over the full-rebuild path.
 	Speedup           float64 `json:"speedup"`
@@ -70,6 +116,7 @@ func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("benchdyn", flag.ContinueOnError)
 	checkpoints := fs.Int("checkpoints", 12, "checkpoints per measured round (the §VII-E timeline has 12)")
 	rounds := fs.Int("rounds", 4, "measured rounds per phase; the fastest round is reported")
+	smoke := fs.Bool("smoke", false, "run a toy-scale timeline in seconds to validate the benchmark plumbing and the emitted JSON schema (numbers are not comparable to full runs)")
 	out := fs.String("out", "BENCH_dynamics.json", "output JSON path, - for stdout")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -77,9 +124,22 @@ func run(args []string, stdout io.Writer) error {
 	if *checkpoints <= 0 || *rounds <= 0 {
 		return fmt.Errorf("checkpoints and rounds must be positive, got %d and %d", *checkpoints, *rounds)
 	}
+	newConfig := dynamics.NewLoRAScaleConfig
+	if *smoke {
+		newConfig = dynamics.NewSmokeScaleConfig
+		// Shrink the defaults to seconds, but honor explicitly set flags.
+		set := map[string]bool{}
+		fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		if !set["checkpoints"] {
+			*checkpoints = 2
+		}
+		if !set["rounds"] {
+			*rounds = 1
+		}
+	}
 
 	var rep report
-	cfg, err := dynamics.NewLoRAScaleConfig(dynamics.Incremental)
+	cfg, err := newConfig(dynamics.Incremental)
 	if err != nil {
 		return err
 	}
@@ -94,20 +154,27 @@ func run(args []string, stdout io.Writer) error {
 	// identical checkpoint sequence and the minimum is a clean filter for
 	// scheduler and GC noise; a warm-up checkpoint first absorbs the
 	// incremental mode's one-time threshold flip index build.
+	warmEngine := func(mode dynamics.Mode) (*dynamics.Engine, error) {
+		cfg, err := newConfig(mode)
+		if err != nil {
+			return nil, err
+		}
+		e, err := dynamics.NewEngine(cfg, rng.New(1))
+		if err != nil {
+			return nil, err
+		}
+		if _, _, err := e.ProfileCheckpoints(1, false); err != nil {
+			return nil, err
+		}
+		runtime.GC()
+		return e, nil
+	}
 	profile := func(mode dynamics.Mode, forceReplace bool) (refresh, repair time.Duration, err error) {
 		for r := 0; r < *rounds; r++ {
-			cfg, err := dynamics.NewLoRAScaleConfig(mode)
+			e, err := warmEngine(mode)
 			if err != nil {
 				return 0, 0, err
 			}
-			e, err := dynamics.NewEngine(cfg, rng.New(1))
-			if err != nil {
-				return 0, 0, err
-			}
-			if _, _, err := e.ProfileCheckpoints(1, false); err != nil {
-				return 0, 0, err
-			}
-			runtime.GC()
 			rf, rp, err := e.ProfileCheckpoints(*checkpoints, forceReplace)
 			if err != nil {
 				return 0, 0, err
@@ -149,7 +216,7 @@ func run(args []string, stdout io.Writer) error {
 	fill(&rep.Replace, rebRefresh2+rebRepair, incRefresh2+incRepair)
 
 	timeline := func(mode dynamics.Mode) (time.Duration, error) {
-		cfg, err := dynamics.NewLoRAScaleConfig(mode)
+		cfg, err := newConfig(mode)
 		if err != nil {
 			return 0, err
 		}
@@ -169,14 +236,24 @@ func run(args []string, stdout io.Writer) error {
 	}
 	fill(&rep.Timeline, rebTimeline, incTimeline)
 
+	if err := benchMeasurement(&rep.Measurement, warmEngine, cfg.Realizations, *checkpoints, *rounds); err != nil {
+		return err
+	}
+	if err := benchResolve(&rep.Resolve, warmEngine, *checkpoints, *rounds); err != nil {
+		return err
+	}
+
 	rep.Speedup = rep.Refresh.Speedup
-	rep.SpeedupDefinition = "per-checkpoint instance refresh (delta reachability update + evaluator reuse) vs full rebuild; replace and timeline_end_to_end report the forced-re-solve and measurement-included views"
+	rep.SpeedupDefinition = "per-checkpoint instance refresh (delta reachability update + evaluator reuse) vs full rebuild; replace and timeline_end_to_end report the forced-re-solve and measurement-included views; measurement and resolve isolate the fused fading kernel and the persistent commit heap"
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
 	}
 	data = append(data, '\n')
+	if err := validateReport(data); err != nil {
+		return fmt.Errorf("emitted report fails schema validation: %w", err)
+	}
 	if *out == "-" {
 		_, err = stdout.Write(data)
 		return err
@@ -184,7 +261,189 @@ func run(args []string, stdout io.Writer) error {
 	if err := os.WriteFile(*out, data, 0o644); err != nil {
 		return err
 	}
-	fmt.Fprintf(stdout, "refresh %.2fx, replace %.2fx, timeline %.2fx -> %s\n",
-		rep.Refresh.Speedup, rep.Replace.Speedup, rep.Timeline.Speedup, *out)
+	fmt.Fprintf(stdout, "refresh %.2fx, replace %.2fx, timeline %.2fx, measurement %.2fx, resolve %.2fx -> %s\n",
+		rep.Refresh.Speedup, rep.Replace.Speedup, rep.Timeline.Speedup,
+		rep.Measurement.Speedup, rep.Resolve.Speedup, *out)
+	return nil
+}
+
+// benchMeasurement times one checkpoint measurement (all realizations)
+// through the fused kernel vs the two-pass reference, on the incremental
+// engine's live instance — the instance every timeline measurement
+// actually sees, threshold rank index included. Both paths produce
+// bit-identical hit ratios (cross-checked here).
+func benchMeasurement(out *kernelPhase, warmEngine func(dynamics.Mode) (*dynamics.Engine, error), realizations, ops, rounds int) error {
+	e, err := warmEngine(dynamics.Incremental)
+	if err != nil {
+		return err
+	}
+	ins := e.Instance()
+	eval, err := placement.NewEvaluator(ins)
+	if err != nil {
+		return err
+	}
+	placements := []*placement.Placement{e.Placement(0)}
+	session := sim.NewFadingSession(ins, 0)
+	src := rng.New(3)
+	fused, err := session.Evaluate(eval, placements, realizations, src)
+	if err != nil {
+		return err
+	}
+	unfused, err := session.EvaluateUnfused(eval, placements, realizations, src)
+	if err != nil {
+		return err
+	}
+	if fused[0] != unfused[0] {
+		return fmt.Errorf("fused measurement %v differs from two-pass %v", fused[0], unfused[0])
+	}
+	var fastF, fastU time.Duration
+	for r := 0; r < rounds; r++ {
+		start := time.Now()
+		for n := 0; n < ops; n++ {
+			if _, err := session.Evaluate(eval, placements, realizations, src); err != nil {
+				return err
+			}
+		}
+		df := time.Since(start)
+		start = time.Now()
+		for n := 0; n < ops; n++ {
+			if _, err := session.EvaluateUnfused(eval, placements, realizations, src); err != nil {
+				return err
+			}
+		}
+		du := time.Since(start)
+		if r == 0 || df < fastF {
+			fastF = df
+		}
+		if r == 0 || du < fastU {
+			fastU = du
+		}
+	}
+	out.Ops = ops
+	out.Realizations = realizations
+	out.FusedNs = fastF.Nanoseconds() / int64(ops)
+	out.UnfusedNs = fastU.Nanoseconds() / int64(ops)
+	if fastF > 0 {
+		out.Speedup = float64(fastU) / float64(fastF)
+	}
+	return nil
+}
+
+// benchResolve times forced warm re-solves with the persistent commit heap
+// carried across checkpoints vs the heap rebuilt per solve. Both engines
+// replay the identical checkpoint sequence.
+func benchResolve(out *resolvePhase, warmEngine func(dynamics.Mode) (*dynamics.Engine, error), ops, rounds int) error {
+	measure := func(rebuildHeap bool) (time.Duration, error) {
+		var fastest time.Duration
+		for r := 0; r < rounds; r++ {
+			e, err := warmEngine(dynamics.Incremental)
+			if err != nil {
+				return 0, err
+			}
+			d, err := e.ProfileResolves(ops, rebuildHeap)
+			if err != nil {
+				return 0, err
+			}
+			if r == 0 || d < fastest {
+				fastest = d
+			}
+		}
+		return fastest, nil
+	}
+	rebuilt, err := measure(true)
+	if err != nil {
+		return err
+	}
+	persistent, err := measure(false)
+	if err != nil {
+		return err
+	}
+	out.Ops = ops
+	out.HeapRebuildNs = rebuilt.Nanoseconds() / int64(ops)
+	out.PersistentNs = persistent.Nanoseconds() / int64(ops)
+	if persistent > 0 {
+		out.Speedup = float64(rebuilt) / float64(persistent)
+	}
+	return nil
+}
+
+// reportSchema lists every numeric field the documented BENCH_dynamics.json
+// schema requires, with its minimum legal value. Validation reads the
+// emitted bytes, not the in-memory struct, so field renames that desync
+// docs and emitter fail loudly.
+var reportSchema = []struct {
+	path string
+	min  float64
+}{
+	{"scenario.servers", 1},
+	{"scenario.users", 1},
+	{"scenario.models", 1},
+	{"scenario.checkpointMin", 1},
+	{"scenario.slotS", 0.000001},
+	{"refresh.ops", 1},
+	{"refresh.rebuild_ns_per_op", 1},
+	{"refresh.incremental_ns_per_op", 1},
+	{"refresh.speedup", 0.000001},
+	{"replace.ops", 1},
+	{"replace.rebuild_ns_per_op", 1},
+	{"replace.incremental_ns_per_op", 1},
+	{"replace.speedup", 0.000001},
+	{"timeline_end_to_end.ops", 1},
+	{"timeline_end_to_end.rebuild_ns_per_op", 1},
+	{"timeline_end_to_end.incremental_ns_per_op", 1},
+	{"timeline_end_to_end.speedup", 0.000001},
+	{"measurement.ops", 1},
+	{"measurement.realizations", 1},
+	{"measurement.fused_ns_per_op", 1},
+	{"measurement.unfused_ns_per_op", 1},
+	{"measurement.speedup", 0.000001},
+	{"resolve.ops", 1},
+	{"resolve.heap_rebuild_ns_per_op", 1},
+	{"resolve.persistent_ns_per_op", 1},
+	{"resolve.speedup", 0.000001},
+	{"speedup", 0.000001},
+}
+
+// validateReport checks the emitted JSON against the documented schema:
+// every required section and field present, numeric, and at least its
+// minimum (zero-op or zero-duration sections indicate broken plumbing,
+// not fast code). Non-finite values never reach this point: Go's JSON
+// encoder rejects NaN and ±Inf at marshal time, so a NaN speedup fails
+// the run there, and json.Unmarshal cannot produce them from valid JSON.
+func validateReport(data []byte) error {
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return err
+	}
+	for _, f := range reportSchema {
+		node := any(doc)
+		path := f.path
+		for {
+			obj, ok := node.(map[string]any)
+			if !ok {
+				return fmt.Errorf("%s: parent is not an object", f.path)
+			}
+			key, rest, nested := strings.Cut(path, ".")
+			child, ok := obj[key]
+			if !ok {
+				return fmt.Errorf("%s: missing field %q", f.path, key)
+			}
+			if nested {
+				node, path = child, rest
+				continue
+			}
+			v, ok := child.(float64)
+			if !ok {
+				return fmt.Errorf("%s: not a number", f.path)
+			}
+			if v < f.min {
+				return fmt.Errorf("%s: %v below minimum %v", f.path, v, f.min)
+			}
+			break
+		}
+	}
+	if _, ok := doc["speedup_definition"].(string); !ok {
+		return fmt.Errorf("speedup_definition: missing or not a string")
+	}
 	return nil
 }

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSmokeRunEmitsValidReport drives the whole benchmark pipeline at toy
+// scale and checks the emitted artifact parses and passes the documented
+// schema (run itself validates before writing; this pins the contract from
+// the outside too).
+func TestSmokeRunEmitsValidReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke benchmark run in -short mode")
+	}
+	out := filepath.Join(t.TempDir(), "bench.json")
+	var stdout bytes.Buffer
+	if err := run([]string{"-smoke", "-out", out}, &stdout); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout.String(), "refresh") {
+		t.Fatalf("summary line missing: %q", stdout.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := validateReport(data); err != nil {
+		t.Fatalf("emitted report fails schema: %v", err)
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Scenario.Models <= 0 || rep.Measurement.Realizations <= 0 {
+		t.Fatalf("degenerate smoke report: %+v", rep)
+	}
+}
+
+// TestValidateReportRejectsBrokenSections pins the failure modes the smoke
+// job exists to catch: missing sections, zero-op phases, and non-finite
+// speedups.
+func TestValidateReportRejectsBrokenSections(t *testing.T) {
+	good := []byte(`{
+		"scenario": {"servers": 1, "users": 1, "models": 1, "checkpointMin": 1, "slotS": 5},
+		"refresh": {"ops": 2, "rebuild_ns_per_op": 10, "incremental_ns_per_op": 10, "speedup": 1},
+		"replace": {"ops": 2, "rebuild_ns_per_op": 10, "incremental_ns_per_op": 10, "speedup": 1},
+		"timeline_end_to_end": {"ops": 2, "rebuild_ns_per_op": 10, "incremental_ns_per_op": 10, "speedup": 1},
+		"measurement": {"ops": 2, "realizations": 4, "fused_ns_per_op": 10, "unfused_ns_per_op": 10, "speedup": 1},
+		"resolve": {"ops": 2, "heap_rebuild_ns_per_op": 10, "persistent_ns_per_op": 10, "speedup": 1},
+		"speedup": 1,
+		"speedup_definition": "x"
+	}`)
+	if err := validateReport(good); err != nil {
+		t.Fatalf("baseline report must validate, got %v", err)
+	}
+	mutate := func(fn func(m map[string]any)) []byte {
+		var m map[string]any
+		if err := json.Unmarshal(good, &m); err != nil {
+			t.Fatal(err)
+		}
+		fn(m)
+		data, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	cases := map[string][]byte{
+		"missing section": mutate(func(m map[string]any) { delete(m, "measurement") }),
+		"zero ops":        mutate(func(m map[string]any) { m["refresh"].(map[string]any)["ops"] = 0 }),
+		"zero duration":   mutate(func(m map[string]any) { m["resolve"].(map[string]any)["persistent_ns_per_op"] = 0 }),
+		"zero speedup":    mutate(func(m map[string]any) { m["speedup"] = 0 }),
+		"missing field":   mutate(func(m map[string]any) { delete(m["replace"].(map[string]any), "speedup") }),
+		"non-numeric":     mutate(func(m map[string]any) { m["timeline_end_to_end"].(map[string]any)["speedup"] = "fast" }),
+		"no definition":   mutate(func(m map[string]any) { delete(m, "speedup_definition") }),
+	}
+	for name, data := range cases {
+		if err := validateReport(data); err == nil {
+			t.Errorf("%s: validation must fail", name)
+		}
+	}
+}

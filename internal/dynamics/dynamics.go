@@ -415,6 +415,40 @@ func (e *Engine) ProfileCheckpoints(n int, forceReplace bool) (refresh, repair t
 	return refresh, repair, nil
 }
 
+// ProfileResolves advances n checkpoints and returns the wall time of a
+// forced placement re-solve of every track at each one (refresh excluded).
+// When rebuildHeap is set, the evaluator's persistent commit heap is
+// invalidated before every solve, so the solver reconstructs its starting
+// heap from all M·I pairs — the pre-persistence behavior — which isolates
+// the heap carry-over's contribution to the warm re-solve
+// (cmd/benchdyn's resolve section). Placements are identical either way;
+// only the time differs.
+func (e *Engine) ProfileResolves(n int, rebuildHeap bool) (time.Duration, error) {
+	var total time.Duration
+	for cp := 0; cp < n; cp++ {
+		if err := e.Advance(); err != nil {
+			return 0, err
+		}
+		if err := e.Refresh(); err != nil {
+			return 0, err
+		}
+		for a := range e.cfg.Tracks {
+			if rebuildHeap {
+				e.eval.InvalidateHeap()
+			}
+			start := time.Now()
+			p, err := e.resolve(a)
+			if err != nil {
+				return 0, fmt.Errorf("dynamics: %s: %w", e.cfg.Tracks[a].Algorithm.Name(), err)
+			}
+			total += time.Since(start)
+			e.accPairs[a].Zero()
+			e.placements[a] = p
+		}
+	}
+	return total, nil
+}
+
 // Run drives the whole timeline: measure at t = 0, then per checkpoint
 // walk, refresh, measure, and fire each track's trigger.
 func (e *Engine) Run() (*Result, error) {

@@ -50,3 +50,41 @@ func NewLoRAScaleConfig(mode Mode) (Config, error) {
 		Mode:          mode,
 	}, nil
 }
+
+// NewSmokeScaleConfig builds a miniature sibling of the LoRA-scale setting
+// — same library shape, workload, and timeline protocol, toy dimensions —
+// for CI smoke validation of the benchmark plumbing (cmd/benchdyn -smoke).
+// It exists to prove the pipeline emits a well-formed artifact in seconds,
+// not to produce comparable performance numbers.
+func NewSmokeScaleConfig(mode Mode) (Config, error) {
+	lib, err := libgen.GenerateLoRA(libgen.DefaultLoRAConfig(40))
+	if err != nil {
+		return Config{}, err
+	}
+	w := wireless.DefaultConfig()
+	w.BackhaulBps = 1e9
+	wl := workload.DefaultConfig()
+	wl.DeadlineMinS, wl.DeadlineMaxS = 60, 180
+	wl.InferMinS, wl.InferMaxS = 1, 5
+	ins, err := scenario.Generate(lib, scenario.GenConfig{
+		Topology: topology.Config{AreaSideM: 600, NumServers: 4, NumUsers: 24, CoverageRadiusM: w.CoverageRadiusM},
+		Wireless: w,
+		Workload: wl,
+	}, rng.New(1).Split("instance"))
+	if err != nil {
+		return Config{}, err
+	}
+	return Config{
+		Instance:   ins,
+		Capacities: placement.UniformCapacities(ins.NumServers(), 8<<30),
+		Tracks: []Track{{
+			Algorithm: placement.GenAlgorithm{Options: placement.GenOptions{Lazy: true}},
+			Trigger:   ThresholdTrigger{Degradation: 0.05},
+		}},
+		DurationMin:   20,
+		CheckpointMin: 10,
+		SlotS:         5,
+		Realizations:  4,
+		Mode:          mode,
+	}, nil
+}

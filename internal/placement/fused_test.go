@@ -1,0 +1,163 @@
+package placement
+
+import (
+	"testing"
+
+	"trimcaching/internal/libgen"
+	"trimcaching/internal/rng"
+	"trimcaching/internal/scenario"
+	"trimcaching/internal/topology"
+	"trimcaching/internal/wireless"
+	"trimcaching/internal/workload"
+)
+
+// denseFadedHitRatio is the scalar reference evaluator under a fading
+// realization: scan every server per (user, model) request, count the
+// first cached-and-reachable one.
+func denseFadedHitRatio(e *Evaluator, p *Placement, reach *scenario.Reach) float64 {
+	ins := e.Instance()
+	M, K, I := ins.NumServers(), ins.NumUsers(), ins.NumModels()
+	var hit float64
+	for k := 0; k < K; k++ {
+		for i := 0; i < I; i++ {
+			for m := 0; m < M; m++ {
+				if p.Has(m, i) && reach.Has(m, k, i) {
+					hit += ins.Prob(k, i)
+					break
+				}
+			}
+		}
+	}
+	return hit / ins.TotalMass()
+}
+
+// fusedVsUnfused pins the tentpole equivalence on one instance: for every
+// realization, FadedReach + HitRatioWithReach must equal the fused
+// FadedHitRatios exactly — same word ops, same float add order — and both
+// must equal the dense scalar reference.
+func fusedVsUnfused(t *testing.T, e *Evaluator, placements []*Placement, seed uint64, realizations int) {
+	t.Helper()
+	ins := e.Instance()
+	src := rng.New(seed)
+	buf := ins.MakeReachBuffer()
+	scratch := ins.MakeFadeScratch()
+	fused := make([]float64, len(placements))
+	for r := 0; r < realizations; r++ {
+		gains := scenario.SampleGains(ins.NumServers(), ins.NumUsers(), src.SplitIndex("real", r))
+		reach, err := ins.FadedReach(gains, buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.FadedHitRatios(gains, placements, scratch, fused); err != nil {
+			t.Fatal(err)
+		}
+		for a, p := range placements {
+			unfused, err := e.HitRatioWithReach(p, reach)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fused[a] != unfused {
+				t.Fatalf("r=%d placement=%d: fused %.17g != unfused %.17g", r, a, fused[a], unfused)
+			}
+			if dense := denseFadedHitRatio(e, p, reach); unfused != dense {
+				t.Fatalf("r=%d placement=%d: unfused %.17g != dense %.17g", r, a, unfused, dense)
+			}
+		}
+	}
+}
+
+// TestFusedMatchesUnfusedProperty pins fused == unfused == dense exactly
+// over random instances, placements, and fading realizations — first on
+// fresh instances (direct single-word kernel), then after an in-place
+// update has built the threshold rank index (rank-prefix kernel), so both
+// fused code paths are exercised.
+func TestFusedMatchesUnfusedProperty(t *testing.T) {
+	for seed := uint64(60); seed < 64; seed++ {
+		e := buildEval(t, 5, 14, 3, seed)
+		ins := e.Instance()
+		caps := UniformCapacities(ins.NumServers(), gb/2)
+		gen, err := TrimCachingGen(e, caps, GenOptions{Lazy: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ind, err := IndependentCaching(e, caps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		placements := []*Placement{gen, ind, NewPlacement(ins.NumServers(), ins.NumModels())}
+		fusedVsUnfused(t, e, placements, seed+100, 4)
+
+		// A no-op move builds the flip index without changing any verdict;
+		// the fused kernel now takes the rank-prefix path.
+		all := make([]int, ins.NumUsers())
+		for k := range all {
+			all[k] = k
+		}
+		delta, err := ins.UpdateUsers(all, ins.Topology().UserPositions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.ApplyDelta(delta); err != nil {
+			t.Fatal(err)
+		}
+		fusedVsUnfused(t, e, placements, seed+100, 4)
+	}
+}
+
+// TestFusedMultiWordServers is the M > 64 fixture: with 70 servers the
+// packed masks span two words, exercising the generic HitRatioWithReach
+// branch and the multi-word fused kernel. All three evaluators — two-pass
+// packed, fused, and the dense scalar reference — must agree bit-for-bit.
+func TestFusedMultiWordServers(t *testing.T) {
+	lib, err := libgen.GenerateSpecial(libgen.DefaultSpecialConfig(3), rng.New(71))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := wireless.DefaultConfig()
+	cfg := scenario.GenConfig{
+		Topology: topology.Config{AreaSideM: 1500, NumServers: 70, NumUsers: 20, CoverageRadiusM: w.CoverageRadiusM},
+		Wireless: w,
+		Workload: workload.DefaultConfig(),
+	}
+	ins, err := scenario.Generate(lib, cfg, rng.New(72))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ins.ServerMaskWords() < 2 {
+		t.Fatalf("M=70 fixture packed into %d words, want >= 2", ins.ServerMaskWords())
+	}
+	e, err := NewEvaluator(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	caps := UniformCapacities(70, gb/2)
+	p, err := TrimCachingGen(e, caps, GenOptions{Lazy: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.CountPlacements() == 0 {
+		t.Fatal("fixture placed nothing; equivalence would be vacuous")
+	}
+	fusedVsUnfused(t, e, []*Placement{p}, 73, 5)
+}
+
+// TestFadedHitRatiosValidation covers the fused wrapper's error paths.
+func TestFadedHitRatiosValidation(t *testing.T) {
+	e := buildEval(t, 3, 8, 2, 80)
+	ins := e.Instance()
+	p := NewPlacement(ins.NumServers(), ins.NumModels())
+	gains := scenario.SampleGains(ins.NumServers(), ins.NumUsers(), rng.New(81))
+	if err := e.FadedHitRatios(gains, []*Placement{p}, nil, make([]float64, 2)); err == nil {
+		t.Fatal("output length mismatch must error")
+	}
+	wrong := NewPlacement(ins.NumServers()+1, ins.NumModels())
+	if err := e.FadedHitRatios(gains, []*Placement{wrong}, nil, make([]float64, 1)); err == nil {
+		t.Fatal("placement dim mismatch must error")
+	}
+	if err := e.FadedHitRatios(gains[:1], []*Placement{p}, nil, make([]float64, 1)); err == nil {
+		t.Fatal("gain dim mismatch must error")
+	}
+	if err := e.FadedHitRatios(gains, nil, nil, nil); err != nil {
+		t.Fatalf("empty placement list must be a no-op, got %v", err)
+	}
+}

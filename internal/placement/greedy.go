@@ -1,8 +1,8 @@
 package placement
 
 import (
-	"container/heap"
 	"fmt"
+	mbits "math/bits"
 
 	"trimcaching/internal/bitset"
 )
@@ -46,6 +46,7 @@ func newGreedyState(e *Evaluator, caps []int64, dedup bool) (*greedyState, error
 	if dedup {
 		s.blockWords = bitset.Words(ins.Library().NumBlocks())
 		s.blockOn = make([]uint64, ins.NumServers()*s.blockWords)
+		e.ensureBlockIndex()
 	}
 	return s, nil
 }
@@ -72,16 +73,21 @@ func (s *greedyState) gain(m, i int) float64 {
 
 // cost returns the incremental storage of adding model i to server m:
 // g_m(X_m ∪ {x_{m,i}}) − g_m(X_m) with deduplication, or D_i without.
+// The dedup path walks the word-packed missing-block set (model blocks
+// AND-NOT cached blocks) instead of testing every block ID individually;
+// the sum is over the same blocks in the same ascending order, and int64
+// addition is order-free anyway.
 func (s *greedyState) cost(m, i int) int64 {
-	lib := s.e.Instance().Library()
 	if !s.dedup {
-		return lib.ModelSize(i)
+		return s.e.Instance().Library().ModelSize(i)
 	}
-	on := s.blockMask(m)
+	on := s.blockOn[m*s.blockWords:]
+	mask := s.e.blockMasks[i*s.blockWords : (i+1)*s.blockWords]
+	sizes := s.e.blockSizes
 	var c int64
-	for _, j := range lib.ModelBlocks(i) {
-		if !on.Has(j) {
-			c += lib.BlockSize(j)
+	for w, v := range mask {
+		for miss := v &^ on[w]; miss != 0; miss &= miss - 1 {
+			c += sizes[w<<6|mbits.TrailingZeros64(miss)]
 		}
 	}
 	return c
@@ -138,86 +144,126 @@ func runNaiveGreedy(s *greedyState) {
 }
 
 // candidate is a lazy-greedy heap entry; key is a stale upper bound on the
-// true marginal gain (valid because U is submodular: gains only shrink).
+// true marginal gain (valid because U is submodular: gains only shrink
+// within one solve).
 type candidate struct {
 	key  float64
 	m, i int32
 }
 
+// candLess orders candidates by descending key, ties broken by ascending
+// (m, i). Because (m, i) is unique per entry this is a strict total order,
+// so the pop sequence of a heap is determined by its entry set alone — any
+// two heaps holding the same entries pop identically regardless of their
+// internal array layout. That property is what lets the evaluator's
+// persistent commit heap (see Evaluator.commitHeap) hand solves a
+// pre-ordered copy instead of rebuilding from scratch.
+func candLess(a, b candidate) bool {
+	if a.key != b.key {
+		return a.key > b.key
+	}
+	if a.m != b.m {
+		return a.m < b.m
+	}
+	return a.i < b.i
+}
+
+// candidateHeap is a hand-rolled binary heap under candLess (largest key
+// first). container/heap would route every comparison and swap through an
+// interface — and box every Push into an `any`, allocating per push — on
+// what profiling shows is the solver's hottest loop, so the sift
+// operations are spelled out with value moves instead.
 type candidateHeap []candidate
 
-func (h candidateHeap) Len() int { return len(h) }
-func (h candidateHeap) Less(a, b int) bool {
-	if h[a].key != h[b].key {
-		return h[a].key > h[b].key
+func (h candidateHeap) siftDown(i int) {
+	n := len(h)
+	c := h[i]
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		if r := l + 1; r < n && candLess(h[r], h[l]) {
+			l = r
+		}
+		if !candLess(h[l], c) {
+			break
+		}
+		h[i] = h[l]
+		i = l
 	}
-	if h[a].m != h[b].m {
-		return h[a].m < h[b].m
-	}
-	return h[a].i < h[b].i
+	h[i] = c
 }
-func (h candidateHeap) Swap(a, b int) { h[a], h[b] = h[b], h[a] }
-func (h *candidateHeap) Push(x any)   { *h = append(*h, x.(candidate)) }
-func (h *candidateHeap) Pop() any {
+
+func (h candidateHeap) siftUp(i int) {
+	c := h[i]
+	for i > 0 {
+		p := (i - 1) / 2
+		if !candLess(c, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = c
+}
+
+// init establishes the heap invariant over an arbitrary entry order.
+func (h candidateHeap) init() {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
+}
+
+func (h *candidateHeap) push(c candidate) {
+	*h = append(*h, c)
+	h.siftUp(len(*h) - 1)
+}
+
+func (h *candidateHeap) pop() candidate {
 	old := *h
-	n := len(old)
-	item := old[n-1]
-	*h = old[:n-1]
-	return item
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	if n > 0 {
+		old[:n].siftDown(0)
+	}
+	return top
 }
 
 // runLazyGreedy is the accelerated variant of Algorithm 3 using lazy
-// evaluation (Minoux). Candidates whose storage does not currently fit are
-// parked and retried after the next commit, because the incremental cost
-// g_m(X∪{x})−g_m(X) is non-increasing (the constraint is submodular), so
-// they may fit later.
+// evaluation (Minoux). The starting heap — every pair keyed by its
+// empty-placement gain u0(m,i) — comes from the evaluator's persistent
+// commit heap, which warm starts carry across incremental instance
+// updates (Evaluator.commitHeap).
+//
+// Certified candidates whose storage does not fit are dropped permanently:
+// fits() tests used[m] + cost(m,i), which telescopes to exactly
+// g_m(X_m ∪ {i}) — the deduplicated size of the server's block union with
+// model i — and a block union only grows as commits accrue, so a
+// candidate that does not fit now can never fit later. (An earlier
+// incarnation parked unfit candidates for retry after every commit, which
+// at LoRA scale re-pushed thousands of dead candidates per commit and
+// dominated the solve; the exact-placement-equality tests pin that
+// dropping them changes nothing.)
 func runLazyGreedy(s *greedyState) {
-	ins := s.e.Instance()
-	M, I := ins.NumServers(), ins.NumModels()
-	h := make(candidateHeap, 0, M*I)
-	for m := 0; m < M; m++ {
-		for i := 0; i < I; i++ {
-			// On the empty placement the marginal gain is the evaluator's
-			// memoized u0(m,i), so a warm-started solve (evaluator reused
-			// across an incremental instance update) recomputes only the
-			// pairs the delta invalidated.
-			if g := s.e.BaseGain(m, i); g > gainTolerance {
-				h = append(h, candidate{key: g, m: int32(m), i: int32(i)})
-			}
+	h := s.e.commitHeap()
+	for len(h) > 0 {
+		c := h.pop()
+		g := s.gain(int(c.m), int(c.i))
+		if g <= gainTolerance {
+			continue // gains never grow back; drop permanently
 		}
-	}
-	heap.Init(&h)
-
-	var parked []candidate
-	for {
-		committed := false
-		for h.Len() > 0 {
-			c := heap.Pop(&h).(candidate)
-			g := s.gain(int(c.m), int(c.i))
-			if g <= gainTolerance {
-				continue // gains never grow back; drop permanently
-			}
-			if h.Len() > 0 && g < h[0].key {
-				c.key = g
-				heap.Push(&h, c)
-				continue
-			}
-			// Certified: g is the maximum true gain among heap candidates.
-			if s.fits(int(c.m), int(c.i)) {
-				s.commit(int(c.m), int(c.i))
-				committed = true
-				break
-			}
-			parked = append(parked, c)
+		if len(h) > 0 && g < h[0].key {
+			c.key = g
+			h.push(c)
+			continue
 		}
-		if !committed {
-			return // heap drained with nothing feasible left
+		// Certified: g is the maximum true gain among heap candidates.
+		if s.fits(int(c.m), int(c.i)) {
+			s.commit(int(c.m), int(c.i))
 		}
-		// A commit may have shrunk parked candidates' incremental cost.
-		for _, c := range parked {
-			heap.Push(&h, c)
-		}
-		parked = parked[:0]
 	}
 }
 

@@ -54,6 +54,73 @@ func TestLazyMatchesNaive(t *testing.T) {
 	}
 }
 
+// TestLazyMatchesNaivePlacementsExactly pins the certified-but-unfit
+// handling: unfit candidates are dropped permanently (g_m(X_m ∪ {i}) only
+// grows, so they can never fit later), and under capacities tight enough
+// to exercise that path the lazy solver must still produce the exact
+// placement the naive rescan produces — not merely the same hit ratio.
+// (Both tie-break equal gains toward the lexicographically smallest
+// (m, i).)
+func TestLazyMatchesNaivePlacementsExactly(t *testing.T) {
+	for seed := uint64(20); seed < 26; seed++ {
+		for _, q := range []int64{gb / 16, gb / 8, gb / 2, 2 * gb} {
+			e := buildEval(t, 4, 10, 3, seed)
+			caps := UniformCapacities(4, q)
+			naive, err := TrimCachingGen(e, caps, GenOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			lazy, err := TrimCachingGen(e, caps, GenOptions{Lazy: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !placementsEqual(naive, lazy) {
+				t.Fatalf("seed %d cap %d: lazy placement differs from naive", seed, q)
+			}
+		}
+	}
+}
+
+// TestPersistentHeapStableAcrossSolves pins the persistent commit heap's
+// lifecycle on one evaluator: repeated solves (which consume working
+// copies), a different algorithm sharing the heap (storage mode does not
+// affect u0 keys), and an explicit InvalidateHeap must all reproduce the
+// placement a fresh evaluator computes.
+func TestPersistentHeapStableAcrossSolves(t *testing.T) {
+	e := buildEval(t, 4, 12, 3, 28)
+	caps := UniformCapacities(4, gb/4)
+	first, err := TrimCachingGen(e, caps, GenOptions{Lazy: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := IndependentCaching(e, caps); err != nil {
+		t.Fatal(err)
+	}
+	second, err := TrimCachingGen(e, caps, GenOptions{Lazy: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !placementsEqual(first, second) {
+		t.Fatal("re-solve on the persistent heap differs from the first solve")
+	}
+	e.InvalidateHeap()
+	third, err := TrimCachingGen(e, caps, GenOptions{Lazy: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !placementsEqual(first, third) {
+		t.Fatal("solve after InvalidateHeap differs from the first solve")
+	}
+	fresh := buildEval(t, 4, 12, 3, 28)
+	cold, err := TrimCachingGen(fresh, caps, GenOptions{Lazy: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !placementsEqual(first, cold) {
+		t.Fatal("persistent-heap solve differs from a fresh evaluator's solve")
+	}
+}
+
 func TestGenBeatsIndependent(t *testing.T) {
 	// The paper's headline: parameter-sharing placement dominates
 	// independent caching under tight storage. With a binding capacity the

@@ -97,6 +97,15 @@ func (p *Placement) CountPlacements() int {
 	return n
 }
 
+// PackedServerColumns returns every per-model server column concatenated,
+// laid out [i*bitset.Words(M) + w], bit m = x_{m,i}. It implements
+// scenario.ServerColumns, the fused fading-measurement kernel's read-only
+// placement view. The slice aliases internal state; callers must treat it
+// as read-only.
+func (p *Placement) PackedServerColumns() []uint64 { return p.cols }
+
+var _ scenario.ServerColumns = (*Placement)(nil)
+
 // Clone deep-copies the placement.
 func (p *Placement) Clone() *Placement {
 	out := NewPlacement(p.numServers, p.numModels)
@@ -127,6 +136,38 @@ type Evaluator struct {
 	baseGain  []float64
 	baseValid bitset.Set
 	baseGen   int
+
+	// Persistent commit heap: the lazy-greedy starting heap — every
+	// (server, model) pair with u0(m,i) above tolerance, keyed by exactly
+	// u0(m,i) — kept heap-ordered across solves and across incremental
+	// instance updates. Solves consume a copy (candLess is a strict total
+	// order, so a copy pops identically to a fresh build); commitHeap
+	// re-keys only the pairs marked stale since the heap was last synced.
+	// Staleness is tracked in its own bitset, not inferred from baseValid:
+	// any BaseGain caller (e.g. a Spec solve sharing the evaluator)
+	// revalidates memo entries between ApplyDelta and the next lazy solve,
+	// which would otherwise hide the delta from the heap and leave
+	// pre-delta keys behind. heapPos[m*I+i] locates a pair's entry, -1
+	// when absent (gain at or below tolerance). Keys must be exact — an
+	// inflated upper bound would reorder lazy certification against a cold
+	// solve — which is why stale entries are re-keyed to BaseGain rather
+	// than patched incrementally.
+	heapEnt   candidateHeap
+	heapPos   []int32
+	heapStale bitset.Set
+	heapLive  bool
+
+	// Per-solve scratch reused across Place/Repair calls (the evaluator is
+	// documented single-solver): the working copy of the commit heap.
+	workHeap candidateHeap
+
+	// Word-packed per-model block masks and per-block sizes, built lazily
+	// from the (immutable) library on the first deduplicating solve: the
+	// greedy cost kernel sums missing-block sizes along mask words instead
+	// of probing a bitset per block ID.
+	blockMasks []uint64 // [i*blockWords+w], bit j: model i contains block j
+	blockSizes []int64
+	blockWords int
 }
 
 // NewEvaluator returns an evaluator for the instance.
@@ -155,11 +196,9 @@ func NewEvaluator(ins *scenario.Instance) (*Evaluator, error) {
 // bit-identical to recomputing the masked probability sum from scratch, so
 // warm-started solves reproduce cold solves exactly.
 func (e *Evaluator) BaseGain(m, i int) float64 {
-	if e.baseGen != e.ins.Generation() {
-		// The instance mutated without ApplyDelta: drop the whole memo.
-		e.baseValid.Zero()
-		e.baseGen = e.ins.Generation()
-	}
+	// An instance mutation without ApplyDelta drops the whole memo (and
+	// the persistent commit heap, whose keys would all be stale).
+	e.syncBase()
 	idx := m*e.ins.NumModels() + i
 	if !e.baseValid.Has(idx) {
 		e.baseGain[idx] = e.maskMass(i, e.ins.UserMask(m, i), nil)
@@ -182,12 +221,141 @@ func (e *Evaluator) ApplyDelta(d *scenario.Delta) error {
 		// Already applied.
 	case d.Gen == e.baseGen+1 && len(d.Pairs) == len(e.baseValid):
 		e.baseValid.AndNot(d.Pairs)
+		if e.heapStale != nil {
+			e.heapStale.Or(d.Pairs)
+		}
 		e.baseGen = d.Gen
 	default:
 		e.baseValid.Zero()
 		e.baseGen = d.Gen
+		e.heapLive = false // unknown extent: rebuild the heap outright
 	}
 	return nil
+}
+
+// syncBase re-checks the memo's generation against the instance, dropping
+// the whole memo — and the persistent commit heap, whose keys may all be
+// stale — when the instance advanced without ApplyDelta (the same safety
+// valve BaseGain applies).
+func (e *Evaluator) syncBase() {
+	if e.baseGen != e.ins.Generation() {
+		e.baseValid.Zero()
+		e.baseGen = e.ins.Generation()
+		e.heapLive = false
+	}
+}
+
+// commitHeap returns the lazy-greedy starting heap for the current
+// instance state: every pair keyed by its exact empty-placement gain
+// u0(m,i), entries at or below tolerance excluded, heap-ordered. The
+// returned slice is the evaluator's reusable working scratch — the solve
+// consumes it freely while the persistent copy stays intact for the next
+// solve. On the first call (or after InvalidateHeap, or whenever the
+// instance advanced without a matching ApplyDelta) the heap is built from
+// all M·I pairs; afterwards only the pairs a delta marked stale are
+// re-keyed to their fresh BaseGain, inserted, or removed — every
+// surviving key is still exactly u0, so a warm solve pops the identical
+// sequence a cold build would.
+func (e *Evaluator) commitHeap() candidateHeap {
+	M, I := e.ins.NumServers(), e.ins.NumModels()
+	e.syncBase()
+	switch {
+	case !e.heapLive:
+		if e.heapPos == nil {
+			e.heapPos = make([]int32, M*I)
+			e.heapStale = bitset.New(M * I)
+		}
+		e.heapStale.Zero()
+		e.heapEnt = e.heapEnt[:0]
+		for m := 0; m < M; m++ {
+			for i := 0; i < I; i++ {
+				if g := e.BaseGain(m, i); g > gainTolerance {
+					e.heapEnt = append(e.heapEnt, candidate{key: g, m: int32(m), i: int32(i)})
+				}
+			}
+		}
+		e.heapEnt.init()
+		e.reindexHeap()
+		e.heapLive = true
+	case e.heapStale.Any():
+		e.syncHeap()
+	}
+	e.workHeap = append(e.workHeap[:0], e.heapEnt...)
+	return e.workHeap
+}
+
+// syncHeap absorbs the accumulated delta marks into the persistent commit
+// heap: every stale pair is re-keyed to its (possibly recomputed)
+// BaseGain, added when it newly clears the gain tolerance, or removed when
+// it no longer does. Heap order and the position index are restored
+// wholesale — O(M·I), tiny next to the gain recomputation itself.
+func (e *Evaluator) syncHeap() {
+	I := e.ins.NumModels()
+	for w, v := range e.heapStale {
+		for ; v != 0; v &= v - 1 {
+			p := w<<6 | mbits.TrailingZeros64(v)
+			g := e.BaseGain(p/I, p%I)
+			pos := e.heapPos[p]
+			switch {
+			case g > gainTolerance && pos >= 0:
+				e.heapEnt[pos].key = g
+			case g > gainTolerance:
+				e.heapEnt = append(e.heapEnt, candidate{key: g, m: int32(p / I), i: int32(p % I)})
+				e.heapPos[p] = int32(len(e.heapEnt) - 1)
+			case pos >= 0:
+				last := len(e.heapEnt) - 1
+				moved := e.heapEnt[last]
+				e.heapEnt[pos] = moved
+				e.heapPos[int(moved.m)*I+int(moved.i)] = pos
+				e.heapEnt = e.heapEnt[:last]
+				e.heapPos[p] = -1
+			}
+		}
+	}
+	e.heapStale.Zero()
+	e.heapEnt.init()
+	e.reindexHeap()
+}
+
+// reindexHeap rebuilds heapPos from the heap entries.
+func (e *Evaluator) reindexHeap() {
+	I := e.ins.NumModels()
+	for p := range e.heapPos {
+		e.heapPos[p] = -1
+	}
+	for idx, c := range e.heapEnt {
+		e.heapPos[int(c.m)*I+int(c.i)] = int32(idx)
+	}
+}
+
+// InvalidateHeap drops the persistent commit heap, forcing the next lazy
+// solve to rebuild it from all M·I pairs. Results are unaffected — the
+// rebuilt heap holds the same entries a synced one would — so this exists
+// for benchmarks isolating the heap carry-over's contribution
+// (cmd/benchdyn's resolve section) and as an explicit reset hook.
+func (e *Evaluator) InvalidateHeap() { e.heapLive = false }
+
+// ensureBlockIndex builds the word-packed model→blocks masks and the block
+// size table the greedy cost kernel streams. The library is immutable, so
+// this happens once per evaluator.
+func (e *Evaluator) ensureBlockIndex() {
+	if e.blockMasks != nil {
+		return
+	}
+	lib := e.ins.Library()
+	I, J := e.ins.NumModels(), lib.NumBlocks()
+	e.blockWords = bitset.Words(J)
+	e.blockMasks = make([]uint64, I*e.blockWords)
+	for i := 0; i < I; i++ {
+		mask := bitset.Set(e.blockMasks[i*e.blockWords : (i+1)*e.blockWords])
+		for _, j := range lib.ModelBlocks(i) {
+			mask.Set(j)
+		}
+	}
+	e.blockSizes = make([]int64, J)
+	for j := 0; j < J; j++ {
+		e.blockSizes[j] = lib.BlockSize(j)
+	}
 }
 
 // maskMass sums p_{k,i} over the users in mask \ excluded, in ascending
@@ -294,6 +462,38 @@ func (e *Evaluator) HitRatioWithReach(p *Placement, reach *scenario.Reach) (floa
 		}
 	}
 	return hit / e.ins.TotalMass(), nil
+}
+
+// FadedHitRatios computes U(X) (eq. 2) for every placement under one
+// Rayleigh-fading realization via the fused measurement kernel
+// (scenario.Instance.FadedHitMass): the indicator word of each (k,i)
+// request is computed and scored against the placement columns in one
+// pass, with no reachability buffer materialized. Results are
+// bit-identical to FadedReach followed by HitRatioWithReach. scratch may
+// be nil; loops should hold a scenario.FadeScratch (see MakeFadeScratch)
+// per goroutine to avoid per-realization allocation.
+func (e *Evaluator) FadedHitRatios(gains [][]float64, placements []*Placement, scratch *scenario.FadeScratch, dst []float64) error {
+	if len(dst) != len(placements) {
+		return fmt.Errorf("placement: %d outputs for %d placements", len(dst), len(placements))
+	}
+	if scratch == nil {
+		scratch = e.ins.MakeFadeScratch()
+	}
+	views := scratch.ViewScratch(len(placements))
+	for a, p := range placements {
+		if err := e.checkDims(p); err != nil {
+			return err
+		}
+		views[a] = p
+	}
+	if err := e.ins.FadedHitMass(gains, views, dst, scratch); err != nil {
+		return err
+	}
+	total := e.ins.TotalMass()
+	for a := range dst {
+		dst[a] /= total
+	}
+	return nil
 }
 
 // ServerStorage computes g_m(X) (eq. 7): the deduplicated bytes server m

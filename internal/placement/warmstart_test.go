@@ -109,6 +109,69 @@ func TestWarmStartMatchesColdSolve(t *testing.T) {
 	}
 }
 
+// TestRepairAfterInterleavedBaseGainSweep pins the persistent commit
+// heap's staleness tracking against interleaved memo consumers: after
+// ApplyDelta, another solver sharing the evaluator (here a Spec solve,
+// and an explicit full BaseGain sweep) revalidates the invalidated memo
+// entries before the lazy solver runs. The heap must still re-key the
+// delta's pairs — staleness is tracked separately from memo validity — or
+// the warm Repair diverges from a cold solve.
+func TestRepairAfterInterleavedBaseGainSweep(t *testing.T) {
+	for _, seed := range []uint64{20, 23, 29} {
+		ins, eval, pop, walk := warmWalk(t, seed)
+		caps := UniformCapacities(ins.NumServers(), 1<<30)
+		alg := GenAlgorithm{Options: GenOptions{Lazy: true}}
+		prev, err := alg.Place(eval, caps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all := make([]int, ins.NumUsers())
+		for k := range all {
+			all[k] = k
+		}
+		for cp := 0; cp < 2; cp++ {
+			for s := 0; s < 120; s++ {
+				if err := pop.Step(5, walk); err != nil {
+					t.Fatal(err)
+				}
+			}
+			delta, err := ins.UpdateUsers(all, pop.Positions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := eval.ApplyDelta(delta); err != nil {
+				t.Fatal(err)
+			}
+			// Interleaved consumers revalidate the memo entries the delta
+			// just dropped.
+			if _, err := (SpecAlgorithm{Options: DefaultSpecOptions()}).Place(eval, caps); err != nil {
+				t.Fatal(err)
+			}
+			for m := 0; m < ins.NumServers(); m++ {
+				for i := 0; i < ins.NumModels(); i++ {
+					eval.BaseGain(m, i)
+				}
+			}
+			warm, err := alg.Repair(eval, caps, prev, delta)
+			if err != nil {
+				t.Fatal(err)
+			}
+			coldEval, err := NewEvaluator(ins)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cold, err := alg.Place(coldEval, caps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !placementsEqual(warm, cold) {
+				t.Fatalf("seed %d checkpoint %d: repair after interleaved BaseGain sweep differs from cold solve", seed, cp)
+			}
+			prev = warm
+		}
+	}
+}
+
 // TestRepairNothingChangedFastPath pins the short-circuit: when the delta
 // reports no reachability change, Repair returns the previous placement
 // without re-solving.

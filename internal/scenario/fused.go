@@ -1,0 +1,386 @@
+// This file is the fused fading-measurement kernel: score placements
+// under one fading realization without materializing the K×I×words
+// reachability indicator. The two-pass path (FadedReach filling
+// Reach.bits, then an evaluator streaming them again) stays for callers
+// that need the full indicator; every scalar-only consumer (checkpoint
+// measurement in both dynamics engine modes) goes through FadedHitMass,
+// which computes each (k,i) indicator word and ANDs it against the
+// placement columns in one pass — no bits write, no second stream. Hit
+// masses accumulate in ascending (k,i) order per placement, so results
+// are bit-identical to the two-pass path: same word ops, same float add
+// order.
+
+package scenario
+
+import (
+	"fmt"
+	mbits "math/bits"
+	"sort"
+
+	"trimcaching/internal/bitset"
+)
+
+// ServerColumns is the fused measurement kernel's read-only view of a
+// placement: for every model, the word-packed set of servers caching it.
+// placement.Placement implements it; keeping the seam here lets the kernel
+// consume placements without scenario importing placement.
+type ServerColumns interface {
+	// PackedServerColumns returns every per-model server column
+	// concatenated, laid out [i*words + w] with words = bitset.Words(M),
+	// bit m set iff server m caches model i. The slice must stay valid and
+	// unmodified for the duration of the scoring call.
+	PackedServerColumns() []uint64
+}
+
+// FadeScratch owns the per-realization scratch of the fused measurement
+// kernel: per-link rate and per-user relay tables plus one indicator row
+// and one hit mask. Allocate once per goroutine with MakeFadeScratch and
+// reuse across realizations; a FadedHitMass call then performs no
+// allocation.
+type FadeScratch struct {
+	rates    []float64
+	relay    []float64
+	row      []uint64  // multi-word indicator scratch, serverWords
+	full     []uint64  // all-servers mask, serverWords (multi-word kernel)
+	hits     []uint64  // per-(user, view) hit mask over models, Words(I)
+	dirRates []float64 // gathered covering rates for one user
+	dirBits  []uint64  // matching single-word bit masks
+	dirCuts  []int     // matching threshold rank cutoffs
+	cols     [][]uint64
+	views    []ServerColumns
+}
+
+// ViewScratch returns a reusable ServerColumns slice of length n, for
+// wrappers (placement.Evaluator.FadedHitRatios) that adapt concrete
+// placement types per call without allocating per realization.
+func (s *FadeScratch) ViewScratch(n int) []ServerColumns {
+	if cap(s.views) < n {
+		s.views = make([]ServerColumns, n)
+	}
+	return s.views[:n]
+}
+
+// MakeFadeScratch allocates a reusable scratch for FadedHitMass.
+func (ins *Instance) MakeFadeScratch() *FadeScratch {
+	M, K, I := ins.NumServers(), ins.NumUsers(), ins.NumModels()
+	scratch := &FadeScratch{
+		rates:    make([]float64, M*K),
+		relay:    make([]float64, K),
+		row:      make([]uint64, ins.serverWords),
+		full:     make([]uint64, ins.serverWords),
+		hits:     make([]uint64, bitset.Words(I)),
+		dirRates: make([]float64, 0, M),
+		dirBits:  make([]uint64, 0, M),
+		dirCuts:  make([]int, 0, M),
+	}
+	bitset.Set(scratch.full).SetAll(M)
+	return scratch
+}
+
+// fadeRates fills the per-link faded rates (covering pairs only) and the
+// per-user best relay rates for one realization. Shared by FadedReach and
+// FadedHitMass so both paths see identical rate tables.
+func (ins *Instance) fadeRates(gains [][]float64, rates, relay []float64) error {
+	M, K := ins.NumServers(), ins.NumUsers()
+	// Only covering links are written and only covering links are read, so
+	// the rate scratch needs no clearing between realizations.
+	for m := 0; m < M; m++ {
+		load := ins.topo.Load(m)
+		for _, k := range ins.topo.UsersOf(m) {
+			r, err := ins.wcfg.FadedRateBps(ins.topo.Distance(m, k), load, ins.shadowGain(m, k)*gains[m][k])
+			if err != nil {
+				return fmt.Errorf("scenario: faded rate m=%d k=%d: %w", m, k, err)
+			}
+			rates[m*K+k] = r
+		}
+	}
+	for k := 0; k < K; k++ {
+		relay[k] = 0
+		for _, m := range ins.topo.ServersCovering(k) {
+			if rates[m*K+k] > relay[k] {
+				relay[k] = rates[m*K+k]
+			}
+		}
+	}
+	return nil
+}
+
+// checkGains validates the fading gain matrix dimensions.
+func (ins *Instance) checkGains(gains [][]float64) error {
+	M, K := ins.NumServers(), ins.NumUsers()
+	if len(gains) != M {
+		return fmt.Errorf("scenario: gains has %d rows, want %d", len(gains), M)
+	}
+	for m := range gains {
+		if len(gains[m]) != K {
+			return fmt.Errorf("scenario: gains[%d] has %d cols, want %d", m, len(gains[m]), K)
+		}
+	}
+	return nil
+}
+
+// FadedHitMass computes, for every placement view, the expected request
+// mass served within QoS under one Rayleigh-fading realization — the fused
+// equivalent of FadedReach followed by HitRatioWithReach's AND-scoring.
+// dst[a] receives the unnormalized hit mass of views[a] (divide by
+// TotalMass for eq. 2). scratch may be nil (a fresh one is allocated).
+//
+// Per (k,i) the kernel computes the same indicator word fillReachRows
+// would store — relay verdict broadcast, covering servers patched with
+// their direct verdicts — but instead of writing it, immediately ANDs it
+// against each view's server column for model i and accumulates p_{k,i}
+// on intersection. Each view's accumulator sees additions in ascending
+// (k,i) order, exactly the order of the two-pass evaluator, so the two
+// paths agree bit-for-bit (pinned by the fused-equivalence tests).
+func (ins *Instance) FadedHitMass(gains [][]float64, views []ServerColumns, dst []float64, scratch *FadeScratch) error {
+	if err := ins.checkGains(gains); err != nil {
+		return err
+	}
+	if len(dst) != len(views) {
+		return fmt.Errorf("scenario: %d outputs for %d views", len(dst), len(views))
+	}
+	K, I := ins.NumUsers(), ins.NumModels()
+	sw := ins.serverWords
+	if scratch == nil {
+		scratch = ins.MakeFadeScratch()
+	}
+	if len(scratch.rates) != ins.NumServers()*K || len(scratch.row) != sw || len(scratch.hits) != bitset.Words(I) {
+		return fmt.Errorf("scenario: fade scratch dims do not match instance")
+	}
+	if cap(scratch.cols) < len(views) {
+		scratch.cols = make([][]uint64, len(views))
+	}
+	cols := scratch.cols[:len(views)]
+	for a, v := range views {
+		cols[a] = v.PackedServerColumns()
+		if len(cols[a]) != I*sw {
+			return fmt.Errorf("scenario: view %d has %d column words, want %d", a, len(cols[a]), I*sw)
+		}
+	}
+	if err := ins.fadeRates(gains, scratch.rates, scratch.relay); err != nil {
+		return err
+	}
+	for a := range dst {
+		dst[a] = 0
+	}
+	if len(views) == 0 {
+		return nil
+	}
+	if sw == 1 {
+		if ins.flipDirOrder != nil {
+			// The threshold rank index (built once per instance by the
+			// first delta update) turns the K×I verdict sweep into
+			// per-user binary searches plus a walk over only the
+			// qualifying requests — the common case for the incremental
+			// engine, whose instance lives across checkpoints. Freshly
+			// (re)built instances take the direct sweep below instead of
+			// paying the index build for a handful of realizations.
+			ins.fusedHitMassRanked(cols, dst, scratch)
+			return nil
+		}
+		ins.fusedHitMass1(cols, dst, scratch)
+		return nil
+	}
+	ins.fusedHitMassN(cols, dst, scratch)
+	return nil
+}
+
+// fusedHitMassRanked is the rank-indexed single-word kernel. For user k a
+// request (k,i) can hit only through two sources: the relay verdict
+// (minRel[k,i] ≤ relay rate) reaching a non-covering cached server, or a
+// covering server m's direct verdict (minDir[k,i] ≤ rate_mk) with m cached.
+// Both verdict sets are rank prefixes of the instance's sorted threshold
+// index, found by binary search, so the kernel touches exactly the
+// qualifying requests instead of comparing all I thresholds per source.
+// Qualifying hits are collected into a model bit mask per view and the
+// probability sum sweeps that mask in ascending model order — the same
+// additions, in the same order, as the dense sweep.
+func (ins *Instance) fusedHitMassRanked(cols [][]uint64, dst []float64, scratch *FadeScratch) {
+	K, I := ins.NumUsers(), ins.NumModels()
+	rates, relay := scratch.rates, scratch.relay
+	hits := scratch.hits
+	for w := range hits {
+		hits[w] = 0
+	}
+	for k := 0; k < K; k++ {
+		// Covering servers with positive rate keep their direct verdict;
+		// covering servers with zero rate fall through to the relay
+		// verdict exactly like non-covering ones (fillReachRows' direct>0
+		// guard), so the covered mask is built from positive-rate links.
+		dirRates := scratch.dirRates[:0]
+		dirBits := scratch.dirBits[:0]
+		var covMask uint64
+		for _, m := range ins.topo.ServersCovering(k) {
+			if r := rates[m*K+k]; r > 0 {
+				dirRates = append(dirRates, r)
+				dirBits = append(dirBits, 1<<uint(m))
+				covMask |= 1 << uint(m)
+			}
+		}
+		relayRate := relay[k]
+		if relayRate <= 0 && len(dirRates) == 0 {
+			continue
+		}
+		relVals := ins.flipRelVals[k*I : (k+1)*I]
+		relOrder := ins.flipRelOrder[k*I : (k+1)*I]
+		dirVals := ins.flipDirVals[k*I : (k+1)*I]
+		dirOrder := ins.flipDirOrder[k*I : (k+1)*I]
+		relCut := 0
+		if relayRate > 0 {
+			relCut = sort.Search(I, func(j int) bool { return relVals[j] > relayRate })
+		}
+		// One cutoff per covering server, shared by every view.
+		dirCuts := scratch.dirCuts[:0]
+		for _, rate := range dirRates {
+			dirCuts = append(dirCuts, sort.Search(I, func(x int) bool { return dirVals[x] > rate }))
+		}
+		probs := ins.work.ProbRow(k)
+		for a, col := range cols {
+			// Relay source: every non-covering cached server serves i.
+			for j := 0; j < relCut; j++ {
+				i := int(relOrder[j])
+				if col[i]&^covMask != 0 {
+					hits[i>>6] |= 1 << (uint(i) & 63)
+				}
+			}
+			// Direct source: covering server m serves i when cached.
+			for j, cut := range dirCuts {
+				bit := dirBits[j]
+				for x := 0; x < cut; x++ {
+					i := int(dirOrder[x])
+					if col[i]&bit != 0 {
+						hits[i>>6] |= 1 << (uint(i) & 63)
+					}
+				}
+			}
+			sum := dst[a]
+			for w, v := range hits {
+				if v == 0 {
+					continue
+				}
+				hits[w] = 0
+				base := w << 6
+				for ; v != 0; v &= v - 1 {
+					sum += probs[base|mbits.TrailingZeros64(v)]
+				}
+			}
+			dst[a] = sum
+		}
+	}
+}
+
+// fusedHitMass1 is the single-word (M ≤ 64) fused kernel. The covering
+// rates are gathered once per user (recomputeUserRows' hoisting); the
+// indicator word per (k,i) matches fillReachRows' verdicts exactly.
+func (ins *Instance) fusedHitMass1(cols [][]uint64, dst []float64, scratch *FadeScratch) {
+	K, I := ins.NumUsers(), ins.NumModels()
+	fullWord := uint64(1)<<uint(ins.NumServers()) - 1
+	if ins.NumServers() == 64 {
+		fullWord = ^uint64(0)
+	}
+	rates, relay := scratch.rates, scratch.relay
+	var single []uint64
+	if len(cols) == 1 {
+		single = cols[0]
+	}
+	for k := 0; k < K; k++ {
+		dirRates := scratch.dirRates[:0]
+		dirBits := scratch.dirBits[:0]
+		for _, m := range ins.topo.ServersCovering(k) {
+			if r := rates[m*K+k]; r > 0 {
+				dirRates = append(dirRates, r)
+				dirBits = append(dirBits, 1<<uint(m))
+			}
+		}
+		relayRate := relay[k]
+		if relayRate <= 0 && len(dirRates) == 0 {
+			continue // every indicator word is zero: nothing to add
+		}
+		minDir := ins.minDirRate[k*I : (k+1)*I]
+		minRel := ins.minRelRate[k*I : (k+1)*I]
+		probs := ins.work.ProbRow(k)
+		if len(cols) == 1 {
+			// Common case (one track measured per checkpoint): no inner
+			// view loop.
+			sum := dst[0]
+			for i := 0; i < I; i++ {
+				var w uint64
+				if relayRate > 0 && relayRate >= minRel[i] {
+					w = fullWord
+				}
+				for j, direct := range dirRates {
+					if direct >= minDir[i] {
+						w |= dirBits[j]
+					} else {
+						w &^= dirBits[j]
+					}
+				}
+				if w&single[i] != 0 {
+					sum += probs[i]
+				}
+			}
+			dst[0] = sum
+			continue
+		}
+		for i := 0; i < I; i++ {
+			var w uint64
+			if relayRate > 0 && relayRate >= minRel[i] {
+				w = fullWord
+			}
+			for j, direct := range dirRates {
+				if direct >= minDir[i] {
+					w |= dirBits[j]
+				} else {
+					w &^= dirBits[j]
+				}
+			}
+			if w == 0 {
+				continue
+			}
+			for a, col := range cols {
+				if w&col[i] != 0 {
+					dst[a] += probs[i]
+				}
+			}
+		}
+	}
+}
+
+// fusedHitMassN is the multi-word (M > 64) fused kernel: each row is
+// computed into the scratch row with fillReachRows' exact verdict logic,
+// then intersected with every view's column.
+func (ins *Instance) fusedHitMassN(cols [][]uint64, dst []float64, scratch *FadeScratch) {
+	K, I := ins.NumUsers(), ins.NumModels()
+	sw := ins.serverWords
+	full := bitset.Set(scratch.full)
+	rates, relay := scratch.rates, scratch.relay
+	row := bitset.Set(scratch.row)
+	for k := 0; k < K; k++ {
+		covering := ins.topo.ServersCovering(k)
+		relayRate := relay[k]
+		minDir := ins.minDirRate[k*I : (k+1)*I]
+		minRel := ins.minRelRate[k*I : (k+1)*I]
+		probs := ins.work.ProbRow(k)
+		for i := 0; i < I; i++ {
+			if relayRate > 0 && relayRate >= minRel[i] {
+				row.CopyFrom(full)
+			} else {
+				row.Zero()
+			}
+			for _, m := range covering {
+				if direct := rates[m*K+k]; direct > 0 {
+					if direct >= minDir[i] {
+						row.Set(m)
+					} else {
+						row.Clear(m)
+					}
+				}
+			}
+			for a, col := range cols {
+				if bitset.Intersects(row, bitset.Set(col[i*sw:(i+1)*sw])) {
+					dst[a] += probs[i]
+				}
+			}
+		}
+	}
+}

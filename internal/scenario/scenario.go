@@ -502,19 +502,41 @@ func (ins *Instance) ensureFlipIndex() {
 	buildRanks(ins.flipRelOrder, ins.flipRelVals, ins.minRelRate, K, I)
 }
 
+// rankPair is one (threshold, model) entry of the rank index build.
+type rankPair struct {
+	v float64
+	i int32
+}
+
 // buildRanks fills, per user, the model permutation sorted by ascending
-// threshold and the matching sorted threshold values.
+// threshold and the matching sorted threshold values. Ties order
+// arbitrarily: every consumer (flip ranges, rank prefix cutoffs) selects
+// by value boundary, so equal-threshold models are always taken as a
+// block. Sorting (value, index) pairs through slices.SortFunc keeps the
+// comparator inlined — sort.Slice's reflection-based swapper tripled the
+// one-time index cost at LoRA scale.
 func buildRanks(order []int32, vals, thresholds []float64, K, I int) {
+	pairs := make([]rankPair, I)
 	for k := 0; k < K; k++ {
-		ord := order[k*I : (k+1)*I]
-		for j := range ord {
-			ord[j] = int32(j)
-		}
 		th := thresholds[k*I : (k+1)*I]
-		sort.Slice(ord, func(a, b int) bool { return th[ord[a]] < th[ord[b]] })
+		for j := range pairs {
+			pairs[j] = rankPair{v: th[j], i: int32(j)}
+		}
+		slices.SortFunc(pairs, func(a, b rankPair) int {
+			switch {
+			case a.v < b.v:
+				return -1
+			case a.v > b.v:
+				return 1
+			default:
+				return 0
+			}
+		})
+		ord := order[k*I : (k+1)*I]
 		v := vals[k*I : (k+1)*I]
-		for j, i := range ord {
-			v[j] = th[i]
+		for j, p := range pairs {
+			ord[j] = p.i
+			v[j] = p.v
 		}
 	}
 }
@@ -794,13 +816,8 @@ func (r *Reach) PackedServerMasks() []uint64 { return r.bits }
 // examined under fading (§VII-A); this method powers that evaluation.
 func (ins *Instance) FadedReach(gains [][]float64, dst *Reach) (*Reach, error) {
 	M, K := ins.NumServers(), ins.NumUsers()
-	if len(gains) != M {
-		return nil, fmt.Errorf("scenario: gains has %d rows, want %d", len(gains), M)
-	}
-	for m := range gains {
-		if len(gains[m]) != K {
-			return nil, fmt.Errorf("scenario: gains[%d] has %d cols, want %d", m, len(gains[m]), K)
-		}
+	if err := ins.checkGains(gains); err != nil {
+		return nil, err
 	}
 	if dst == nil {
 		dst = ins.MakeReachBuffer()
@@ -809,25 +826,8 @@ func (ins *Instance) FadedReach(gains [][]float64, dst *Reach) (*Reach, error) {
 		return nil, fmt.Errorf("scenario: reach buffer dims %dx%dx%d, want %dx%dx%d",
 			dst.numServers, dst.numUsers, dst.numModels, M, K, ins.NumModels())
 	}
-	// Only covering links are written and only covering links are read, so
-	// the rate scratch needs no clearing between realizations.
-	for m := 0; m < M; m++ {
-		load := ins.topo.Load(m)
-		for _, k := range ins.topo.UsersOf(m) {
-			r, err := ins.wcfg.FadedRateBps(ins.topo.Distance(m, k), load, ins.shadowGain(m, k)*gains[m][k])
-			if err != nil {
-				return nil, fmt.Errorf("scenario: faded rate m=%d k=%d: %w", m, k, err)
-			}
-			dst.rates[m*K+k] = r
-		}
-	}
-	for k := 0; k < K; k++ {
-		dst.relay[k] = 0
-		for _, m := range ins.topo.ServersCovering(k) {
-			if dst.rates[m*K+k] > dst.relay[k] {
-				dst.relay[k] = dst.rates[m*K+k]
-			}
-		}
+	if err := ins.fadeRates(gains, dst.rates, dst.relay); err != nil {
+		return nil, err
 	}
 	ins.fillReach(dst.rates, dst.relay, dst.bits)
 	return dst, nil

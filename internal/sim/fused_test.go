@@ -1,0 +1,82 @@
+package sim
+
+import (
+	"testing"
+
+	"trimcaching/internal/libgen"
+	"trimcaching/internal/placement"
+	"trimcaching/internal/rng"
+	"trimcaching/internal/scenario"
+	"trimcaching/internal/topology"
+	"trimcaching/internal/wireless"
+	"trimcaching/internal/workload"
+)
+
+// TestFusedSessionMatchesUnfusedAcrossWorkers pins the session-level half
+// of the fused-kernel equivalence: for random instances and both fused
+// code paths (direct sweep on fresh instances, rank-prefix after an
+// in-place update), Evaluate must equal EvaluateUnfused exactly — not
+// within epsilon — and both must be bit-identical for every worker count.
+func TestFusedSessionMatchesUnfusedAcrossWorkers(t *testing.T) {
+	for seed := uint64(90); seed < 93; seed++ {
+		lib, err := libgen.GenerateSpecial(libgen.DefaultSpecialConfig(3), rng.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := wireless.DefaultConfig()
+		ins, err := scenario.Generate(lib, scenario.GenConfig{
+			Topology: topology.Config{AreaSideM: 1000, NumServers: 5, NumUsers: 12, CoverageRadiusM: w.CoverageRadiusM},
+			Wireless: w,
+			Workload: workload.DefaultConfig(),
+		}, rng.New(seed+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		eval, err := placement.NewEvaluator(ins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		caps := placement.UniformCapacities(5, 1<<29)
+		p, err := placement.TrimCachingGen(eval, caps, placement.GenOptions{Lazy: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		placements := []*placement.Placement{p}
+
+		check := func(label string) {
+			t.Helper()
+			var want []float64
+			for workers := 1; workers <= 4; workers++ {
+				s := NewFadingSession(ins, workers)
+				fused, err := s.Evaluate(eval, placements, 17, rng.New(seed+2))
+				if err != nil {
+					t.Fatal(err)
+				}
+				unfused, err := s.EvaluateUnfused(eval, placements, 17, rng.New(seed+2))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if fused[0] != unfused[0] {
+					t.Fatalf("%s workers=%d: fused %.17g != unfused %.17g", label, workers, fused[0], unfused[0])
+				}
+				if want == nil {
+					want = fused
+				} else if fused[0] != want[0] {
+					t.Fatalf("%s workers=%d: %.17g differs from workers=1 %.17g", label, workers, fused[0], want[0])
+				}
+			}
+		}
+		check("fresh")
+
+		// A no-op move builds the threshold rank index; the fused kernel
+		// switches to the rank-prefix path and must still agree exactly.
+		all := make([]int, ins.NumUsers())
+		for k := range all {
+			all[k] = k
+		}
+		if _, err := ins.UpdateUsers(all, ins.Topology().UserPositions()); err != nil {
+			t.Fatal(err)
+		}
+		check("ranked")
+	}
+}

@@ -233,18 +233,26 @@ func EvaluateUnderFadingWorkers(eval *placement.Evaluator, placements []*placeme
 }
 
 // FadingSession owns the scratch a Monte-Carlo fading evaluation needs —
-// per-worker reach buffers and gain matrices, plus the per-realization
-// score table — so repeated Evaluate calls perform no steady-state
-// allocation. The buffers are sized by instance dimensions, not bound to
-// one instance: a session built at t = 0 serves every later checkpoint of
-// a mobility timeline, whether the instance was updated in place or
-// rebuilt.
+// per-worker fused-kernel scratch and gain matrices, plus the
+// per-realization score table — so repeated Evaluate calls perform no
+// steady-state allocation. The buffers are sized by instance dimensions,
+// not bound to one instance: a session built at t = 0 serves every later
+// checkpoint of a mobility timeline, whether the instance was updated in
+// place or rebuilt.
+//
+// Evaluate scores through the fused measurement kernel
+// (scenario.Instance.FadedHitMass): only the scalar hit ratio is needed,
+// so no per-realization reachability indicator is materialized.
+// EvaluateUnfused keeps the two-pass FadedReach + HitRatioWithReach
+// reference; the paths are pinned bit-identical.
 type FadingSession struct {
 	numServers, numUsers, numModels int
 	workers                         int
-	bufs                            []*scenario.Reach
+	scratch                         []*scenario.FadeScratch
+	bufs                            []*scenario.Reach // EvaluateUnfused only, lazy
 	gains                           [][][]float64
 	hr                              []float64
+	views                           []scenario.ServerColumns
 }
 
 // NewFadingSession allocates a session for instances with ins's dimensions
@@ -258,11 +266,11 @@ func NewFadingSession(ins *scenario.Instance, workers int) *FadingSession {
 		numUsers:   ins.NumUsers(),
 		numModels:  ins.NumModels(),
 		workers:    workers,
-		bufs:       make([]*scenario.Reach, workers),
+		scratch:    make([]*scenario.FadeScratch, workers),
 		gains:      make([][][]float64, workers),
 	}
 	for w := 0; w < workers; w++ {
-		s.bufs[w] = ins.MakeReachBuffer()
+		s.scratch[w] = ins.MakeFadeScratch()
 		s.gains[w] = make([][]float64, ins.NumServers())
 		for m := range s.gains[w] {
 			s.gains[w][m] = make([]float64, ins.NumUsers())
@@ -282,58 +290,120 @@ func NewFadingSession(ins *scenario.Instance, workers int) *FadingSession {
 // bit-identical for any worker count, and comparisons stay paired: every
 // placement sees the same realizations.
 func (s *FadingSession) Evaluate(eval *placement.Evaluator, placements []*placement.Placement, realizations int, src *rng.Source) ([]float64, error) {
+	ins, hr, workers, err := s.prepare(eval, placements, realizations)
+	if err != nil {
+		return nil, err
+	}
+	// Placement columns are read-only during the evaluation, so one view
+	// slice is shared by all workers.
+	if cap(s.views) < len(placements) {
+		s.views = make([]scenario.ServerColumns, len(placements))
+	}
+	views := s.views[:len(placements)]
+	for a, p := range placements {
+		views[a] = p
+	}
+	total := ins.TotalMass()
+	err = s.run(workers, realizations, func(w, r int) error {
+		gains := s.gains[w]
+		// SplitIndex only reads the parent's immutable seed material, so
+		// concurrent splits are safe.
+		scenario.SampleGainsInto(gains, src.SplitIndex("real", r))
+		row := hr[r*len(placements) : (r+1)*len(placements)]
+		if err := ins.FadedHitMass(gains, views, row, s.scratch[w]); err != nil {
+			return err
+		}
+		for a := range row {
+			row[a] /= total
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return s.reduce(hr, len(placements), realizations)
+}
+
+// EvaluateUnfused is the two-pass reference path — FadedReach materializes
+// the full indicator, HitRatioWithReach streams it again — retained for
+// callers that need the buffer semantics and for the equivalence tests and
+// benchmarks pinning it bit-identical to the fused Evaluate. The reach
+// buffers are allocated on first use, so fused-only sessions never pay for
+// them.
+func (s *FadingSession) EvaluateUnfused(eval *placement.Evaluator, placements []*placement.Placement, realizations int, src *rng.Source) ([]float64, error) {
+	ins, hr, workers, err := s.prepare(eval, placements, realizations)
+	if err != nil {
+		return nil, err
+	}
+	if s.bufs == nil {
+		s.bufs = make([]*scenario.Reach, s.workers)
+		for w := range s.bufs {
+			s.bufs[w] = ins.MakeReachBuffer()
+		}
+	}
+	err = s.run(workers, realizations, func(w, r int) error {
+		gains := s.gains[w]
+		scenario.SampleGainsInto(gains, src.SplitIndex("real", r))
+		reach, err := ins.FadedReach(gains, s.bufs[w])
+		if err != nil {
+			return err
+		}
+		for a, p := range placements {
+			v, err := eval.HitRatioWithReach(p, reach)
+			if err != nil {
+				return err
+			}
+			hr[r*len(placements)+a] = v
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return s.reduce(hr, len(placements), realizations)
+}
+
+// prepare validates the instance against the session dimensions and sizes
+// the per-realization score table hr[r*len(placements)+a].
+func (s *FadingSession) prepare(eval *placement.Evaluator, placements []*placement.Placement, realizations int) (*scenario.Instance, []float64, int, error) {
 	if realizations <= 0 {
-		return nil, fmt.Errorf("sim: realizations must be positive, got %d", realizations)
+		return nil, nil, 0, fmt.Errorf("sim: realizations must be positive, got %d", realizations)
 	}
 	ins := eval.Instance()
 	if ins.NumServers() != s.numServers || ins.NumUsers() != s.numUsers || ins.NumModels() != s.numModels {
-		return nil, fmt.Errorf("sim: instance dims %dx%dx%d, session %dx%dx%d",
+		return nil, nil, 0, fmt.Errorf("sim: instance dims %dx%dx%d, session %dx%dx%d",
 			ins.NumServers(), ins.NumUsers(), ins.NumModels(), s.numServers, s.numUsers, s.numModels)
 	}
 	workers := s.workers
 	if workers > realizations {
 		workers = realizations
 	}
-
-	// hr[r*len(placements)+a]: hit ratio of placement a under realization r.
 	if need := realizations * len(placements); cap(s.hr) < need {
 		s.hr = make([]float64, need)
 	}
-	hr := s.hr[:realizations*len(placements)]
+	return ins, s.hr[:realizations*len(placements)], workers, nil
+}
+
+// run scores every realization on a bounded worker pool; the first error
+// wins and the rest of the round drains.
+func (s *FadingSession) run(workers, realizations int, score func(w, r int) error) error {
 	var (
 		wg       sync.WaitGroup
 		errMu    sync.Mutex
 		firstErr error
 	)
-	fail := func(err error) {
-		errMu.Lock()
-		if firstErr == nil {
-			firstErr = err
-		}
-		errMu.Unlock()
-	}
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			buf, gains := s.bufs[w], s.gains[w]
 			for r := range next {
-				// SplitIndex only reads the parent's immutable seed
-				// material, so concurrent splits are safe.
-				scenario.SampleGainsInto(gains, src.SplitIndex("real", r))
-				reach, err := ins.FadedReach(gains, buf)
-				if err != nil {
-					fail(err)
-					continue
-				}
-				for a, p := range placements {
-					v, err := eval.HitRatioWithReach(p, reach)
-					if err != nil {
-						fail(err)
-						break
+				if err := score(w, r); err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
 					}
-					hr[r*len(placements)+a] = v
+					errMu.Unlock()
 				}
 			}
 		}(w)
@@ -343,16 +413,17 @@ func (s *FadingSession) Evaluate(eval *placement.Evaluator, placements []*placem
 	}
 	close(next)
 	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
-	}
+	return firstErr
+}
 
-	// The result is freshly allocated (callers keep it across Evaluate
-	// calls); only the O(realizations) scratch above is reused.
-	sums := make([]float64, len(placements))
+// reduce averages the per-realization scores in realization order (the
+// determinism contract: bit-identical for any worker count). The result is
+// freshly allocated — callers keep it across Evaluate calls.
+func (s *FadingSession) reduce(hr []float64, placements, realizations int) ([]float64, error) {
+	sums := make([]float64, placements)
 	for r := 0; r < realizations; r++ {
-		for a := range placements {
-			sums[a] += hr[r*len(placements)+a]
+		for a := 0; a < placements; a++ {
+			sums[a] += hr[r*placements+a]
 		}
 	}
 	for a := range sums {
