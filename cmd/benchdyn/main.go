@@ -71,12 +71,20 @@ type kernelPhase struct {
 }
 
 // resolvePhase compares a warm re-solve with the persistent commit heap
-// against the same solve rebuilding its heap from all M·I pairs.
+// against the same solve rebuilding its heap from all M·I pairs, on two
+// workloads: the full re-key view (every user moves every checkpoint) and
+// a small-delta view where only one user in small_delta_stride moves — the
+// update pattern per-cell sharding produces, where the heap's carry-over
+// actually pays off.
 type resolvePhase struct {
-	Ops           int     `json:"ops"`
-	HeapRebuildNs int64   `json:"heap_rebuild_ns_per_op"`
-	PersistentNs  int64   `json:"persistent_ns_per_op"`
-	Speedup       float64 `json:"speedup"`
+	Ops                     int     `json:"ops"`
+	HeapRebuildNs           int64   `json:"heap_rebuild_ns_per_op"`
+	PersistentNs            int64   `json:"persistent_ns_per_op"`
+	Speedup                 float64 `json:"speedup"`
+	SmallDeltaStride        int     `json:"small_delta_stride"`
+	SmallDeltaHeapRebuildNs int64   `json:"small_delta_heap_rebuild_ns_per_op"`
+	SmallDeltaPersistentNs  int64   `json:"small_delta_persistent_ns_per_op"`
+	SmallDeltaSpeedup       float64 `json:"small_delta_speedup"`
 }
 
 type report struct {
@@ -118,11 +126,37 @@ func run(args []string, stdout io.Writer) error {
 	rounds := fs.Int("rounds", 4, "measured rounds per phase; the fastest round is reported")
 	smoke := fs.Bool("smoke", false, "run a toy-scale timeline in seconds to validate the benchmark plumbing and the emitted JSON schema (numbers are not comparable to full runs)")
 	out := fs.String("out", "BENCH_dynamics.json", "output JSON path, - for stdout")
+	shardBench := fs.Bool("shard", false, "run the shard scale benchmark instead (sharded multi-cell engine vs unsharded), writing -shardout")
+	shardOut := fs.String("shardout", "BENCH_shard.json", "shard benchmark output JSON path, - for stdout")
+	shardUsers := fs.Int("shardusers", 100000, "shard benchmark users K")
+	shardServers := fs.Int("shardservers", 100, "shard benchmark servers M")
+	shardModels := fs.Int("shardmodels", 250, "shard benchmark LoRA adapters I")
+	shardCheckpoints := fs.Int("shardcheckpoints", 4, "timed checkpoints per shard benchmark engine (after one warm-up; the fastest is reported)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *checkpoints <= 0 || *rounds <= 0 {
 		return fmt.Errorf("checkpoints and rounds must be positive, got %d and %d", *checkpoints, *rounds)
+	}
+	if *shardBench {
+		users, servers, models := *shardUsers, *shardServers, *shardModels
+		counts := []int{1, 2, 4, 8}
+		if *smoke {
+			// Toy dims proving the pipeline and schema in seconds.
+			set := map[string]bool{}
+			fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+			if !set["shardusers"] {
+				users = 600
+			}
+			if !set["shardservers"] {
+				servers = 12
+			}
+			if !set["shardmodels"] {
+				models = 48
+			}
+			counts = []int{1, 2}
+		}
+		return runShard(stdout, users, servers, models, *shardCheckpoints, counts, *shardOut)
 	}
 	newConfig := dynamics.NewLoRAScaleConfig
 	if *smoke {
@@ -329,18 +363,23 @@ func benchMeasurement(out *kernelPhase, warmEngine func(dynamics.Mode) (*dynamic
 	return nil
 }
 
+// smallDeltaStride is the resolve section's small-delta move rate: one
+// user in this many is applied to the instance per checkpoint (~1%).
+const smallDeltaStride = 100
+
 // benchResolve times forced warm re-solves with the persistent commit heap
-// carried across checkpoints vs the heap rebuilt per solve. Both engines
-// replay the identical checkpoint sequence.
+// carried across checkpoints vs the heap rebuilt per solve, on the
+// full-move workload and on the ~1%-move small-delta workload. Engines in
+// each pairing replay the identical checkpoint sequence.
 func benchResolve(out *resolvePhase, warmEngine func(dynamics.Mode) (*dynamics.Engine, error), ops, rounds int) error {
-	measure := func(rebuildHeap bool) (time.Duration, error) {
+	measure := func(stride int, rebuildHeap bool) (time.Duration, error) {
 		var fastest time.Duration
 		for r := 0; r < rounds; r++ {
 			e, err := warmEngine(dynamics.Incremental)
 			if err != nil {
 				return 0, err
 			}
-			d, err := e.ProfileResolves(ops, rebuildHeap)
+			d, err := e.ProfileResolvesSubset(ops, stride, rebuildHeap)
 			if err != nil {
 				return 0, err
 			}
@@ -350,11 +389,19 @@ func benchResolve(out *resolvePhase, warmEngine func(dynamics.Mode) (*dynamics.E
 		}
 		return fastest, nil
 	}
-	rebuilt, err := measure(true)
+	rebuilt, err := measure(1, true)
 	if err != nil {
 		return err
 	}
-	persistent, err := measure(false)
+	persistent, err := measure(1, false)
+	if err != nil {
+		return err
+	}
+	sdRebuilt, err := measure(smallDeltaStride, true)
+	if err != nil {
+		return err
+	}
+	sdPersistent, err := measure(smallDeltaStride, false)
 	if err != nil {
 		return err
 	}
@@ -364,17 +411,26 @@ func benchResolve(out *resolvePhase, warmEngine func(dynamics.Mode) (*dynamics.E
 	if persistent > 0 {
 		out.Speedup = float64(rebuilt) / float64(persistent)
 	}
+	out.SmallDeltaStride = smallDeltaStride
+	out.SmallDeltaHeapRebuildNs = sdRebuilt.Nanoseconds() / int64(ops)
+	out.SmallDeltaPersistentNs = sdPersistent.Nanoseconds() / int64(ops)
+	if sdPersistent > 0 {
+		out.SmallDeltaSpeedup = float64(sdRebuilt) / float64(sdPersistent)
+	}
 	return nil
+}
+
+// fieldSpec is one required numeric field of a documented JSON schema.
+type fieldSpec struct {
+	path string
+	min  float64
 }
 
 // reportSchema lists every numeric field the documented BENCH_dynamics.json
 // schema requires, with its minimum legal value. Validation reads the
 // emitted bytes, not the in-memory struct, so field renames that desync
 // docs and emitter fail loudly.
-var reportSchema = []struct {
-	path string
-	min  float64
-}{
+var reportSchema = []fieldSpec{
 	{"scenario.servers", 1},
 	{"scenario.users", 1},
 	{"scenario.models", 1},
@@ -401,6 +457,10 @@ var reportSchema = []struct {
 	{"resolve.heap_rebuild_ns_per_op", 1},
 	{"resolve.persistent_ns_per_op", 1},
 	{"resolve.speedup", 0.000001},
+	{"resolve.small_delta_stride", 2},
+	{"resolve.small_delta_heap_rebuild_ns_per_op", 1},
+	{"resolve.small_delta_persistent_ns_per_op", 1},
+	{"resolve.small_delta_speedup", 0.000001},
 	{"speedup", 0.000001},
 }
 
@@ -415,7 +475,19 @@ func validateReport(data []byte) error {
 	if err := json.Unmarshal(data, &doc); err != nil {
 		return err
 	}
-	for _, f := range reportSchema {
+	if err := checkFields(doc, reportSchema); err != nil {
+		return err
+	}
+	if _, ok := doc["speedup_definition"].(string); !ok {
+		return fmt.Errorf("speedup_definition: missing or not a string")
+	}
+	return nil
+}
+
+// checkFields validates one decoded JSON object against a schema table:
+// every dotted path present, numeric, and at least its minimum.
+func checkFields(doc map[string]any, schema []fieldSpec) error {
+	for _, f := range schema {
 		node := any(doc)
 		path := f.path
 		for {
@@ -441,9 +513,6 @@ func validateReport(data []byte) error {
 			}
 			break
 		}
-	}
-	if _, ok := doc["speedup_definition"].(string); !ok {
-		return fmt.Errorf("speedup_definition: missing or not a string")
 	}
 	return nil
 }

@@ -51,7 +51,9 @@ func TestValidateReportRejectsBrokenSections(t *testing.T) {
 		"replace": {"ops": 2, "rebuild_ns_per_op": 10, "incremental_ns_per_op": 10, "speedup": 1},
 		"timeline_end_to_end": {"ops": 2, "rebuild_ns_per_op": 10, "incremental_ns_per_op": 10, "speedup": 1},
 		"measurement": {"ops": 2, "realizations": 4, "fused_ns_per_op": 10, "unfused_ns_per_op": 10, "speedup": 1},
-		"resolve": {"ops": 2, "heap_rebuild_ns_per_op": 10, "persistent_ns_per_op": 10, "speedup": 1},
+		"resolve": {"ops": 2, "heap_rebuild_ns_per_op": 10, "persistent_ns_per_op": 10, "speedup": 1,
+			"small_delta_stride": 100, "small_delta_heap_rebuild_ns_per_op": 10,
+			"small_delta_persistent_ns_per_op": 10, "small_delta_speedup": 1},
 		"speedup": 1,
 		"speedup_definition": "x"
 	}`)
@@ -78,10 +80,94 @@ func TestValidateReportRejectsBrokenSections(t *testing.T) {
 		"missing field":   mutate(func(m map[string]any) { delete(m["replace"].(map[string]any), "speedup") }),
 		"non-numeric":     mutate(func(m map[string]any) { m["timeline_end_to_end"].(map[string]any)["speedup"] = "fast" }),
 		"no definition":   mutate(func(m map[string]any) { delete(m, "speedup_definition") }),
+		"no small delta":  mutate(func(m map[string]any) { delete(m["resolve"].(map[string]any), "small_delta_speedup") }),
+		"1-stride":        mutate(func(m map[string]any) { m["resolve"].(map[string]any)["small_delta_stride"] = 1 }),
 	}
 	for name, data := range cases {
 		if err := validateReport(data); err == nil {
 			t.Errorf("%s: validation must fail", name)
 		}
+	}
+}
+
+// TestValidateShardReport pins the BENCH_shard.json schema contract.
+func TestValidateShardReport(t *testing.T) {
+	good := []byte(`{
+		"scenario": {"servers": 4, "users": 100, "models": 8, "checkpointMin": 10, "slotS": 5, "realizations": 2},
+		"unsharded": {"shards": 0, "checkpoints": 2, "checkpoint_ns_per_op": 10,
+			"throughput_users_per_s": 5, "speedup": 1, "hit_ratio_mean": 0.5, "handoffs": 0, "grows": 0},
+		"sharded": [
+			{"shards": 1, "checkpoints": 2, "checkpoint_ns_per_op": 10,
+			 "throughput_users_per_s": 5, "speedup": 1, "hit_ratio_mean": 0.5, "handoffs": 0, "grows": 0},
+			{"shards": 2, "checkpoints": 2, "checkpoint_ns_per_op": 5,
+			 "throughput_users_per_s": 10, "speedup": 2, "hit_ratio_mean": 0.45, "handoffs": 3, "grows": 0}
+		],
+		"speedup": 2,
+		"speedup_definition": "x"
+	}`)
+	if err := validateShardReport(good); err != nil {
+		t.Fatalf("baseline shard report must validate, got %v", err)
+	}
+	mutate := func(fn func(m map[string]any)) []byte {
+		var m map[string]any
+		if err := json.Unmarshal(good, &m); err != nil {
+			t.Fatal(err)
+		}
+		fn(m)
+		data, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	cases := map[string][]byte{
+		"no unsharded":  mutate(func(m map[string]any) { delete(m, "unsharded") }),
+		"empty sharded": mutate(func(m map[string]any) { m["sharded"] = []any{} }),
+		"zero hit":      mutate(func(m map[string]any) { m["unsharded"].(map[string]any)["hit_ratio_mean"] = 0 }),
+		"zero speedup": mutate(func(m map[string]any) {
+			m["sharded"].([]any)[1].(map[string]any)["speedup"] = 0
+		}),
+		"missing run field": mutate(func(m map[string]any) {
+			delete(m["sharded"].([]any)[0].(map[string]any), "checkpoint_ns_per_op")
+		}),
+		"no definition": mutate(func(m map[string]any) { delete(m, "speedup_definition") }),
+	}
+	for name, data := range cases {
+		if err := validateShardReport(data); err == nil {
+			t.Errorf("%s: validation must fail", name)
+		}
+	}
+}
+
+// TestShardSmokeRunEmitsValidReport drives the shard benchmark pipeline at
+// toy scale end to end.
+func TestShardSmokeRunEmitsValidReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke benchmark run in -short mode")
+	}
+	out := filepath.Join(t.TempDir(), "shard.json")
+	var stdout bytes.Buffer
+	if err := run([]string{"-smoke", "-shard", "-shardout", out}, &stdout); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := validateShardReport(data); err != nil {
+		t.Fatalf("emitted shard report fails schema: %v", err)
+	}
+	var rep shardReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Sharded) != 2 || rep.Sharded[0].Shards != 1 || rep.Sharded[1].Shards != 2 {
+		t.Fatalf("smoke shard counts wrong: %+v", rep.Sharded)
+	}
+	// Shards=1 is the sharded coordinator on one whole-area cell: its
+	// measured quality must reproduce the unsharded engine exactly.
+	if rep.Sharded[0].HitRatioMean != rep.Unsharded.HitRatioMean {
+		t.Errorf("shards=1 hit ratio %v differs from unsharded %v",
+			rep.Sharded[0].HitRatioMean, rep.Unsharded.HitRatioMean)
 	}
 }

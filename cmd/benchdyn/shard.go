@@ -1,0 +1,271 @@
+package main
+
+// The -shard section: scale the dynamics timeline out to BENCH_shard.json
+// dimensions (K = 100k users, M = 100 servers by default) and compare the
+// sharded multi-cell engine at 1/2/4/8 cells against the unsharded engine
+// on the same deployment, workload, and walk. Per-checkpoint latency is
+// the full loop — walk, membership plan, instance refresh, fused fading
+// measurement, and any triggered re-placements — reported as the fastest
+// of the timed checkpoints after one untimed warm-up (flip-index builds
+// amortize across a timeline; the min filters page-fault storms that hit
+// freshly built multi-GB engines). Like the dynamics report, the emitted
+// JSON is schema-validated before it is written.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime/debug"
+	"time"
+
+	"trimcaching/internal/dynamics"
+	"trimcaching/internal/rng"
+	"trimcaching/internal/shard"
+)
+
+// shardRun is one engine configuration's measurements.
+type shardRun struct {
+	// Shards is the cell count; 0 marks the unsharded dynamics engine.
+	Shards int `json:"shards"`
+	// Checkpoints is the timed checkpoint count (after one warm-up).
+	Checkpoints int `json:"checkpoints"`
+	// CheckpointNs is the fastest timed checkpoint's end-to-end wall time —
+	// the same min-filter the dynamics benchmark applies to rounds, which
+	// rejects transient page-fault and scheduler noise (multi-GB engines on
+	// a shared box fault storms into early checkpoints).
+	CheckpointNs int64 `json:"checkpoint_ns_per_op"`
+	// ThroughputUsersPerS is users per second of the fastest checkpoint.
+	ThroughputUsersPerS float64 `json:"throughput_users_per_s"`
+	// Speedup is the unsharded per-checkpoint time over this run's.
+	Speedup float64 `json:"speedup"`
+	// HitRatioMean averages the (aggregate) hit ratio over the timed
+	// checkpoints — the quality cost of cell autonomy, next to its speed.
+	HitRatioMean float64 `json:"hit_ratio_mean"`
+	// Handoffs and Grows count cross-cell ownership transfers and
+	// slot-table rebuilds over the timed checkpoints (0 when unsharded).
+	Handoffs int `json:"handoffs"`
+	Grows    int `json:"grows"`
+}
+
+type shardReport struct {
+	Scenario struct {
+		Servers       int     `json:"servers"`
+		Users         int     `json:"users"`
+		Models        int     `json:"models"`
+		CheckpointMin int     `json:"checkpointMin"`
+		SlotS         float64 `json:"slotS"`
+		Realizations  int     `json:"realizations"`
+	} `json:"scenario"`
+	// Unsharded is the single whole-area engine baseline.
+	Unsharded shardRun `json:"unsharded"`
+	// Sharded holds one entry per cell count, ascending.
+	Sharded []shardRun `json:"sharded"`
+	// Speedup is the headline number: the largest cell count's speedup.
+	Speedup           float64 `json:"speedup"`
+	SpeedupDefinition string  `json:"speedup_definition"`
+}
+
+// shardRunSchema validates one shardRun object (speedup checked on the
+// sharded entries only; the unsharded baseline's is 1 by construction).
+var shardRunSchema = []fieldSpec{
+	{"shards", 0},
+	{"checkpoints", 1},
+	{"checkpoint_ns_per_op", 1},
+	{"throughput_users_per_s", 0.000001},
+	{"hit_ratio_mean", 0.000001},
+}
+
+var shardTopSchema = []fieldSpec{
+	{"scenario.servers", 1},
+	{"scenario.users", 1},
+	{"scenario.models", 1},
+	{"scenario.checkpointMin", 1},
+	{"scenario.slotS", 0.000001},
+	{"scenario.realizations", 1},
+	{"speedup", 0.000001},
+}
+
+// runShard executes the shard scale benchmark and writes the report.
+func runShard(stdout io.Writer, users, servers, models, checkpoints int, counts []int, out string) error {
+	if checkpoints <= 0 {
+		return fmt.Errorf("shard checkpoints must be positive, got %d", checkpoints)
+	}
+	var rep shardReport
+
+	// Unsharded baseline: same construction, Shards = 1 semantics, driven
+	// through the plain engine (Advance/Refresh/Step).
+	base, err := shard.NewBenchConfig(users, servers, models, 1)
+	if err != nil {
+		return err
+	}
+	rep.Scenario.Servers = servers
+	rep.Scenario.Users = users
+	rep.Scenario.Models = models
+	rep.Scenario.CheckpointMin = base.CheckpointMin
+	rep.Scenario.SlotS = base.SlotS
+	rep.Scenario.Realizations = base.Realizations
+	eng, err := dynamics.NewEngine(dynamics.Config{
+		Instance:      base.Instance,
+		Capacities:    base.Capacities,
+		Tracks:        base.Tracks,
+		DurationMin:   base.DurationMin,
+		CheckpointMin: base.CheckpointMin,
+		SlotS:         base.SlotS,
+		Realizations:  base.Realizations,
+		Mode:          dynamics.Incremental,
+	}, rng.New(1))
+	if err != nil {
+		return err
+	}
+	unshardedStep := func(cp int) (float64, error) {
+		if err := eng.Advance(); err != nil {
+			return 0, err
+		}
+		if err := eng.Refresh(); err != nil {
+			return 0, err
+		}
+		st, err := eng.Step(cp)
+		if err != nil {
+			return 0, err
+		}
+		return st.HitRatio[0], nil
+	}
+	if _, err := unshardedStep(1); err != nil { // warm-up: flip index build
+		return err
+	}
+	var hitSum float64
+	var baseDur time.Duration
+	for cp := 2; cp <= checkpoints+1; cp++ {
+		start := time.Now()
+		hr, err := unshardedStep(cp)
+		if err != nil {
+			return err
+		}
+		if d := time.Since(start); cp == 2 || d < baseDur {
+			baseDur = d
+		}
+		hitSum += hr
+	}
+	rep.Unsharded = shardRun{
+		Shards:              0,
+		Checkpoints:         checkpoints,
+		CheckpointNs:        baseDur.Nanoseconds(),
+		ThroughputUsersPerS: float64(users) / baseDur.Seconds(),
+		Speedup:             1,
+		HitRatioMean:        hitSum / float64(checkpoints),
+	}
+	eng = nil
+	base = shard.Config{}
+	debug.FreeOSMemory()
+	fmt.Fprintf(stdout, "unsharded: %v/checkpoint\n", time.Duration(rep.Unsharded.CheckpointNs))
+
+	for _, n := range counts {
+		cfg, err := shard.NewBenchConfig(users, servers, models, n)
+		if err != nil {
+			return err
+		}
+		se, err := shard.NewEngine(cfg, rng.New(1))
+		if err != nil {
+			return err
+		}
+		if _, err := se.Checkpoint(1); err != nil { // warm-up
+			return err
+		}
+		warmHandoffs, warmGrows := se.Handoffs(), se.Grows()
+		var hits float64
+		var dur time.Duration
+		for cp := 2; cp <= checkpoints+1; cp++ {
+			start := time.Now()
+			st, err := se.Checkpoint(cp)
+			if err != nil {
+				return err
+			}
+			if d := time.Since(start); cp == 2 || d < dur {
+				dur = d
+			}
+			hits += st.HitRatio[0]
+		}
+		run := shardRun{
+			Shards:              n,
+			Checkpoints:         checkpoints,
+			CheckpointNs:        dur.Nanoseconds(),
+			ThroughputUsersPerS: float64(users) / dur.Seconds(),
+			HitRatioMean:        hits / float64(checkpoints),
+			Handoffs:            se.Handoffs() - warmHandoffs,
+			Grows:               se.Grows() - warmGrows,
+		}
+		if dur > 0 {
+			run.Speedup = float64(baseDur) / float64(dur)
+		}
+		rep.Sharded = append(rep.Sharded, run)
+		fmt.Fprintf(stdout, "%d shards: %v/checkpoint (%.2fx, hit %.4f vs %.4f, %d handoffs)\n",
+			n, time.Duration(run.CheckpointNs), run.Speedup, run.HitRatioMean,
+			rep.Unsharded.HitRatioMean, run.Handoffs)
+		se = nil
+		cfg = shard.Config{}
+		debug.FreeOSMemory()
+	}
+	rep.Speedup = rep.Sharded[len(rep.Sharded)-1].Speedup
+	rep.SpeedupDefinition = "end-to-end per-checkpoint wall time (walk + membership plan + instance refresh + fused fading measurement + triggered re-placements) of the unsharded dynamics engine over the sharded multi-cell engine at the largest cell count; hit_ratio_mean reports the quality cost of cell-autonomous placement and serving"
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := validateShardReport(data); err != nil {
+		return fmt.Errorf("emitted shard report fails schema validation: %w", err)
+	}
+	if out == "-" {
+		_, err = stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "shard speedup %.2fx at %d shards -> %s\n",
+		rep.Speedup, rep.Sharded[len(rep.Sharded)-1].Shards, out)
+	return nil
+}
+
+// validateShardReport checks the emitted BENCH_shard.json bytes against
+// the documented schema (docs/BENCHMARKS.md): top-level scenario and
+// speedup fields, an unsharded baseline, and at least one sharded entry,
+// each with every per-run field present and sane.
+func validateShardReport(data []byte) error {
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return err
+	}
+	if err := checkFields(doc, shardTopSchema); err != nil {
+		return err
+	}
+	if _, ok := doc["speedup_definition"].(string); !ok {
+		return fmt.Errorf("speedup_definition: missing or not a string")
+	}
+	un, ok := doc["unsharded"].(map[string]any)
+	if !ok {
+		return fmt.Errorf("unsharded: missing or not an object")
+	}
+	if err := checkFields(un, shardRunSchema); err != nil {
+		return fmt.Errorf("unsharded: %w", err)
+	}
+	runs, ok := doc["sharded"].([]any)
+	if !ok || len(runs) == 0 {
+		return fmt.Errorf("sharded: missing or empty")
+	}
+	for i, r := range runs {
+		obj, ok := r.(map[string]any)
+		if !ok {
+			return fmt.Errorf("sharded[%d]: not an object", i)
+		}
+		if err := checkFields(obj, shardRunSchema); err != nil {
+			return fmt.Errorf("sharded[%d]: %w", i, err)
+		}
+		if v, _ := obj["speedup"].(float64); v < 0.000001 {
+			return fmt.Errorf("sharded[%d]: speedup %v below minimum", i, v)
+		}
+	}
+	return nil
+}

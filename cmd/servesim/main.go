@@ -9,7 +9,11 @@
 // trace-driven track instead: every checkpoint synthesizes a request
 // window at -rate arrivals/user/hour, serves it through the event-driven
 // simulator, and replacement fires on measured hit-ratio degradation
-// (windowed over -trigger-window checkpoints).
+// (windowed over -trigger-window checkpoints). With -shards N the mobility
+// timeline runs on the sharded multi-cell engine instead: the area is
+// partitioned into N geographic cells with per-cell instances and
+// placements, and the reported hit ratio is the request-mass-weighted
+// aggregate (fading measurement only).
 //
 // Usage:
 //
@@ -18,6 +22,7 @@
 //	servesim -alg gen -save-trace requests.jsonl
 //	servesim -alg gen -mobility 120 -replace-threshold 0.1
 //	servesim -alg gen -trace -replace-threshold 0.1 -trigger-window 2
+//	servesim -alg gen -mobility 120 -shards 4 -users 300
 package main
 
 import (
@@ -33,6 +38,7 @@ import (
 	"trimcaching/internal/placement"
 	"trimcaching/internal/rng"
 	"trimcaching/internal/scenario"
+	"trimcaching/internal/shard"
 	"trimcaching/internal/topology"
 	"trimcaching/internal/trace"
 	"trimcaching/internal/wireless"
@@ -65,6 +71,7 @@ func run(args []string, stdout io.Writer) error {
 	rebuild := fs.Bool("rebuild", false, "use full per-checkpoint instance rebuilds instead of incremental deltas")
 	traceDriven := fs.Bool("trace", false, "trace-driven mobility: measure checkpoints by serving synthesized request windows at -rate instead of fading Monte-Carlo")
 	triggerWindow := fs.Int("trigger-window", 1, "checkpoints averaged by the trace-driven replacement trigger")
+	shards := fs.Int("shards", 1, "partition the area into this many geographic cells with per-cell engines (mobility mode, fading measurement only)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -112,6 +119,7 @@ func run(args []string, stdout io.Writer) error {
 			traceDriven:   *traceDriven,
 			traceRate:     *rate,
 			triggerWindow: *triggerWindow,
+			shards:        *shards,
 		}
 		return runMobility(stdout, ins, algorithm, caps, mob, src.Split("dynamics"))
 	}
@@ -183,6 +191,7 @@ type mobilityOptions struct {
 	traceDriven                bool
 	traceRate                  float64
 	triggerWindow              int
+	shards                     int
 }
 
 // runMobility drives the dynamics engine and prints the per-checkpoint
@@ -208,32 +217,76 @@ func runMobility(stdout io.Writer, ins *scenario.Instance, alg placement.Algorit
 	} else if opt.threshold > 0 {
 		trigger = dynamics.ThresholdTrigger{Degradation: opt.threshold}
 	}
-	res, err := dynamics.Run(dynamics.Config{
-		Instance:      ins,
-		Capacities:    caps,
-		Tracks:        []dynamics.Track{{Algorithm: alg, Trigger: trigger}},
-		DurationMin:   opt.durationMin,
-		CheckpointMin: opt.checkpointMin,
-		SlotS:         5,
-		Realizations:  opt.realizations,
-		Mode:          mode,
-		Measurement:   measurement,
-	}, src)
-	if err != nil {
-		return err
+	type timeline struct {
+		timeMin  []float64
+		hit      []float64
+		replaced []bool
+		count    int
+		extra    string
+	}
+	var tl timeline
+	if opt.shards > 1 {
+		if opt.traceDriven {
+			return fmt.Errorf("-shards supports the fading measurement only (drop -trace)")
+		}
+		res, err := shard.Run(shard.Config{
+			Instance:      ins,
+			Capacities:    caps,
+			Tracks:        []dynamics.Track{{Algorithm: alg, Trigger: trigger}},
+			DurationMin:   opt.durationMin,
+			CheckpointMin: opt.checkpointMin,
+			SlotS:         5,
+			Realizations:  opt.realizations,
+			Mode:          mode,
+			Shards:        opt.shards,
+		}, src)
+		if err != nil {
+			return err
+		}
+		for _, s := range res.Steps {
+			tl.timeMin = append(tl.timeMin, s.TimeMin)
+			tl.hit = append(tl.hit, s.HitRatio[0])
+			tl.replaced = append(tl.replaced, s.Replaced[0])
+		}
+		tl.count = res.Replacements[0]
+		tl.extra = fmt.Sprintf("shards\t%d cells, %d handoffs, %d grows\n", res.Cells, res.Handoffs, res.Grows)
+	} else {
+		res, err := dynamics.Run(dynamics.Config{
+			Instance:      ins,
+			Capacities:    caps,
+			Tracks:        []dynamics.Track{{Algorithm: alg, Trigger: trigger}},
+			DurationMin:   opt.durationMin,
+			CheckpointMin: opt.checkpointMin,
+			SlotS:         5,
+			Realizations:  opt.realizations,
+			Mode:          mode,
+			Measurement:   measurement,
+		}, src)
+		if err != nil {
+			return err
+		}
+		for _, s := range res.Steps {
+			tl.timeMin = append(tl.timeMin, s.TimeMin)
+			tl.hit = append(tl.hit, s.HitRatio[0])
+			tl.replaced = append(tl.replaced, s.Replaced[0])
+		}
+		tl.count = res.Replacements[0]
 	}
 	tw := tabwriter.NewWriter(stdout, 0, 0, 2, ' ', 0)
 	fmt.Fprintf(tw, "algorithm\t%s\n", alg.Name())
 	fmt.Fprintf(tw, "scenario\tM=%d K=%d I=%d\n", ins.NumServers(), ins.NumUsers(), ins.NumModels())
 	fmt.Fprintf(tw, "policy\t%s; %s\n", trigger.Name(), measureDesc)
+	if tl.extra != "" {
+		fmt.Fprint(tw, tl.extra)
+	}
 	fmt.Fprintf(tw, "time (min)\thit ratio\treplaced\n")
-	for _, s := range res.Steps {
+	for i := range tl.timeMin {
 		marker := ""
-		if s.Replaced[0] {
+		if tl.replaced[i] {
 			marker = "  <- replaced"
 		}
-		fmt.Fprintf(tw, "%.0f\t%.4f\t%s\n", s.TimeMin, s.HitRatio[0], marker)
+		fmt.Fprintf(tw, "%.0f\t%.4f\t%s\n", tl.timeMin[i], tl.hit[i], marker)
 	}
-	fmt.Fprintf(tw, "replacements\t%d\n", res.Replacements[0])
+	fmt.Fprintf(tw, "replacements\t%d\n", tl.count)
 	return tw.Flush()
 }

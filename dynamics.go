@@ -6,6 +6,7 @@ import (
 	"trimcaching/internal/dynamics"
 	"trimcaching/internal/placement"
 	"trimcaching/internal/rng"
+	"trimcaching/internal/shard"
 )
 
 // DynamicsConfig parameterizes a mobility timeline run: users walk with the
@@ -46,6 +47,18 @@ type DynamicsConfig struct {
 	// TriggerWindow smooths the "trace" replacement trigger over this many
 	// checkpoints (0 keeps 1: fire on a single degraded measurement).
 	TriggerWindow int
+	// Shards partitions the area into that many geographic cells, each with
+	// its own instance, evaluator, and placement, run in parallel per
+	// checkpoint with cross-cell user movement handled by handoff deltas
+	// (see internal/shard). 0 or 1 keeps the single whole-area engine (a
+	// sharded run with one cell is separately pinned bit-identical to it).
+	// Sharding supports the "fading" measurement only; the reported hit
+	// ratio is the request-mass-weighted aggregate over cells, and Replaced
+	// reports whether any cell re-placed.
+	Shards int
+	// Workers bounds the sharded engine's cell-level worker pool; 0 means
+	// GOMAXPROCS. Results never depend on it. Ignored when Shards <= 1.
+	Workers int
 }
 
 // DefaultDynamicsConfig mirrors the §VII-E protocol: a two-hour walk in
@@ -116,6 +129,31 @@ func (s *Scenario) RunDynamics(cfg DynamicsConfig, seed uint64) ([]DynamicsStep,
 	}
 	caps := make([]int64, len(s.caps))
 	copy(caps, s.caps)
+	if cfg.Shards > 1 {
+		if cfg.Measurement == "trace" {
+			return nil, 0, fmt.Errorf("trimcaching: sharded dynamics supports the \"fading\" measurement only")
+		}
+		res, err := shard.Run(shard.Config{
+			Instance:      ins,
+			Capacities:    caps,
+			Tracks:        []dynamics.Track{{Algorithm: alg, Trigger: trigger}},
+			DurationMin:   cfg.DurationMin,
+			CheckpointMin: cfg.CheckpointMin,
+			SlotS:         cfg.SlotS,
+			Realizations:  cfg.Realizations,
+			Mode:          mode,
+			Shards:        cfg.Shards,
+			Workers:       cfg.Workers,
+		}, rng.New(seed))
+		if err != nil {
+			return nil, 0, fmt.Errorf("trimcaching: %w", err)
+		}
+		steps := make([]DynamicsStep, len(res.Steps))
+		for si, st := range res.Steps {
+			steps[si] = DynamicsStep{TimeMin: st.TimeMin, HitRatio: st.HitRatio[0], Replaced: st.Replaced[0]}
+		}
+		return steps, res.Replacements[0], nil
+	}
 	res, err := dynamics.Run(dynamics.Config{
 		Instance:      ins,
 		Capacities:    caps,

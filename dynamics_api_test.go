@@ -1,0 +1,60 @@
+package trimcaching
+
+import "testing"
+
+// TestRunDynamicsShards pins the public sharded surface: Shards = 1 keeps
+// the default single-engine path (identical timeline to Shards = 0), a
+// multi-cell run produces a sane timeline, and the unsupported
+// trace-measurement combination errors.
+func TestRunDynamicsShards(t *testing.T) {
+	lib, err := NewSpecialLibrary(8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultScenarioConfig()
+	cfg.Users = 24
+	sc, err := BuildScenario(lib, cfg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dyn := DefaultDynamicsConfig()
+	dyn.DurationMin, dyn.Realizations = 30, 20
+
+	base, baseRep, err := sc.RunDynamics(dyn, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dyn.Shards = 1
+	one, oneRep, err := sc.RunDynamics(dyn, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(one) != len(base) || oneRep != baseRep {
+		t.Fatalf("Shards=1 shape (%d steps, %d rep) vs default (%d, %d)", len(one), oneRep, len(base), baseRep)
+	}
+	for i := range base {
+		if one[i].HitRatio != base[i].HitRatio || one[i].Replaced != base[i].Replaced {
+			t.Errorf("step %d: Shards=1 %v/%v, default %v/%v",
+				i, one[i].HitRatio, one[i].Replaced, base[i].HitRatio, base[i].Replaced)
+		}
+	}
+
+	dyn.Shards = 2
+	multi, _, err := sc.RunDynamics(dyn, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(multi) != len(base) {
+		t.Fatalf("sharded timeline has %d steps, want %d", len(multi), len(base))
+	}
+	for i, s := range multi {
+		if !(s.HitRatio >= 0 && s.HitRatio <= 1) {
+			t.Errorf("step %d: aggregate hit ratio %v outside [0,1]", i, s.HitRatio)
+		}
+	}
+
+	dyn.Measurement = "trace"
+	if _, _, err := sc.RunDynamics(dyn, 42); err == nil {
+		t.Error("trace measurement with Shards>1 accepted")
+	}
+}

@@ -147,6 +147,12 @@ type Config struct {
 	// are stateful (they keep reusable sessions): pass a fresh value per
 	// engine.
 	Measurement Measurement
+	// ExternalMobility hands user movement to the caller: the engine builds
+	// no mobility population, Advance and Refresh error, and the caller
+	// drives the instance through ApplyExternal (movement plus workload-row
+	// revisions) and Step. This is how the shard layer runs one engine per
+	// cell under a single global walk.
+	ExternalMobility bool
 }
 
 // Validate reports the first invalid field, if any.
@@ -214,6 +220,7 @@ type Engine struct {
 
 	allUsers  []int
 	positions []geom.Point
+	movedSeen []bool // rebuild-path duplicate-move check scratch
 
 	placements []*placement.Placement
 	baselines  []float64
@@ -235,9 +242,13 @@ func NewEngine(cfg Config, src *rng.Source) (*Engine, error) {
 		return nil, err
 	}
 	ins := cfg.Instance
-	pop, err := mobility.NewPopulation(ins.Topology().Area(), ins.Topology().UserPositions(), src.Split("mobility"))
-	if err != nil {
-		return nil, fmt.Errorf("dynamics: %w", err)
+	var pop *mobility.Population
+	if !cfg.ExternalMobility {
+		var err error
+		pop, err = mobility.NewPopulation(ins.Topology().Area(), ins.Topology().UserPositions(), src.Split("mobility"))
+		if err != nil {
+			return nil, fmt.Errorf("dynamics: %w", err)
+		}
 	}
 	eval, err := placement.NewEvaluator(ins)
 	if err != nil {
@@ -267,6 +278,11 @@ func NewEngine(cfg Config, src *rng.Source) (*Engine, error) {
 	}
 	for k := range e.allUsers {
 		e.allUsers[k] = k
+	}
+	if cfg.ExternalMobility {
+		// Externally driven rebuilds need the authoritative position vector
+		// the caller's moves accumulate into.
+		copy(e.positions, ins.Topology().UserPositions())
 	}
 	for a, tr := range cfg.Tracks {
 		e.accPairs[a] = bitset.New(ins.NumServers() * ins.NumModels())
@@ -299,6 +315,9 @@ func (e *Engine) Checkpoints() int { return e.checkpoints }
 
 // Advance walks every user through one checkpoint worth of mobility slots.
 func (e *Engine) Advance() error {
+	if e.pop == nil {
+		return fmt.Errorf("dynamics: engine is externally driven (ExternalMobility); use ApplyExternal")
+	}
 	for s := 0; s < e.slotsPerCheckpoint; s++ {
 		if err := e.pop.Step(e.cfg.SlotS, e.walkSrc); err != nil {
 			return fmt.Errorf("dynamics: %w", err)
@@ -311,8 +330,65 @@ func (e *Engine) Advance() error {
 // current positions: a delta update in Incremental mode, a fresh instance
 // in Rebuild mode.
 func (e *Engine) Refresh() error {
+	if e.pop == nil {
+		return fmt.Errorf("dynamics: engine is externally driven (ExternalMobility); use ApplyExternal")
+	}
 	e.pop.PositionsInto(e.positions)
+	return e.refresh(nil, nil, e.allUsers, e.positions)
+}
+
+// ApplyExternal is the externally-driven engine's Refresh: the caller
+// reports which users' workload rows it swapped (revised: all three rows
+// via workload.SetUserRows; massOnly: the probability row alone via
+// SetUserProbRow — both before this call) and which users moved to where.
+// In Incremental mode this becomes one scenario.Instance.ReviseUsers
+// delta; in Rebuild mode the tracked position vector is patched and a
+// fresh instance built over the live workload — the same rebuild-vs-delta
+// reference pair the internal loop has.
+func (e *Engine) ApplyExternal(revised, massOnly []int, moved []int, pos []geom.Point) error {
+	if !e.cfg.ExternalMobility {
+		return fmt.Errorf("dynamics: engine owns its mobility; ApplyExternal requires ExternalMobility")
+	}
+	return e.refresh(revised, massOnly, moved, pos)
+}
+
+// refresh is the shared instance-update core of Refresh and ApplyExternal.
+func (e *Engine) refresh(revised, massOnly []int, moved []int, pos []geom.Point) error {
 	if e.cfg.Mode == Rebuild {
+		// Mirror the Incremental path's input contract (topology.MoveUsers'
+		// length/range/duplicate checks) before mutating the tracked
+		// positions, so malformed input errors identically in both modes.
+		if len(moved) != len(pos) {
+			return fmt.Errorf("dynamics: %d moved users with %d positions", len(moved), len(pos))
+		}
+		if e.movedSeen == nil {
+			e.movedSeen = make([]bool, len(e.positions))
+		}
+		for _, k := range moved {
+			if k < 0 || k >= len(e.positions) {
+				return fmt.Errorf("dynamics: moved user %d out of range [0,%d)", k, len(e.positions))
+			}
+		}
+		dup := -1
+		for _, k := range moved {
+			if e.movedSeen[k] {
+				dup = k
+				break
+			}
+			e.movedSeen[k] = true
+		}
+		for _, k := range moved {
+			e.movedSeen[k] = false
+		}
+		if dup >= 0 {
+			return fmt.Errorf("dynamics: user %d moved twice", dup)
+		}
+		// Element-wise on purpose: moved is in caller batch order, not slot
+		// order (the internal loop's all-users refresh passes the identity,
+		// where this degenerates to self-assignment).
+		for j, k := range moved {
+			e.positions[k] = pos[j]
+		}
 		ins, err := e.ins.Rebuild(e.positions)
 		if err != nil {
 			return fmt.Errorf("dynamics: %w", err)
@@ -324,7 +400,7 @@ func (e *Engine) Refresh() error {
 		e.ins, e.eval = ins, eval
 		return nil
 	}
-	delta, err := e.ins.UpdateUsers(e.allUsers, e.positions)
+	delta, err := e.ins.ReviseUsers(revised, massOnly, moved, pos)
 	if err != nil {
 		return fmt.Errorf("dynamics: %w", err)
 	}
@@ -449,6 +525,52 @@ func (e *Engine) ProfileResolves(n int, rebuildHeap bool) (time.Duration, error)
 	return total, nil
 }
 
+// ProfileResolvesSubset is ProfileResolves on a small-delta workload: per
+// checkpoint every user walks, but only every strideth user's move is
+// applied to the instance — the update pattern per-cell sharding produces,
+// where one cell absorbs only the users that moved within or across its
+// boundary. The accumulated delta per re-solve is ~K/stride users instead
+// of K, so this isolates how the persistent commit heap's carry-over pays
+// off when most gains survive a checkpoint. stride ≤ 1 degenerates to
+// ProfileResolves.
+func (e *Engine) ProfileResolvesSubset(n, stride int, rebuildHeap bool) (time.Duration, error) {
+	if stride <= 1 {
+		return e.ProfileResolves(n, rebuildHeap)
+	}
+	var total time.Duration
+	var subset []int
+	var subsetPos []geom.Point
+	for cp := 0; cp < n; cp++ {
+		if err := e.Advance(); err != nil {
+			return 0, err
+		}
+		e.pop.PositionsInto(e.positions)
+		subset = subset[:0]
+		subsetPos = subsetPos[:0]
+		for k := cp % stride; k < len(e.positions); k += stride {
+			subset = append(subset, k)
+			subsetPos = append(subsetPos, e.positions[k])
+		}
+		if err := e.refresh(nil, nil, subset, subsetPos); err != nil {
+			return 0, err
+		}
+		for a := range e.cfg.Tracks {
+			if rebuildHeap {
+				e.eval.InvalidateHeap()
+			}
+			start := time.Now()
+			p, err := e.resolve(a)
+			if err != nil {
+				return 0, fmt.Errorf("dynamics: %s: %w", e.cfg.Tracks[a].Algorithm.Name(), err)
+			}
+			total += time.Since(start)
+			e.accPairs[a].Zero()
+			e.placements[a] = p
+		}
+	}
+	return total, nil
+}
+
 // Run drives the whole timeline: measure at t = 0, then per checkpoint
 // walk, refresh, measure, and fire each track's trigger.
 func (e *Engine) Run() (*Result, error) {
@@ -467,38 +589,55 @@ func (e *Engine) Run() (*Result, error) {
 		if err := e.Refresh(); err != nil {
 			return nil, err
 		}
-		hits, err := e.Measure(cp)
+		step, err := e.Step(cp)
 		if err != nil {
 			return nil, err
-		}
-		step := Step{
-			TimeMin:  float64(cp * e.cfg.CheckpointMin),
-			HitRatio: make([]float64, len(e.cfg.Tracks)),
-			Replaced: make([]bool, len(e.cfg.Tracks)),
-		}
-		copy(step.HitRatio, hits)
-		for a, tr := range e.cfg.Tracks {
-			trigger := tr.Trigger
-			if trigger == nil {
-				trigger = NeverTrigger{}
-			}
-			if !trigger.Fire(cp, hits[a], e.baselines[a]) {
-				continue
-			}
-			hr, err := e.Replace(a, cp)
-			if err != nil {
-				return nil, err
-			}
-			if r, ok := trigger.(Resetter); ok {
-				r.Reset()
-			}
-			step.HitRatio[a] = hr
-			step.Replaced[a] = true
 		}
 		res.Steps = append(res.Steps, step)
 	}
 	return res, nil
 }
+
+// Step runs everything in the checkpoint loop after the instance refresh:
+// measure checkpoint cp, fire each track's trigger, and re-place (and
+// re-baseline) the tracks whose trigger fired. Callers driving the engine
+// externally (the shard layer) call it once per checkpoint after
+// ApplyExternal; Run uses it verbatim.
+func (e *Engine) Step(cp int) (Step, error) {
+	hits, err := e.Measure(cp)
+	if err != nil {
+		return Step{}, err
+	}
+	step := Step{
+		TimeMin:  float64(cp * e.cfg.CheckpointMin),
+		HitRatio: make([]float64, len(e.cfg.Tracks)),
+		Replaced: make([]bool, len(e.cfg.Tracks)),
+	}
+	copy(step.HitRatio, hits)
+	for a, tr := range e.cfg.Tracks {
+		trigger := tr.Trigger
+		if trigger == nil {
+			trigger = NeverTrigger{}
+		}
+		if !trigger.Fire(cp, hits[a], e.baselines[a]) {
+			continue
+		}
+		hr, err := e.Replace(a, cp)
+		if err != nil {
+			return Step{}, err
+		}
+		if r, ok := trigger.(Resetter); ok {
+			r.Reset()
+		}
+		step.HitRatio[a] = hr
+		step.Replaced[a] = true
+	}
+	return step, nil
+}
+
+// Replacements returns track a's re-placement count so far (excluding the
+// initial placement).
+func (e *Engine) Replacements(a int) int { return e.replacements[a] }
 
 // Run builds an engine and drives the full timeline.
 func Run(cfg Config, src *rng.Source) (*Result, error) {

@@ -125,8 +125,9 @@ func (p *Placement) Clone() *Placement {
 // below tracks the instance's mutation generation. It is not safe for
 // concurrent Place calls; read-only evaluation (HitRatio*) is.
 type Evaluator struct {
-	ins   *scenario.Instance
-	probT []float64 // probT[i*K+k] = p_{k,i}
+	ins     *scenario.Instance
+	probT   []float64 // probT[i*K+k] = p_{k,i}
+	probGen int       // instance revision generation probT reflects
 
 	// Empty-placement marginal-gain memo u0(m,i) = Σ_{k∈UserMask(m,i)} p_{k,i},
 	// the quantity every solver's first sweep computes M·I times. Validity is
@@ -185,6 +186,7 @@ func NewEvaluator(ins *scenario.Instance) (*Evaluator, error) {
 	return &Evaluator{
 		ins:       ins,
 		probT:     probT,
+		probGen:   ins.RevisionGeneration(),
 		baseGain:  make([]float64, M*I),
 		baseValid: bitset.New(M * I),
 		baseGen:   ins.Generation(),
@@ -225,6 +227,18 @@ func (e *Evaluator) ApplyDelta(d *scenario.Delta) error {
 			e.heapStale.Or(d.Pairs)
 		}
 		e.baseGen = d.Gen
+		// Revised users swapped their workload rows: refresh exactly their
+		// transposed-probability columns (the delta's Pairs already cover
+		// the gain invalidation).
+		if len(d.Revised) > 0 {
+			K, I := e.ins.NumUsers(), e.ins.NumModels()
+			for _, k := range d.Revised {
+				for i := 0; i < I; i++ {
+					e.probT[i*K+k] = e.ins.Prob(k, i)
+				}
+			}
+			e.probGen = d.RevGen
+		}
 	default:
 		e.baseValid.Zero()
 		e.baseGen = d.Gen
@@ -243,6 +257,25 @@ func (e *Evaluator) syncBase() {
 		e.baseGen = e.ins.Generation()
 		e.heapLive = false
 	}
+}
+
+// syncProbs rebuilds the transposed probability table when the instance
+// absorbed workload revisions the evaluator was never told about (the
+// revision-generation analogue of syncBase's safety valve; deltas applied
+// in order patch only the revised columns instead). One predictable
+// compare on the solve paths' mass kernel; never reached from the
+// read-only HitRatio* evaluations.
+func (e *Evaluator) syncProbs() {
+	if e.probGen == e.ins.RevisionGeneration() {
+		return
+	}
+	K, I := e.ins.NumUsers(), e.ins.NumModels()
+	for k := 0; k < K; k++ {
+		for i := 0; i < I; i++ {
+			e.probT[i*K+k] = e.ins.Prob(k, i)
+		}
+	}
+	e.probGen = e.ins.RevisionGeneration()
 }
 
 // commitHeap returns the lazy-greedy starting heap for the current
@@ -364,6 +397,7 @@ func (e *Evaluator) ensureBlockIndex() {
 // nil. Written as a manual word loop: this is the greedy algorithms' inner
 // kernel and must not pay a closure call per bit.
 func (e *Evaluator) maskMass(i int, mask, excluded bitset.Set) float64 {
+	e.syncProbs()
 	probs := e.probT[i*e.ins.NumUsers():]
 	var sum float64
 	for w, word := range mask {

@@ -203,6 +203,12 @@ func (ins *Instance) fusedHitMassRanked(cols [][]uint64, dst []float64, scratch 
 		hits[w] = 0
 	}
 	for k := 0; k < K; k++ {
+		if !ins.userHasMass[k] {
+			// Zero-mass users (shard ghosts, parked slots) add exactly 0.0
+			// per hit: skipping them is bitwise free and drops the ghost
+			// band from the per-cell measurement cost.
+			continue
+		}
 		// Covering servers with positive rate keep their direct verdict;
 		// covering servers with zero rate fall through to the relay
 		// verdict exactly like non-covering ones (fillReachRows' direct>0
@@ -284,6 +290,9 @@ func (ins *Instance) fusedHitMass1(cols [][]uint64, dst []float64, scratch *Fade
 		single = cols[0]
 	}
 	for k := 0; k < K; k++ {
+		if !ins.userHasMass[k] {
+			continue // zero-mass user: every addition would be +0.0
+		}
 		dirRates := scratch.dirRates[:0]
 		dirBits := scratch.dirBits[:0]
 		for _, m := range ins.topo.ServersCovering(k) {
@@ -356,6 +365,9 @@ func (ins *Instance) fusedHitMassN(cols [][]uint64, dst []float64, scratch *Fade
 	rates, relay := scratch.rates, scratch.relay
 	row := bitset.Set(scratch.row)
 	for k := 0; k < K; k++ {
+		if !ins.userHasMass[k] {
+			continue // zero-mass user: every addition would be +0.0
+		}
 		covering := ins.topo.ServersCovering(k)
 		relayRate := relay[k]
 		minDir := ins.minDirRate[k*I : (k+1)*I]

@@ -37,6 +37,12 @@ type Instance struct {
 	shadow    [][]float64 // optional per-link log-normal shadowing gains; nil = none
 	totalMass float64
 	sizeBits  []float64 // sizeBits[i]: model size in bits, hoisted out of hot loops
+	// userHasMass[k] caches whether user k's probability row carries any
+	// request mass. Zero-mass users (shard-layer ghosts and parked slots)
+	// contribute exactly nothing to any mass sum, so the fused measurement
+	// kernels skip them outright — a bitwise no-op on the result.
+	// Maintained by ReviseUsers; rows must not change behind its back.
+	userHasMass []bool
 
 	// Threshold form of the QoS verdicts (eqs. 3–5): server m can serve
 	// (k,i) directly iff its rate ≥ minDirRate, and any server can relay
@@ -63,11 +69,17 @@ type Instance struct {
 	// users are processed in parallel — their rate columns and reach rows
 	// are disjoint — with inverted-index flips collected per worker and
 	// applied serially, so results are bit-identical for any worker count.
+	// revGen counts ReviseUsers calls that swapped workload rows, so caches
+	// derived from probabilities (the evaluator's transposed table) can
+	// detect missed revisions.
 	gen        int
+	revGen     int
 	updDirty   []bool   // per-user dirty flag scratch
+	updForce   []bool   // per-user forced-recompute flag (revised users)
 	updUsers   []int    // dirty-user list scratch
 	updFullRow []uint64 // all-servers mask, serverWords
 	updWorkers []*updWorker
+	rankBuf    []rankPair // per-user rank rebuild scratch (ReviseUsers)
 
 	// Flip index for delta updates, built lazily on first UpdateUsers: each
 	// user's models ordered by ascending rate threshold, so a rate change
@@ -77,7 +89,20 @@ type Instance struct {
 	flipDirVals  []float64 // flipDirVals[k*I+j] = minDirRate[k, flipDirOrder[k*I+j]]
 	flipRelOrder []int32
 	flipRelVals  []float64
+
+	// rankProvider optionally supplies precomputed rank rows instead of the
+	// O(I log I) per-user sort (see SetRankProvider).
+	rankProvider RankProvider
 }
+
+// RankProvider fills user k's rank rows (dirOrder/dirVals and
+// relOrder/relVals, each I long) from an external source and reports
+// whether it did. The filled rows must be exactly what buildRankRow would
+// produce from the user's current thresholds — the shard layer satisfies
+// this by copying the global instance's rows for the bound user, whose
+// thresholds are identical by construction. Returning false falls back to
+// the sort.
+type RankProvider func(k int, dirOrder []int32, dirVals []float64, relOrder []int32, relVals []float64) bool
 
 // New validates the components and precomputes rates, latencies, and I1.
 func New(topo *topology.Topology, lib *modellib.Library, work *workload.Workload, wcfg wireless.Config) (*Instance, error) {
@@ -167,7 +192,21 @@ func NewShadowed(topo *topology.Topology, lib *modellib.Library, work *workload.
 		}
 	}
 	ins.totalMass = work.TotalMass()
+	ins.userHasMass = make([]bool, K)
+	for k := 0; k < K; k++ {
+		ins.userHasMass[k] = rowHasMass(work.ProbRow(k))
+	}
 	return ins, nil
+}
+
+// rowHasMass reports whether any entry of a probability row is positive.
+func rowHasMass(row []float64) bool {
+	for _, p := range row {
+		if p > 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // fillReach computes the word-packed I1 indicator under the given per-link
@@ -284,6 +323,17 @@ func (ins *Instance) shadowGain(m, k int) float64 {
 // marginal-gain memo) key their validity on it.
 func (ins *Instance) Generation() int { return ins.gen }
 
+// RevisionGeneration counts the ReviseUsers calls that swapped workload
+// rows. Caches derived from request probabilities (the evaluator's
+// transposed probability table) key their validity on it; plain UpdateUsers
+// calls never advance it.
+func (ins *Instance) RevisionGeneration() int { return ins.revGen }
+
+// Shadowed reports whether the instance carries per-link shadowing gains.
+// The shard layer rejects shadowed instances: shadowing is keyed by
+// (server, user) index pairs, which slot rebinding would scramble.
+func (ins *Instance) Shadowed() bool { return ins.shadow != nil }
+
 // Delta describes what one UpdateUsers call changed, in the form the
 // warm-start machinery consumes.
 type Delta struct {
@@ -295,8 +345,18 @@ type Delta struct {
 	Users []int
 	// Pairs packs the (server, model) pairs — bit m*I+i — whose user
 	// reachability mask changed. Placement warm starts recompute exactly
-	// these marginal gains and reuse the rest.
+	// these marginal gains and reuse the rest. For revised users (see
+	// ReviseUsers) every pair their reach rows touch is included, changed
+	// or not: the mask may be unchanged while the probability under it is
+	// not.
 	Pairs bitset.Set
+	// Revised lists the users whose workload rows were swapped before this
+	// delta (ReviseUsers), in caller order. Probability-derived caches
+	// refresh exactly these columns.
+	Revised []int
+	// RevGen is the instance's revision generation after this delta (the
+	// ReviseUsers call count; see RevisionGeneration).
+	RevGen int
 }
 
 // Rebuild returns a fresh instance with the same servers, library,
@@ -320,6 +380,30 @@ func (ins *Instance) Rebuild(users []geom.Point) (*Instance, error) {
 // returned delta reports the changed reachability pairs for warm-start
 // consumers.
 func (ins *Instance) UpdateUsers(moved []int, pos []geom.Point) (*Delta, error) {
+	return ins.ReviseUsers(nil, nil, moved, pos)
+}
+
+// ReviseUsers is UpdateUsers plus workload-row revision: revised lists
+// users whose rows in the instance's workload were swapped (via
+// workload.SetUserRows) since the last update. For each revised user the
+// QoS rate thresholds and their rank rows are recomputed from the new
+// deadline and inference rows before the movement pass, the reachability
+// rows are recomputed unconditionally (a threshold change invalidates the
+// rate-crossing flip search), and every pair the user's reach rows touch is
+// reported in Delta.Pairs — the masks may be unchanged while the request
+// mass under them is not. massOnly lists users whose probability row alone
+// was swapped (workload.SetUserProbRow) while their deadline and inference
+// rows stayed bound: thresholds, rank rows, and reachability need no work
+// beyond any movement the user also has, so only the gain invalidation and
+// probability-cache refresh apply — the cheap path for the shard layer's
+// ownership flips and parkings. TotalMass is recomputed in construction
+// order whenever any row changed, so a revised instance stays bit-identical
+// to a fresh build over the same workload. Revised users need not appear in
+// moved; movement semantics for moved users are exactly UpdateUsers'. This
+// is the shard layer's handoff seam: cross-cell movement becomes paired
+// calls — park and zero the slot in the cell the user left, bind and move
+// it in the cell it entered.
+func (ins *Instance) ReviseUsers(revised, massOnly []int, moved []int, pos []geom.Point) (*Delta, error) {
 	M, K, I := ins.NumServers(), ins.NumUsers(), ins.NumModels()
 	oldTopo := ins.topo
 	newTopo, loadChanged, err := oldTopo.MoveUsers(moved, pos)
@@ -329,11 +413,27 @@ func (ins *Instance) UpdateUsers(moved []int, pos []geom.Point) (*Delta, error) 
 
 	if ins.updDirty == nil {
 		ins.updDirty = make([]bool, K)
+		ins.updForce = make([]bool, K)
 		ins.updFullRow = make([]uint64, ins.serverWords)
 		bitset.Set(ins.updFullRow).SetAll(M)
 	}
 	ins.ensureFlipIndex()
+	for _, k := range revised {
+		if k < 0 || k >= K {
+			return nil, fmt.Errorf("scenario: revised user %d out of range [0,%d)", k, K)
+		}
+	}
+	for _, k := range massOnly {
+		if k < 0 || k >= K {
+			return nil, fmt.Errorf("scenario: mass-revised user %d out of range [0,%d)", k, K)
+		}
+	}
 	dirty := ins.updDirty
+	for _, k := range revised {
+		ins.reviseThresholds(k)
+		dirty[k] = true
+		ins.updForce[k] = true
+	}
 	for _, k := range moved {
 		dirty[k] = true
 	}
@@ -406,10 +506,90 @@ func (ins *Instance) UpdateUsers(moved []int, pos []geom.Point) (*Delta, error) 
 			}
 		}
 	}
+	var revCopy []int
+	if len(revised)+len(massOnly) > 0 {
+		// A revised user's request mass changed under masks that may not
+		// have: every pair its reach rows touch carries a stale gain. A
+		// user regaining mass was untracked (its inverted-index bits may be
+		// stale), so its UserMask bits are reconciled from its reach rows
+		// first — clears of stale bits need no pair marking, since a
+		// zero-mass bit never contributed to any gain.
+		markRows := func(k int) {
+			sw := ins.serverWords
+			hasMass := rowHasMass(ins.work.ProbRow(k))
+			if hasMass && !ins.userHasMass[k] {
+				ins.reconcileUserBits(k)
+			}
+			rows := ins.reachSrv[k*I*sw : (k+1)*I*sw]
+			for i := 0; i < I; i++ {
+				for wd, word := range rows[i*sw : (i+1)*sw] {
+					for ; word != 0; word &= word - 1 {
+						m := wd<<6 | mbits.TrailingZeros64(word)
+						pairs.Set(m*I + i)
+					}
+				}
+			}
+			ins.userHasMass[k] = hasMass
+		}
+		for _, k := range revised {
+			ins.updForce[k] = false
+			markRows(k)
+		}
+		for _, k := range massOnly {
+			markRows(k)
+		}
+		// Full resum in construction order: a revised instance's TotalMass
+		// stays bit-identical to a fresh build over the same workload.
+		ins.totalMass = ins.work.TotalMass()
+		ins.revGen++
+		revCopy = make([]int, 0, len(revised)+len(massOnly))
+		revCopy = append(append(revCopy, revised...), massOnly...)
+	}
 	ins.gen++
 	// The dirty-user list scratch is reused by the next call; the delta
 	// gets its own copy so callers can hold deltas across updates.
-	return &Delta{Gen: ins.gen, Users: append([]int(nil), dirtyUsers...), Pairs: pairs}, nil
+	return &Delta{Gen: ins.gen, Users: append([]int(nil), dirtyUsers...), Pairs: pairs, Revised: revCopy, RevGen: ins.revGen}, nil
+}
+
+// reconcileUserBits rewrites user k's inverted-index bits from its reach
+// rows: clear everywhere, then set the row bits. Untracked (zero-mass)
+// users accumulate stale bits; this runs when one regains mass.
+func (ins *Instance) reconcileUserBits(k int) {
+	M, I := ins.NumServers(), ins.NumModels()
+	uw := ins.userWords
+	for p := 0; p < M*I; p++ {
+		bitset.Set(ins.reachUsr[p*uw : (p+1)*uw]).Clear(k)
+	}
+	sw := ins.serverWords
+	rows := ins.reachSrv[k*I*sw : (k+1)*I*sw]
+	for i := 0; i < I; i++ {
+		for wd, word := range rows[i*sw : (i+1)*sw] {
+			for ; word != 0; word &= word - 1 {
+				m := wd<<6 | mbits.TrailingZeros64(word)
+				bitset.Set(ins.reachUsr[(m*I+i)*uw : (m*I+i+1)*uw]).Set(k)
+			}
+		}
+	}
+}
+
+// reviseThresholds recomputes user k's QoS rate thresholds and, when the
+// flip index exists, its rank rows, from the workload's current deadline
+// and inference rows — the per-user slice of the construction-time loop,
+// re-run after a row swap.
+func (ins *Instance) reviseThresholds(k int) {
+	I := ins.NumModels()
+	for i := 0; i < I; i++ {
+		slack := ins.work.DeadlineS(k, i) - ins.work.InferS(k, i)
+		ins.minDirRate[k*I+i] = rateThreshold(ins.sizeBits[i], slack)
+		ins.minRelRate[k*I+i] = rateThreshold(ins.sizeBits[i], slack-ins.sizeBits[i]/ins.wcfg.BackhaulBps)
+	}
+	if ins.flipDirOrder == nil {
+		return
+	}
+	if ins.rankBuf == nil {
+		ins.rankBuf = make([]rankPair, I)
+	}
+	ins.fillRankRows(k)
 }
 
 // minUsersPerWorker keeps the parallel update phase from spawning workers
@@ -452,9 +632,18 @@ func (w *updWorker) flip(k, pair int, set bool) {
 // updateUser refreshes one dirty user: rates and relay rate first (with
 // the old covering rates captured for the flip search), then the reach
 // rows — threshold flips when the coverage set is unchanged, a fused
-// recompute otherwise. Clean users keep bit-identical rates: their
-// positions, their servers' loads, and their shadowing gains are all
-// unchanged.
+// recompute otherwise. Revised users (ins.updForce, read-only during the
+// parallel phase) always take the fused recompute: their thresholds
+// changed, so the rate-crossing flip search no longer describes which
+// verdicts flipped. Clean users keep bit-identical rates: their positions,
+// their servers' loads, and their shadowing gains are all unchanged.
+//
+// Zero-mass users (userHasMass false before this update) are untracked:
+// their reach rows are kept exact, but no inverted-index flips are emitted
+// — their UserMask bits carry no request mass, so every consumer is
+// bitwise unaffected by their staleness, and the shard layer's ghost bands
+// stop paying per-bit bookkeeping. ReviseUsers reconciles the bits when a
+// user regains mass.
 func (ins *Instance) updateUser(k int, oldTopo *topology.Topology, w *updWorker) error {
 	K := ins.NumUsers()
 	oldCovering := oldTopo.ServersCovering(k)
@@ -477,10 +666,11 @@ func (ins *Instance) updateUser(k int, oldTopo *topology.Topology, w *updWorker)
 	}
 	ins.bestRelay[k] = best
 
-	if slices.Equal(oldCovering, newCovering) {
-		ins.flipUserRows(k, newCovering, oldRelay, best, w)
+	track := ins.userHasMass[k]
+	if !ins.updForce[k] && slices.Equal(oldCovering, newCovering) {
+		ins.flipUserRows(k, newCovering, oldRelay, best, w, track)
 	} else {
-		ins.recomputeUserRows(k, newCovering, w)
+		ins.recomputeUserRows(k, newCovering, w, track)
 	}
 	return nil
 }
@@ -488,7 +678,8 @@ func (ins *Instance) updateUser(k int, oldTopo *topology.Topology, w *updWorker)
 // ensureFlipIndex builds, once per instance, each user's models ordered by
 // ascending direct and relay rate thresholds. The thresholds are
 // position-independent, so the index never invalidates; it is built lazily
-// because only delta updates consume it.
+// because only delta updates consume it. An installed rank provider
+// short-circuits the per-user sorts.
 func (ins *Instance) ensureFlipIndex() {
 	if ins.flipDirOrder != nil {
 		return
@@ -498,8 +689,53 @@ func (ins *Instance) ensureFlipIndex() {
 	ins.flipDirVals = make([]float64, K*I)
 	ins.flipRelOrder = make([]int32, K*I)
 	ins.flipRelVals = make([]float64, K*I)
+	if ins.rankProvider != nil {
+		if ins.rankBuf == nil {
+			ins.rankBuf = make([]rankPair, I)
+		}
+		for k := 0; k < K; k++ {
+			ins.fillRankRows(k)
+		}
+		return
+	}
 	buildRanks(ins.flipDirOrder, ins.flipDirVals, ins.minDirRate, K, I)
 	buildRanks(ins.flipRelOrder, ins.flipRelVals, ins.minRelRate, K, I)
+}
+
+// fillRankRows fills user k's rank rows through the provider when it can,
+// sorting otherwise. The flip index and rankBuf must exist.
+func (ins *Instance) fillRankRows(k int) {
+	I := ins.NumModels()
+	do := ins.flipDirOrder[k*I : (k+1)*I]
+	dv := ins.flipDirVals[k*I : (k+1)*I]
+	ro := ins.flipRelOrder[k*I : (k+1)*I]
+	rv := ins.flipRelVals[k*I : (k+1)*I]
+	if ins.rankProvider != nil && ins.rankProvider(k, do, dv, ro, rv) {
+		return
+	}
+	buildRankRow(do, dv, ins.minDirRate[k*I:(k+1)*I], ins.rankBuf)
+	buildRankRow(ro, rv, ins.minRelRate[k*I:(k+1)*I], ins.rankBuf)
+}
+
+// SetRankProvider installs an external source of precomputed rank rows,
+// consulted whenever a user's rank rows would otherwise be rebuilt by
+// sorting (index construction and slot rebinds). The shard layer points
+// cells at the global instance's rank index: a bound slot's thresholds
+// equal the global user's, so its rank rows are a copy, not a sort.
+func (ins *Instance) SetRankProvider(p RankProvider) { ins.rankProvider = p }
+
+// EnsureRankIndex forces construction of the per-user threshold rank index
+// (normally built lazily by the first delta update), so it can serve as a
+// copy source for other instances' rank providers.
+func (ins *Instance) EnsureRankIndex() { ins.ensureFlipIndex() }
+
+// UserRankRows returns user k's rank rows — models by ascending direct and
+// relay rate threshold with the matching sorted values. EnsureRankIndex
+// must have run. The slices alias internal state; treat as read-only.
+func (ins *Instance) UserRankRows(k int) (dirOrder []int32, dirVals []float64, relOrder []int32, relVals []float64) {
+	I := ins.NumModels()
+	return ins.flipDirOrder[k*I : (k+1)*I], ins.flipDirVals[k*I : (k+1)*I],
+		ins.flipRelOrder[k*I : (k+1)*I], ins.flipRelVals[k*I : (k+1)*I]
 }
 
 // rankPair is one (threshold, model) entry of the rank index build.
@@ -518,26 +754,29 @@ type rankPair struct {
 func buildRanks(order []int32, vals, thresholds []float64, K, I int) {
 	pairs := make([]rankPair, I)
 	for k := 0; k < K; k++ {
-		th := thresholds[k*I : (k+1)*I]
-		for j := range pairs {
-			pairs[j] = rankPair{v: th[j], i: int32(j)}
+		buildRankRow(order[k*I:(k+1)*I], vals[k*I:(k+1)*I], thresholds[k*I:(k+1)*I], pairs)
+	}
+}
+
+// buildRankRow fills one user's rank row from its threshold row; pairs is
+// an I-element scratch.
+func buildRankRow(order []int32, vals, thresholds []float64, pairs []rankPair) {
+	for j := range pairs {
+		pairs[j] = rankPair{v: thresholds[j], i: int32(j)}
+	}
+	slices.SortFunc(pairs, func(a, b rankPair) int {
+		switch {
+		case a.v < b.v:
+			return -1
+		case a.v > b.v:
+			return 1
+		default:
+			return 0
 		}
-		slices.SortFunc(pairs, func(a, b rankPair) int {
-			switch {
-			case a.v < b.v:
-				return -1
-			case a.v > b.v:
-				return 1
-			default:
-				return 0
-			}
-		})
-		ord := order[k*I : (k+1)*I]
-		v := vals[k*I : (k+1)*I]
-		for j, p := range pairs {
-			ord[j] = p.i
-			v[j] = p.v
-		}
+	})
+	for j, p := range pairs {
+		order[j] = p.i
+		vals[j] = p.v
 	}
 }
 
@@ -560,7 +799,9 @@ func flipRange(vals []float64, oldRate, newRate float64) (lo, hi int, set bool) 
 // binary-search the user's threshold ranks for the verdicts the relay and
 // per-server rate changes crossed, and toggle exactly those bits in both
 // packed orientations — O(M·log I + flips) instead of an O(I) refill.
-func (ins *Instance) flipUserRows(k int, covering []int, oldRelay, newRelay float64, w *updWorker) {
+// track false (zero-mass user) updates the rows but records no inverted-
+// index flips.
+func (ins *Instance) flipUserRows(k int, covering []int, oldRelay, newRelay float64, w *updWorker, track bool) {
 	K, I := ins.NumUsers(), ins.NumModels()
 	sw := ins.serverWords
 	rows := ins.reachSrv[k*I*sw : (k+1)*I*sw]
@@ -590,6 +831,9 @@ func (ins *Instance) flipUserRows(k int, covering []int, oldRelay, newRelay floa
 				} else {
 					row[wd] &^= word
 				}
+				if !track {
+					continue
+				}
 				for ; word != 0; word &= word - 1 {
 					m := wd<<6 | mbits.TrailingZeros64(word)
 					w.flip(k, m*I+i, set)
@@ -614,7 +858,9 @@ func (ins *Instance) flipUserRows(k int, covering []int, oldRelay, newRelay floa
 			} else {
 				row.Clear(m)
 			}
-			w.flip(k, m*I+i, set)
+			if track {
+				w.flip(k, m*I+i, set)
+			}
 		}
 	}
 }
@@ -623,8 +869,9 @@ func (ins *Instance) flipUserRows(k int, covering []int, oldRelay, newRelay floa
 // rows in one fused pass — verdict, diff against the stored row, inverted-
 // index flip, store — with the covering rates hoisted out of the model
 // loop. The verdicts are the same compares fillReachRows performs, so the
-// result stays bit-identical to a full rebuild.
-func (ins *Instance) recomputeUserRows(k int, covering []int, w *updWorker) {
+// result stays bit-identical to a full rebuild. track false stores the
+// rows without diffing or flip recording (zero-mass users).
+func (ins *Instance) recomputeUserRows(k int, covering []int, w *updWorker, track bool) {
 	K, I := ins.NumUsers(), ins.NumModels()
 	sw := ins.serverWords
 	minDir := ins.minDirRate[k*I : (k+1)*I]
@@ -659,6 +906,10 @@ func (ins *Instance) recomputeUserRows(k int, covering []int, w *updWorker) {
 					word &^= dirBits[j]
 				}
 			}
+			if !track {
+				rows[i] = word
+				continue
+			}
 			diff := rows[i] ^ word
 			if diff == 0 {
 				continue
@@ -673,13 +924,15 @@ func (ins *Instance) recomputeUserRows(k int, covering []int, w *updWorker) {
 	}
 	ins.fillReachRows(k, covering, ins.avgRate, relay, bitset.Set(ins.updFullRow), w.rows)
 	rows := ins.reachSrv[k*I*sw : (k+1)*I*sw]
-	for i := 0; i < I; i++ {
-		for wd := 0; wd < sw; wd++ {
-			newWord := w.rows[i*sw+wd]
-			diff := rows[i*sw+wd] ^ newWord
-			for ; diff != 0; diff &= diff - 1 {
-				m := wd<<6 | mbits.TrailingZeros64(diff)
-				w.flip(k, m*I+i, newWord&(1<<uint(m&63)) != 0)
+	if track {
+		for i := 0; i < I; i++ {
+			for wd := 0; wd < sw; wd++ {
+				newWord := w.rows[i*sw+wd]
+				diff := rows[i*sw+wd] ^ newWord
+				for ; diff != 0; diff &= diff - 1 {
+					m := wd<<6 | mbits.TrailingZeros64(diff)
+					w.flip(k, m*I+i, newWord&(1<<uint(m&63)) != 0)
+				}
 			}
 		}
 	}
@@ -734,6 +987,12 @@ func (ins *Instance) ServerMask(k, i int) bitset.Set {
 // UserMask returns the packed set of users to whom server m can deliver
 // model i within their deadlines under the average channel. The returned
 // slice aliases internal state; callers must treat it as read-only.
+//
+// Bits of zero-mass users (all-zero probability rows — the shard layer's
+// ghosts and parked slots) may lag their reach rows on delta-updated
+// instances: such users are untracked until they regain mass, which is
+// invisible to every mass computation (their contribution is exactly
+// zero) and reconciled by ReviseUsers before mass returns.
 func (ins *Instance) UserMask(m, i int) bitset.Set {
 	uw := ins.userWords
 	off := (m*ins.NumModels() + i) * uw

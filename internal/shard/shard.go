@@ -1,0 +1,936 @@
+// Package shard scales the dynamics engine horizontally: the deployment
+// area is partitioned into a grid of geographic cells, each cell gets its
+// own topology slice, scenario.Instance, placement evaluator, and
+// externally-driven dynamics.Engine, and checkpoints run every cell on a
+// worker pool. One global mobility population walks all users (the same
+// walk, bit for bit, the unsharded engine produces); per checkpoint the
+// coordinator diffs each user's cell memberships and turns cross-cell
+// movement into handoff deltas — a park-and-zero ReviseUsers call on the
+// cell the user left, a bind-and-move call on the cell it entered — so
+// every cell absorbs only the users that moved within or across its
+// boundary. The global hit ratio is the request-mass-weighted aggregate of
+// the per-cell fused measurements.
+//
+// Cell semantics: servers are partitioned by position (each cell owns the
+// servers inside its rectangle) and every user is owned by exactly one
+// cell (the one whose rectangle contains it), where its full request mass
+// counts. A user is additionally visible to a neighboring cell as a
+// zero-mass ghost while one of that cell's servers covers it, which keeps
+// every owned server's association load — and hence its rates — exactly
+// equal to the unsharded computation. What sharding gives up is cross-cell
+// service: a boundary user cannot be served by a neighbor cell's servers
+// (directly or over the backhaul relay), so the aggregate hit ratio is a
+// slight underestimate of the unsharded objective unless no coverage disk
+// crosses a cell boundary, in which case per-user reachability is exact.
+// With Shards = 1 the single cell is the whole area and the engine's
+// output is bit-identical to dynamics.Run.
+package shard
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"trimcaching/internal/dynamics"
+	"trimcaching/internal/geom"
+	"trimcaching/internal/mobility"
+	"trimcaching/internal/rng"
+	"trimcaching/internal/scenario"
+	"trimcaching/internal/topology"
+	"trimcaching/internal/workload"
+)
+
+// Config parameterizes one sharded timeline run. The dynamics fields
+// (Tracks through Mode) mean exactly what they mean in dynamics.Config;
+// measurement is the Monte-Carlo fading track (trace-driven measurement
+// binds per-engine sessions to one instance and is not sharded yet).
+type Config struct {
+	// Instance is the global t = 0 problem instance. The engine reads its
+	// topology, workload, library, and wireless configuration to build the
+	// per-cell instances; it is never mutated. Shadowed instances are
+	// rejected: per-link shadowing is keyed by (server, user) index pairs,
+	// which slot rebinding would scramble.
+	Instance *scenario.Instance
+	// Capacities is the per-server storage budget, global server ids.
+	Capacities []int64
+	// Tracks are the algorithms evaluated side by side; every cell solves
+	// its own placement per track. Triggers are shared by value across
+	// cells, so stateful triggers (dynamics.Resetter implementers) are
+	// rejected when Shards > 1.
+	Tracks []dynamics.Track
+	// DurationMin and CheckpointMin shape the timeline.
+	DurationMin   int
+	CheckpointMin int
+	// SlotS is the mobility slot length.
+	SlotS float64
+	// Realizations is the fading realizations per cell measurement.
+	Realizations int
+	// Mode selects how cells refresh: Incremental (default) threads
+	// ReviseUsers deltas; Rebuild reconstructs each cell instance from its
+	// live slot table every checkpoint — the reference path the
+	// equivalence tests pin the deltas against.
+	Mode dynamics.Mode
+	// Shards is the number of cells; 1 delegates to a single whole-area
+	// cell, bit-identical to the unsharded engine.
+	Shards int
+	// MarginM is the ghost-visibility prefilter band around each cell
+	// rectangle. 0 means the coverage radius, the minimum that keeps owned
+	// server loads exact; smaller positive values are rejected.
+	MarginM float64
+	// Workers bounds the cell-level worker pool; 0 means GOMAXPROCS.
+	// Results are bit-identical for any worker count.
+	Workers int
+	// MeasureWorkers bounds each cell's fading-evaluation parallelism; 0
+	// means max(1, GOMAXPROCS/Shards). Results do not depend on it.
+	MeasureWorkers int
+	// SlotHeadroom is the fraction of spare user slots each cell instance
+	// is built with (room for arrivals before the cell must be rebuilt
+	// larger); 0 means 0.25. Ignored at Shards = 1, where membership never
+	// changes.
+	SlotHeadroom float64
+}
+
+// Validate reports the first invalid field, if any.
+func (c Config) Validate() error {
+	if c.Instance == nil {
+		return fmt.Errorf("shard: instance is required")
+	}
+	if c.Instance.Shadowed() {
+		return fmt.Errorf("shard: shadowed instances are not shardable (per-link gains are index-keyed)")
+	}
+	if len(c.Capacities) != c.Instance.NumServers() {
+		return fmt.Errorf("shard: %d capacities for %d servers", len(c.Capacities), c.Instance.NumServers())
+	}
+	if len(c.Tracks) == 0 {
+		return fmt.Errorf("shard: at least one track is required")
+	}
+	for a, tr := range c.Tracks {
+		if tr.Algorithm == nil {
+			return fmt.Errorf("shard: track %d has no algorithm", a)
+		}
+		if _, ok := tr.Trigger.(dynamics.Resetter); ok && c.Shards > 1 {
+			return fmt.Errorf("shard: track %d has a stateful trigger; cells share triggers by value", a)
+		}
+	}
+	if c.DurationMin <= 0 || c.CheckpointMin <= 0 || c.DurationMin < c.CheckpointMin {
+		return fmt.Errorf("shard: bad timeline %d/%d min", c.DurationMin, c.CheckpointMin)
+	}
+	if c.SlotS <= 0 {
+		return fmt.Errorf("shard: SlotS must be positive")
+	}
+	if c.Realizations <= 0 {
+		return fmt.Errorf("shard: Realizations must be positive")
+	}
+	if c.Mode != dynamics.Incremental && c.Mode != dynamics.Rebuild {
+		return fmt.Errorf("shard: unknown mode %d", int(c.Mode))
+	}
+	if c.Shards <= 0 {
+		return fmt.Errorf("shard: Shards must be positive, got %d", c.Shards)
+	}
+	if r := c.Instance.Topology().CoverageRadius(); c.MarginM != 0 && c.MarginM < r {
+		return fmt.Errorf("shard: margin %v below coverage radius %v breaks load exactness", c.MarginM, r)
+	}
+	return nil
+}
+
+// FromDynamics lifts an unsharded dynamics configuration into a sharded
+// one, so the two engines can run the same scenario side by side. A
+// configured Measurement is rejected rather than dropped: sharding runs
+// the fading Monte-Carlo track only, and silently measuring something
+// other than what the caller configured would poison comparisons.
+func FromDynamics(dc dynamics.Config, shards int) (Config, error) {
+	if dc.Measurement != nil {
+		return Config{}, fmt.Errorf("shard: sharded dynamics supports the fading measurement only (Measurement %q not liftable)", dc.Measurement.Name())
+	}
+	return Config{
+		Instance:       dc.Instance,
+		Capacities:     dc.Capacities,
+		Tracks:         dc.Tracks,
+		DurationMin:    dc.DurationMin,
+		CheckpointMin:  dc.CheckpointMin,
+		SlotS:          dc.SlotS,
+		Realizations:   dc.Realizations,
+		Mode:           dc.Mode,
+		Shards:         shards,
+		MeasureWorkers: dc.Workers,
+	}, nil
+}
+
+// grid is the cell partition of the square area: gx × gy rectangles, cell
+// id = cy*gx + cx.
+type grid struct {
+	gx, gy int
+	cw, ch float64
+}
+
+// makeGrid factors shards into the squarest gx × gy split of the area.
+func makeGrid(shards int, side float64) grid {
+	gx, gy := shards, 1
+	for d := 2; d*d <= shards; d++ {
+		if shards%d == 0 {
+			gx, gy = shards/d, d
+		}
+	}
+	return grid{gx: gx, gy: gy, cw: side / float64(gx), ch: side / float64(gy)}
+}
+
+func clampCell(v, n int) int {
+	if v < 0 {
+		return 0
+	}
+	if v >= n {
+		return n - 1
+	}
+	return v
+}
+
+// cellOf returns the cell owning position p.
+func (g grid) cellOf(p geom.Point) int {
+	cx := clampCell(int(p.X/g.cw), g.gx)
+	cy := clampCell(int(p.Y/g.ch), g.gy)
+	return cy*g.gx + cx
+}
+
+// candidates returns the inclusive cell index ranges whose margin-expanded
+// rectangles can contain p.
+func (g grid) candidates(p geom.Point, margin float64) (cx0, cx1, cy0, cy1 int) {
+	cx0 = clampCell(int((p.X-margin)/g.cw), g.gx)
+	cx1 = clampCell(int((p.X+margin)/g.cw), g.gx)
+	cy0 = clampCell(int((p.Y-margin)/g.ch), g.gy)
+	cy1 = clampCell(int((p.Y+margin)/g.ch), g.gy)
+	return
+}
+
+// inBand reports whether p lies within cell c's margin-expanded rectangle.
+func (g grid) inBand(c int, p geom.Point, margin float64) bool {
+	cx, cy := c%g.gx, c/g.gx
+	return p.X >= float64(cx)*g.cw-margin && p.X <= float64(cx+1)*g.cw+margin &&
+		p.Y >= float64(cy)*g.ch-margin && p.Y <= float64(cy+1)*g.ch+margin
+}
+
+// ref is one (cell, slot) binding of a user.
+type ref struct {
+	cell, slot int32
+}
+
+// cell is one shard: a server slice, a slot table over the locally visible
+// users, and an externally-driven dynamics engine on the cell instance.
+type cell struct {
+	id        int
+	servers   []int // global server ids, ascending
+	serverPts []geom.Point
+	caps      []int64
+	src       *rng.Source
+
+	eng  *dynamics.Engine
+	work *workload.Workload
+
+	slots []int32 // slot -> global user id, -1 free
+	free  []int32 // free-slot stack
+	local int     // bound slots
+
+	// Per-checkpoint batches, built by the serial plan phase and consumed
+	// by the parallel refresh. pending* deduplicate by slot with an epoch
+	// stamp: a slot parked and rebound in the same checkpoint keeps one
+	// batch entry, overwritten (moves) or upgraded (revisions) in place.
+	// Revisions carry a level — mass-only (the probability row swapped:
+	// ownership flips and parkings) or full (all rows rebound: arrivals) —
+	// split into ReviseUsers' massOnly/revised lists at apply time.
+	revTouch     []int  // slots with any pending revision, deduplicated
+	revLevel     []int8 // slot -> revLevelMass or revLevelFull, epoch-gated
+	revised      []int  // apply-time scratch: full revisions
+	massOnly     []int  // apply-time scratch: probability-row revisions
+	moved        []int
+	movedPos     []geom.Point
+	pendingMove  []int32 // slot -> index into moved, epoch-gated
+	moveEpoch    []int32
+	revEpoch     []int32
+	epoch        int32
+	overflow     []int32 // users that found no free slot: grow the cell
+	fresh        bool    // rebuilt this checkpoint: skip ApplyExternal
+	lastStep     dynamics.Step
+	lastMass     float64
+	lastBaseline []float64
+}
+
+// Revision levels: a mass-only revision swapped just the probability row
+// (thresholds untouched); a full revision rebound all three rows.
+const (
+	revLevelMass = int8(1)
+	revLevelFull = int8(2)
+)
+
+// Step is one aggregated checkpoint of a sharded timeline.
+type Step struct {
+	// TimeMin is minutes since the start.
+	TimeMin float64 `json:"timeMin"`
+	// HitRatio is, per track, the request-mass-weighted aggregate of the
+	// per-cell hit ratios (with one cell, the cell's hit ratio verbatim).
+	HitRatio []float64 `json:"hitRatio"`
+	// Replaced reports, per track, whether any cell re-placed here.
+	Replaced []bool `json:"replaced"`
+}
+
+// Result is a completed sharded timeline.
+type Result struct {
+	// Steps holds one entry per checkpoint, including t = 0.
+	Steps []Step
+	// Replacements counts each track's re-placements summed over cells.
+	Replacements []int
+	// Handoffs counts ownership changes (a user's owner cell changing).
+	Handoffs int
+	// Grows counts cell rebuilds forced by slot-table overflow.
+	Grows int
+	// Cells is the number of cells (= Config.Shards).
+	Cells int
+}
+
+// Engine is a running sharded timeline.
+type Engine struct {
+	cfg    Config
+	src    *rng.Source
+	grid   grid
+	margin float64
+	radius float64
+	park   geom.Point
+
+	pop       *mobility.Population
+	walkSrc   *rng.Source
+	positions []geom.Point
+
+	owner []int32 // per user: owning cell
+	refs  [][]ref // per user: cells where locally visible, with slot
+
+	cells   []*cell
+	workers int
+
+	slotsPerCheckpoint int
+	checkpoints        int
+
+	replacedBase []int // replacements absorbed from engines retired by grows
+	handoffs     int
+	grows        int
+
+	zeroRow  []float64
+	refBuf   []ref // plan-phase scratch for one user's new refs
+	headroom float64
+}
+
+// NewEngine validates the configuration, partitions servers into cells,
+// builds every cell's slot table, instance, and engine (including the
+// t = 0 placements and baselines), and wires the global mobility
+// population from the same "mobility"/"walk" streams the unsharded engine
+// uses — so user trajectories are identical between the two for one seed.
+// With Shards = 1 the cell engine also draws its measurement streams from
+// src itself, making the whole timeline bit-identical to dynamics.Run;
+// with more cells, cell c measures from src.SplitIndex("cell", c).
+func NewEngine(cfg Config, src *rng.Source) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	gt := cfg.Instance.Topology()
+	side := gt.Area().Side
+	radius := gt.CoverageRadius()
+	margin := cfg.MarginM
+	if margin == 0 {
+		margin = radius
+	}
+	headroom := cfg.SlotHeadroom
+	if headroom <= 0 {
+		headroom = 0.25
+	}
+	e := &Engine{
+		cfg:                cfg,
+		src:                src,
+		grid:               makeGrid(cfg.Shards, side),
+		margin:             margin,
+		radius:             radius,
+		park:               geom.Point{X: -(side + 4*radius), Y: -(side + 4*radius)},
+		positions:          gt.UserPositions(),
+		owner:              make([]int32, gt.NumUsers()),
+		refs:               make([][]ref, gt.NumUsers()),
+		workers:            cfg.Workers,
+		slotsPerCheckpoint: int(float64(cfg.CheckpointMin*60)/cfg.SlotS + 0.5),
+		checkpoints:        cfg.DurationMin / cfg.CheckpointMin,
+		replacedBase:       make([]int, len(cfg.Tracks)),
+		zeroRow:            make([]float64, cfg.Instance.NumModels()),
+		headroom:           headroom,
+	}
+	if e.workers <= 0 {
+		e.workers = runtime.GOMAXPROCS(0)
+	}
+	if e.workers > cfg.Shards {
+		e.workers = cfg.Shards
+	}
+
+	// Server partition by position.
+	e.cells = make([]*cell, cfg.Shards)
+	for c := range e.cells {
+		e.cells[c] = &cell{id: c}
+	}
+	for m := 0; m < gt.NumServers(); m++ {
+		c := e.cells[e.grid.cellOf(gt.ServerPos(m))]
+		c.servers = append(c.servers, m)
+		c.serverPts = append(c.serverPts, gt.ServerPos(m))
+		c.caps = append(c.caps, cfg.Capacities[m])
+	}
+	for c, sh := range e.cells {
+		if len(sh.servers) == 0 {
+			return nil, fmt.Errorf("shard: cell %d owns no servers; use fewer shards or a denser deployment", c)
+		}
+		if cfg.Shards == 1 {
+			sh.src = src
+		} else {
+			sh.src = src.SplitIndex("cell", c)
+		}
+	}
+
+	if cfg.Shards > 1 {
+		// Build the global rank index once: every cell's rank provider
+		// copies bound slots' rows from it (see buildCell).
+		cfg.Instance.EnsureRankIndex()
+	}
+
+	// Mobility: the same global walk the unsharded engine performs.
+	pop, err := mobility.NewPopulation(gt.Area(), e.positions, src.Split("mobility"))
+	if err != nil {
+		return nil, fmt.Errorf("shard: %w", err)
+	}
+	e.pop = pop
+	e.walkSrc = src.Split("walk")
+
+	// Initial memberships and slot tables.
+	locals := make([][]int, cfg.Shards)
+	for k := range e.positions {
+		e.owner[k] = int32(e.grid.cellOf(e.positions[k]))
+		for _, c := range e.localCells(e.positions[k], int(e.owner[k]), nil) {
+			locals[c] = append(locals[c], k)
+		}
+	}
+	for c, sh := range e.cells {
+		if err := e.buildCell(sh, locals[c]); err != nil {
+			return nil, err
+		}
+	}
+	return e, nil
+}
+
+// localCells returns, ascending, the cells where a user at p is locally
+// visible: its owner plus every cell with a server covering p. buf is an
+// optional reusable backing slice.
+func (e *Engine) localCells(p geom.Point, owner int, buf []int) []int {
+	out := buf[:0]
+	cx0, cx1, cy0, cy1 := e.grid.candidates(p, e.margin)
+	for cy := cy0; cy <= cy1; cy++ {
+		for cx := cx0; cx <= cx1; cx++ {
+			c := cy*e.grid.gx + cx
+			if c == owner {
+				out = append(out, c)
+				continue
+			}
+			for _, sp := range e.cells[c].serverPts {
+				if sp.Dist(p) <= e.radius {
+					out = append(out, c)
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+// buildCell (re)constructs one cell from scratch for the given locally
+// visible users (ascending): an aliased slot workload (owned users carry
+// their real probability rows, ghosts a shared zero row, spare slots are
+// fully inert), a topology over the cell's servers and slot positions, a
+// fresh instance, and an externally-driven dynamics engine, which solves
+// the cell's t = 0 placements and measures their baselines. User refs are
+// (re)pointed at the new slots.
+func (e *Engine) buildCell(sh *cell, locals []int) error {
+	ins := e.cfg.Instance
+	gw := ins.Workload()
+	spares := 0
+	if e.cfg.Shards > 1 {
+		spares = int(float64(len(locals))*e.headroom) + 4
+	}
+	slots := len(locals) + spares
+	if slots == 0 {
+		slots = 1 // topology.New requires at least one user
+	}
+	work, err := workload.NewAliased(slots, ins.NumModels())
+	if err != nil {
+		return fmt.Errorf("shard: %w", err)
+	}
+	slotPts := make([]geom.Point, slots)
+	sh.slots = make([]int32, slots)
+	sh.free = sh.free[:0]
+	for s := range sh.slots {
+		sh.slots[s] = -1
+		slotPts[s] = e.park
+	}
+	for s, g := range locals {
+		prob := e.zeroRow
+		if int(e.owner[g]) == sh.id {
+			prob = gw.ProbRow(g)
+		}
+		if err := work.SetUserRows(s, prob, gw.DeadlineRow(g), gw.InferRow(g)); err != nil {
+			return fmt.Errorf("shard: %w", err)
+		}
+		slotPts[s] = e.positions[g]
+		sh.slots[s] = int32(g)
+		e.setRef(g, sh.id, s)
+	}
+	for s := slots - 1; s >= len(locals); s-- {
+		sh.free = append(sh.free, int32(s))
+	}
+	sh.local = len(locals)
+
+	topo, err := topology.New(ins.Topology().Area(), sh.serverPts, slotPts, e.radius)
+	if err != nil {
+		return fmt.Errorf("shard: %w", err)
+	}
+	cellIns, err := scenario.New(topo, ins.Library(), work, ins.Wireless())
+	if err != nil {
+		return fmt.Errorf("shard: %w", err)
+	}
+	if e.cfg.Shards > 1 {
+		// A bound slot's QoS thresholds equal its global user's, so its
+		// rank rows are a copy of the global rank index rather than an
+		// O(I log I) sort — binds are the handoff path's hot spot. The
+		// provider reads only immutable global rows and this cell's own
+		// slot table (mutated serially in plan), so parallel cells are
+		// race-free. Unbound (parked) slots fall back to the sort.
+		cellIns.SetRankProvider(func(slot int, do []int32, dv []float64, ro []int32, rv []float64) bool {
+			g := sh.slots[slot]
+			if g < 0 {
+				return false
+			}
+			gdo, gdv, gro, grv := ins.UserRankRows(int(g))
+			copy(do, gdo)
+			copy(dv, gdv)
+			copy(ro, gro)
+			copy(rv, grv)
+			return true
+		})
+	}
+	measureWorkers := e.cfg.MeasureWorkers
+	if measureWorkers <= 0 {
+		measureWorkers = runtime.GOMAXPROCS(0) / e.cfg.Shards
+		if measureWorkers < 1 {
+			measureWorkers = 1
+		}
+	}
+	eng, err := dynamics.NewEngine(dynamics.Config{
+		Instance:         cellIns,
+		Capacities:       sh.caps,
+		Tracks:           e.cfg.Tracks,
+		DurationMin:      e.cfg.DurationMin,
+		CheckpointMin:    e.cfg.CheckpointMin,
+		SlotS:            e.cfg.SlotS,
+		Realizations:     e.cfg.Realizations,
+		Workers:          measureWorkers,
+		Mode:             e.cfg.Mode,
+		ExternalMobility: true,
+	}, sh.src)
+	if err != nil {
+		return fmt.Errorf("shard: cell %d: %w", sh.id, err)
+	}
+	sh.work = work
+	sh.eng = eng
+	sh.pendingMove = make([]int32, slots)
+	sh.revLevel = make([]int8, slots)
+	sh.moveEpoch = make([]int32, slots)
+	sh.revEpoch = make([]int32, slots)
+	sh.lastBaseline = make([]float64, len(e.cfg.Tracks))
+	for a := range e.cfg.Tracks {
+		sh.lastBaseline[a] = eng.Baseline(a)
+	}
+	return nil
+}
+
+// setRef points user g's binding for cell c at slot s, replacing an
+// existing ref for c if present.
+func (e *Engine) setRef(g, c, s int) {
+	for i := range e.refs[g] {
+		if e.refs[g][i].cell == int32(c) {
+			e.refs[g][i].slot = int32(s)
+			return
+		}
+	}
+	e.refs[g] = append(e.refs[g], ref{cell: int32(c), slot: int32(s)})
+}
+
+// Checkpoints returns the number of checkpoints after t = 0.
+func (e *Engine) Checkpoints() int { return e.checkpoints }
+
+// Cells returns the number of cells.
+func (e *Engine) Cells() int { return len(e.cells) }
+
+// CellServers returns cell c's global server ids, ascending. Read-only.
+func (e *Engine) CellServers(c int) []int { return e.cells[c].servers }
+
+// CellInstance returns cell c's current instance (test and inspection
+// hook; treat as read-only).
+func (e *Engine) CellInstance(c int) *scenario.Instance { return e.cells[c].eng.Instance() }
+
+// CellSlot returns the slot of user g in cell c, if locally visible there.
+func (e *Engine) CellSlot(c, g int) (int, bool) {
+	for _, r := range e.refs[g] {
+		if int(r.cell) == c {
+			return int(r.slot), true
+		}
+	}
+	return 0, false
+}
+
+// Owner returns the cell currently owning user g.
+func (e *Engine) Owner(g int) int { return int(e.owner[g]) }
+
+// Positions returns a copy of the current global user positions.
+func (e *Engine) Positions() []geom.Point {
+	return append([]geom.Point(nil), e.positions...)
+}
+
+// Handoffs returns the ownership changes so far.
+func (e *Engine) Handoffs() int { return e.handoffs }
+
+// Grows returns the overflow-forced cell rebuilds so far.
+func (e *Engine) Grows() int { return e.grows }
+
+// aggregate folds the cells' last steps into one Step: per track, the
+// request-mass-weighted mean of the per-cell hit ratios (each cell's
+// instance TotalMass is exactly its owned request mass — ghost and spare
+// rows are zero). A single cell passes its hit ratio through untouched,
+// keeping Shards = 1 bit-identical to the unsharded engine.
+func (e *Engine) aggregate(timeMin float64) Step {
+	step := Step{
+		TimeMin:  timeMin,
+		HitRatio: make([]float64, len(e.cfg.Tracks)),
+		Replaced: make([]bool, len(e.cfg.Tracks)),
+	}
+	if len(e.cells) == 1 {
+		copy(step.HitRatio, e.cells[0].lastStep.HitRatio)
+		copy(step.Replaced, e.cells[0].lastStep.Replaced)
+		return step
+	}
+	num := make([]float64, len(e.cfg.Tracks))
+	var den float64
+	for _, sh := range e.cells {
+		// Replacement flags aggregate regardless of mass: a cell can
+		// re-place (e.g. on a periodic trigger) while momentarily owning
+		// no request mass.
+		for a := range step.Replaced {
+			if sh.lastStep.Replaced[a] {
+				step.Replaced[a] = true
+			}
+		}
+		mass := sh.lastMass
+		if mass <= 0 {
+			continue
+		}
+		den += mass
+		for a := range num {
+			num[a] += sh.lastStep.HitRatio[a] * mass
+		}
+	}
+	if den > 0 {
+		for a := range num {
+			step.HitRatio[a] = num[a] / den
+		}
+	}
+	return step
+}
+
+// baselineStep assembles the t = 0 step from the cells' initial baselines.
+func (e *Engine) baselineStep() Step {
+	for _, sh := range e.cells {
+		sh.lastStep = dynamics.Step{
+			HitRatio: append([]float64(nil), sh.lastBaseline...),
+			Replaced: make([]bool, len(e.cfg.Tracks)),
+		}
+		sh.lastMass = sh.eng.Instance().TotalMass()
+	}
+	return e.aggregate(0)
+}
+
+// Checkpoint advances one checkpoint: walk all users, plan and apply the
+// membership diffs, refresh and measure every cell on the worker pool, and
+// aggregate. cp counts from 1.
+func (e *Engine) Checkpoint(cp int) (Step, error) {
+	for s := 0; s < e.slotsPerCheckpoint; s++ {
+		if err := e.pop.Step(e.cfg.SlotS, e.walkSrc); err != nil {
+			return Step{}, fmt.Errorf("shard: %w", err)
+		}
+	}
+	e.pop.PositionsInto(e.positions)
+	if err := e.plan(); err != nil {
+		return Step{}, err
+	}
+	if err := e.runCells(cp); err != nil {
+		return Step{}, err
+	}
+	return e.aggregate(float64(cp * e.cfg.CheckpointMin)), nil
+}
+
+// plan is the serial membership pass: for every user (ascending, so batch
+// order — and hence every downstream float reduction — is deterministic)
+// diff its old cell refs against the cells its new position is visible
+// from, emitting per-cell movement and revision batches. Oversubscribed
+// cells are rebuilt ("grown") with a larger slot table before the parallel
+// phase.
+func (e *Engine) plan() error {
+	for _, sh := range e.cells {
+		sh.revTouch = sh.revTouch[:0]
+		sh.moved = sh.moved[:0]
+		sh.movedPos = sh.movedPos[:0]
+		sh.overflow = sh.overflow[:0]
+		sh.epoch++
+	}
+	scratch := make([]int, 0, 8)
+	for k := range e.positions {
+		pos := e.positions[k]
+		oldOwner := int(e.owner[k])
+		newOwner := e.grid.cellOf(pos)
+		newLocal := e.localCells(pos, newOwner, scratch)
+		scratch = newLocal
+		e.refBuf = e.refBuf[:0]
+
+		for _, r := range e.refs[k] {
+			sh := e.cells[r.cell]
+			// Visibility hysteresis: a user becomes local when a cell
+			// server covers it (newLocal) but stays local until it exits
+			// the cell's whole margin band. Uncovered band residents add
+			// nothing to loads, mass, or measurement (zero-mass skip) —
+			// while churning the slot table only at band boundaries, not
+			// at every coverage-circle crossing.
+			still := e.grid.inBand(int(r.cell), pos, e.margin)
+			for _, c := range newLocal {
+				if c == int(r.cell) {
+					still = true
+					break
+				}
+			}
+			if !still {
+				// Departure: park the slot and zero its request mass. The
+				// deadline rows stay bound — a parked slot has no coverage,
+				// so its reach rows are zero under any thresholds, and the
+				// next binding rebinds all rows anyway.
+				if err := sh.work.SetUserProbRow(int(r.slot), e.zeroRow); err != nil {
+					return fmt.Errorf("shard: %w", err)
+				}
+				sh.revise(int(r.slot), revLevelMass)
+				sh.move(int(r.slot), e.park)
+				sh.slots[r.slot] = -1
+				sh.free = append(sh.free, r.slot)
+				sh.local--
+				continue
+			}
+			// Still local: move, and swap the probability row on ownership
+			// transitions (owned -> ghost or ghost -> owned). Thresholds are
+			// untouched, so these are mass-only revisions.
+			wasOwner := int(r.cell) == oldOwner
+			isOwner := int(r.cell) == newOwner
+			if wasOwner != isOwner {
+				prob := e.zeroRow
+				if isOwner {
+					prob = e.cfg.Instance.Workload().ProbRow(k)
+				}
+				if err := sh.work.SetUserProbRow(int(r.slot), prob); err != nil {
+					return fmt.Errorf("shard: %w", err)
+				}
+				sh.revise(int(r.slot), revLevelMass)
+			}
+			sh.move(int(r.slot), pos)
+			e.refBuf = append(e.refBuf, r)
+		}
+		// Arrivals: cells newly visible.
+		for _, c := range newLocal {
+			known := false
+			for _, r := range e.refBuf {
+				if int(r.cell) == c {
+					known = true
+					break
+				}
+			}
+			if known {
+				continue
+			}
+			sh := e.cells[c]
+			if len(sh.free) == 0 {
+				sh.overflow = append(sh.overflow, int32(k))
+				continue
+			}
+			slot := sh.free[len(sh.free)-1]
+			sh.free = sh.free[:len(sh.free)-1]
+			sh.slots[slot] = int32(k)
+			sh.local++
+			prob := e.zeroRow
+			if c == newOwner {
+				prob = e.cfg.Instance.Workload().ProbRow(k)
+			}
+			gw := e.cfg.Instance.Workload()
+			if err := sh.work.SetUserRows(int(slot), prob, gw.DeadlineRow(k), gw.InferRow(k)); err != nil {
+				return fmt.Errorf("shard: %w", err)
+			}
+			sh.revise(int(slot), revLevelFull)
+			sh.move(int(slot), pos)
+			e.refBuf = append(e.refBuf, ref{cell: int32(c), slot: slot})
+		}
+		if newOwner != oldOwner {
+			e.handoffs++
+			e.owner[k] = int32(newOwner)
+		}
+		e.refs[k] = append(e.refs[k][:0], e.refBuf...)
+	}
+	// Grow oversubscribed cells: rebuild with every currently bound user
+	// plus the overflow, ascending, and fresh headroom.
+	for _, sh := range e.cells {
+		if len(sh.overflow) == 0 {
+			continue
+		}
+		locals := make([]int, 0, sh.local+len(sh.overflow))
+		for _, g := range sh.slots {
+			if g >= 0 {
+				locals = append(locals, int(g))
+			}
+		}
+		for _, g := range sh.overflow {
+			locals = append(locals, int(g))
+		}
+		sort.Ints(locals)
+		for a := range e.cfg.Tracks {
+			e.replacedBase[a] += sh.eng.Replacements(a)
+		}
+		if err := e.buildCell(sh, locals); err != nil {
+			return err
+		}
+		sh.fresh = true
+		e.grows++
+	}
+	return nil
+}
+
+// move records a pending slot move, overwriting an earlier move of the
+// same slot within this checkpoint (a parked slot rebound to an arrival).
+func (sh *cell) move(slot int, pos geom.Point) {
+	if sh.moveEpoch[slot] == sh.epoch {
+		sh.movedPos[sh.pendingMove[slot]] = pos
+		return
+	}
+	sh.moveEpoch[slot] = sh.epoch
+	sh.pendingMove[slot] = int32(len(sh.moved))
+	sh.moved = append(sh.moved, slot)
+	sh.movedPos = append(sh.movedPos, pos)
+}
+
+// revise records a pending slot revision at most once per checkpoint,
+// upgrading mass-only to full when both happen (a slot parked and rebound
+// to a different user); only the final row binding matters to ReviseUsers.
+func (sh *cell) revise(slot int, level int8) {
+	if sh.revEpoch[slot] == sh.epoch {
+		if level > sh.revLevel[slot] {
+			sh.revLevel[slot] = level
+		}
+		return
+	}
+	sh.revEpoch[slot] = sh.epoch
+	sh.revLevel[slot] = level
+	sh.revTouch = append(sh.revTouch, slot)
+}
+
+// runCells refreshes and steps every cell on the worker pool. Cells are
+// independent (private instances, evaluators, and measurement scratch;
+// shared state is read-only), so the pool is a pure wall-clock lever:
+// results are bit-identical for any worker count.
+func (e *Engine) runCells(cp int) error {
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	next := make(chan int)
+	for w := 0; w < e.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := range next {
+				if err := e.runCell(e.cells[c], cp); err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+				}
+			}
+		}()
+	}
+	for c := range e.cells {
+		next <- c
+	}
+	close(next)
+	wg.Wait()
+	return firstErr
+}
+
+// runCell applies one cell's pending batches and steps its engine.
+func (e *Engine) runCell(sh *cell, cp int) error {
+	if sh.fresh {
+		sh.fresh = false
+	} else if len(sh.moved) > 0 || len(sh.revTouch) > 0 {
+		sh.revised = sh.revised[:0]
+		sh.massOnly = sh.massOnly[:0]
+		for _, slot := range sh.revTouch {
+			if sh.revLevel[slot] == revLevelFull {
+				sh.revised = append(sh.revised, slot)
+			} else {
+				sh.massOnly = append(sh.massOnly, slot)
+			}
+		}
+		if err := sh.eng.ApplyExternal(sh.revised, sh.massOnly, sh.moved, sh.movedPos); err != nil {
+			return fmt.Errorf("shard: cell %d: %w", sh.id, err)
+		}
+	}
+	st, err := sh.eng.Step(cp)
+	if err != nil {
+		return fmt.Errorf("shard: cell %d: %w", sh.id, err)
+	}
+	sh.lastStep = st
+	sh.lastMass = sh.eng.Instance().TotalMass()
+	return nil
+}
+
+// Run drives the whole timeline and aggregates per-checkpoint steps.
+func (e *Engine) Run() (*Result, error) {
+	res := &Result{
+		Steps:        make([]Step, 0, e.checkpoints+1),
+		Replacements: make([]int, len(e.cfg.Tracks)),
+		Cells:        len(e.cells),
+	}
+	res.Steps = append(res.Steps, e.baselineStep())
+	for cp := 1; cp <= e.checkpoints; cp++ {
+		step, err := e.Checkpoint(cp)
+		if err != nil {
+			return nil, err
+		}
+		res.Steps = append(res.Steps, step)
+	}
+	for a := range res.Replacements {
+		res.Replacements[a] = e.replacedBase[a]
+		for _, sh := range e.cells {
+			res.Replacements[a] += sh.eng.Replacements(a)
+		}
+	}
+	res.Handoffs = e.handoffs
+	res.Grows = e.grows
+	return res, nil
+}
+
+// Run builds a sharded engine and drives the full timeline.
+func Run(cfg Config, src *rng.Source) (*Result, error) {
+	e, err := NewEngine(cfg, src)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run()
+}

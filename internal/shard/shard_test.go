@@ -1,0 +1,248 @@
+package shard
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"trimcaching/internal/dynamics"
+	"trimcaching/internal/geom"
+	"trimcaching/internal/rng"
+)
+
+// smokeShardConfig lifts dynamics.NewSmokeScaleConfig into a sharded
+// config — the CI shard smoke's scenario.
+func smokeShardConfig(t *testing.T, shards, workers int, mode dynamics.Mode) Config {
+	t.Helper()
+	dc, err := dynamics.NewSmokeScaleConfig(dynamics.Incremental)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := FromDynamics(dc, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = workers
+	cfg.Mode = mode
+	return cfg
+}
+
+func sameSteps(t *testing.T, label string, got, want []Step) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d steps, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		for a := range want[i].HitRatio {
+			if got[i].HitRatio[a] != want[i].HitRatio[a] {
+				t.Errorf("%s: step %d track %d hit ratio %v, want %v",
+					label, i, a, got[i].HitRatio[a], want[i].HitRatio[a])
+			}
+			if got[i].Replaced[a] != want[i].Replaced[a] {
+				t.Errorf("%s: step %d track %d replaced %v, want %v",
+					label, i, a, got[i].Replaced[a], want[i].Replaced[a])
+			}
+		}
+	}
+}
+
+// TestSingleShardBitIdentical pins the Shards = 1 contract: the sharded
+// engine's timeline — hit ratios, replacement flags, replacement counts —
+// is bit-identical to dynamics.Run on the same configuration and seed, in
+// both cell refresh modes.
+func TestSingleShardBitIdentical(t *testing.T) {
+	for _, mode := range []dynamics.Mode{dynamics.Incremental, dynamics.Rebuild} {
+		dc, err := dynamics.NewSmokeScaleConfig(mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := dynamics.Run(dc, rng.New(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := smokeShardConfig(t, 1, 2, mode)
+		res, err := Run(cfg, rng.New(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		refSteps := make([]Step, len(ref.Steps))
+		for i, s := range ref.Steps {
+			refSteps[i] = Step{TimeMin: s.TimeMin, HitRatio: s.HitRatio, Replaced: s.Replaced}
+		}
+		sameSteps(t, fmt.Sprintf("mode %d", int(mode)), res.Steps, refSteps)
+		for a := range ref.Replacements {
+			if res.Replacements[a] != ref.Replacements[a] {
+				t.Errorf("mode %v: track %d replacements %d, want %d", mode, a, res.Replacements[a], ref.Replacements[a])
+			}
+		}
+		if res.Handoffs != 0 || res.Grows != 0 {
+			t.Errorf("mode %v: single shard reported %d handoffs, %d grows", mode, res.Handoffs, res.Grows)
+		}
+	}
+}
+
+// TestShardSmoke is the CI shard smoke: two cells on the smoke scenario,
+// pinning (a) worker-count determinism, (b) the incremental handoff deltas
+// bit-identical to the per-cell rebuild reference, and (c) the sharded
+// aggregate within a coarse tolerance of the unsharded hit ratio — cells
+// place and serve autonomously (boundary users lose cross-cell service),
+// so the aggregates are close but not equal at this radio-coupled scale.
+func TestShardSmoke(t *testing.T) {
+	serial, err := Run(smokeShardConfig(t, 2, 1, dynamics.Incremental), rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Run(smokeShardConfig(t, 2, 4, dynamics.Incremental), rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameSteps(t, "workers", parallel.Steps, serial.Steps)
+
+	rebuilt, err := Run(smokeShardConfig(t, 2, 2, dynamics.Rebuild), rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameSteps(t, "rebuild reference", serial.Steps, rebuilt.Steps)
+
+	dc, err := dynamics.NewSmokeScaleConfig(dynamics.Incremental)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := dynamics.Run(dc, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref.Steps {
+		for a := range ref.Steps[i].HitRatio {
+			if d := math.Abs(serial.Steps[i].HitRatio[a] - ref.Steps[i].HitRatio[a]); d > 0.1 {
+				t.Errorf("step %d track %d: sharded %v vs unsharded %v (|diff| %v > 0.1)",
+					i, a, serial.Steps[i].HitRatio[a], ref.Steps[i].HitRatio[a], d)
+			}
+		}
+	}
+	if serial.Handoffs == 0 {
+		t.Error("smoke timeline produced no handoffs; the scenario no longer exercises ownership transfer")
+	}
+}
+
+// TestGrow forces slot-table overflow with a tiny headroom and checks the
+// grown timeline still matches the per-cell rebuild reference bit for bit
+// (growth is part of the deterministic plan phase, not a drift source).
+func TestGrow(t *testing.T) {
+	mk := func(mode dynamics.Mode) Config {
+		cfg := smokeShardConfig(t, 2, 2, mode)
+		cfg.SlotHeadroom = 1e-9
+		cfg.DurationMin = 80
+		return cfg
+	}
+	inc, err := Run(mk(dynamics.Incremental), rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reb, err := Run(mk(dynamics.Rebuild), rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameSteps(t, "grow", inc.Steps, reb.Steps)
+	if inc.Grows != reb.Grows {
+		t.Errorf("grows diverged: %d vs %d", inc.Grows, reb.Grows)
+	}
+	t.Logf("grows=%d handoffs=%d", inc.Grows, inc.Handoffs)
+}
+
+func TestMakeGrid(t *testing.T) {
+	cases := []struct{ shards, gx, gy int }{
+		{1, 1, 1}, {2, 2, 1}, {4, 2, 2}, {6, 3, 2}, {8, 4, 2}, {7, 7, 1}, {9, 3, 3}, {12, 4, 3},
+	}
+	for _, c := range cases {
+		g := makeGrid(c.shards, 1000)
+		if g.gx != c.gx || g.gy != c.gy {
+			t.Errorf("makeGrid(%d): %dx%d, want %dx%d", c.shards, g.gx, g.gy, c.gx, c.gy)
+		}
+	}
+	g := makeGrid(4, 1000)
+	if got := g.cellOf(geom.Point{X: 1000, Y: 1000}); got != 3 {
+		t.Errorf("corner point landed in cell %d, want 3 (clamped)", got)
+	}
+	if got := g.cellOf(geom.Point{X: 0, Y: 0}); got != 0 {
+		t.Errorf("origin landed in cell %d, want 0", got)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	base := func() Config { return smokeShardConfig(t, 2, 0, dynamics.Incremental) }
+
+	cfg := base()
+	cfg.Instance = nil
+	if err := cfg.Validate(); err == nil {
+		t.Error("nil instance accepted")
+	}
+	cfg = base()
+	cfg.Shards = 0
+	if err := cfg.Validate(); err == nil {
+		t.Error("zero shards accepted")
+	}
+	cfg = base()
+	cfg.MarginM = cfg.Instance.Topology().CoverageRadius() / 2
+	if err := cfg.Validate(); err == nil {
+		t.Error("margin below coverage radius accepted")
+	}
+	cfg = base()
+	cfg.Tracks = []dynamics.Track{{Algorithm: cfg.Tracks[0].Algorithm, Trigger: &dynamics.TraceTrigger{Degradation: 0.1}}}
+	if err := cfg.Validate(); err == nil {
+		t.Error("stateful trigger accepted with 2 shards")
+	}
+	cfg.Shards = 1
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("stateful trigger rejected with 1 shard: %v", err)
+	}
+	cfg = base()
+	cfg.Capacities = cfg.Capacities[:1]
+	if err := cfg.Validate(); err == nil {
+		t.Error("capacity length mismatch accepted")
+	}
+
+	// Far more shards than the deployment supports: some cell owns no
+	// servers and construction must fail loudly.
+	cfg = base()
+	cfg.Shards = 64
+	if _, err := NewEngine(cfg, rng.New(1)); err == nil {
+		t.Error("64 cells over 4 servers accepted")
+	}
+
+	// A configured Measurement must be rejected by FromDynamics, not
+	// silently replaced with the fading track.
+	dc, err := dynamics.NewSmokeScaleConfig(dynamics.Incremental)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dc.Measurement = &dynamics.TraceMeasurement{RequestsPerUserPerHour: 30, WindowS: 600}
+	if _, err := FromDynamics(dc, 2); err == nil {
+		t.Error("trace measurement lifted silently")
+	}
+}
+
+// TestBenchConfig keeps the benchmark scenario constructor honest at toy
+// dimensions (the real dimensions are exercised by cmd/benchdyn -shard).
+func TestBenchConfig(t *testing.T) {
+	cfg, err := NewBenchConfig(60, 10, 24, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cfg.DurationMin = 20
+	res, err := Run(cfg, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Steps) != 3 {
+		t.Fatalf("got %d steps, want 3", len(res.Steps))
+	}
+	for _, s := range res.Steps {
+		if !(s.HitRatio[0] >= 0 && s.HitRatio[0] <= 1) {
+			t.Errorf("aggregate hit ratio %v outside [0,1]", s.HitRatio[0])
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package workload
+
+import (
+	"testing"
+
+	"trimcaching/internal/rng"
+)
+
+func TestNewAliased(t *testing.T) {
+	if _, err := NewAliased(0, 5); err == nil {
+		t.Error("zero users accepted")
+	}
+	w, err := NewAliased(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.TotalMass() != 0 {
+		t.Errorf("fresh aliased workload has mass %v", w.TotalMass())
+	}
+	parent, err := Generate(3, 4, DefaultConfig(), rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.SetUserRows(1, parent.ProbRow(2), parent.DeadlineRow(2), parent.InferRow(2)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if w.Prob(1, i) != parent.Prob(2, i) || w.DeadlineS(1, i) != parent.DeadlineS(2, i) || w.InferS(1, i) != parent.InferS(2, i) {
+			t.Fatalf("row alias mismatch at model %d", i)
+		}
+		if w.Prob(0, i) != 0 || w.DeadlineS(0, i) != 0 {
+			t.Fatalf("unbound slot leaked values at model %d", i)
+		}
+	}
+	if err := w.SetUserRows(3, parent.ProbRow(0), parent.DeadlineRow(0), parent.InferRow(0)); err == nil {
+		t.Error("out-of-range user accepted")
+	}
+	if err := w.SetUserRows(0, parent.ProbRow(0)[:2], parent.DeadlineRow(0), parent.InferRow(0)); err == nil {
+		t.Error("short row accepted")
+	}
+}

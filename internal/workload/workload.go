@@ -123,6 +123,67 @@ func Generate(numUsers, numModels int, cfg Config, src *rng.Source) (*Workload, 
 	return w, nil
 }
 
+// NewAliased returns a workload of numUsers users over numModels models
+// whose rows all start as one shared all-zero row: zero request mass and
+// zero deadlines (no request servable), the inert state of an unbound
+// shard slot. Rows are re-pointed with SetUserRows; nothing is copied, so
+// a slot table over a large parent workload costs only row headers.
+func NewAliased(numUsers, numModels int) (*Workload, error) {
+	if numUsers <= 0 || numModels <= 0 {
+		return nil, fmt.Errorf("workload: need positive users (%d) and models (%d)", numUsers, numModels)
+	}
+	zero := make([]float64, numModels)
+	w := &Workload{
+		numUsers:  numUsers,
+		numModels: numModels,
+		prob:      make([][]float64, numUsers),
+		deadlineS: make([][]float64, numUsers),
+		inferS:    make([][]float64, numUsers),
+	}
+	for k := 0; k < numUsers; k++ {
+		w.prob[k] = zero
+		w.deadlineS[k] = zero
+		w.inferS[k] = zero
+	}
+	return w, nil
+}
+
+// SetUserRows re-points user k's probability, deadline, and inference rows
+// at the given slices (aliased, not copied; callers must treat them as
+// immutable while bound). This is the shard layer's slot-rebinding hook: a
+// scenario.Instance built over this workload reads rows live, so after a
+// swap the instance must be refreshed via Instance.ReviseUsers before its
+// derived state is read again.
+func (w *Workload) SetUserRows(k int, prob, deadlineS, inferS []float64) error {
+	if k < 0 || k >= w.numUsers {
+		return fmt.Errorf("workload: user %d out of range [0,%d)", k, w.numUsers)
+	}
+	if len(prob) != w.numModels || len(deadlineS) != w.numModels || len(inferS) != w.numModels {
+		return fmt.Errorf("workload: rows have %d/%d/%d models, want %d",
+			len(prob), len(deadlineS), len(inferS), w.numModels)
+	}
+	w.prob[k] = prob
+	w.deadlineS[k] = deadlineS
+	w.inferS[k] = inferS
+	return nil
+}
+
+// SetUserProbRow re-points only user k's probability row (aliased), leaving
+// the deadline and inference rows bound. This is the shard layer's
+// ownership-flip and parking hook: the user's QoS thresholds are untouched,
+// so the owning instance needs only a mass revision
+// (Instance.ReviseUsers' massOnly list), not a threshold rebuild.
+func (w *Workload) SetUserProbRow(k int, prob []float64) error {
+	if k < 0 || k >= w.numUsers {
+		return fmt.Errorf("workload: user %d out of range [0,%d)", k, w.numUsers)
+	}
+	if len(prob) != w.numModels {
+		return fmt.Errorf("workload: prob row has %d models, want %d", len(prob), w.numModels)
+	}
+	w.prob[k] = prob
+	return nil
+}
+
 // NumUsers returns K.
 func (w *Workload) NumUsers() int { return w.numUsers }
 
@@ -139,8 +200,16 @@ func (w *Workload) ProbRow(k int) []float64 { return w.prob[k] }
 // DeadlineS returns T̄_{k,i}, the E2E latency QoS in seconds.
 func (w *Workload) DeadlineS(k, i int) float64 { return w.deadlineS[k][i] }
 
+// DeadlineRow returns user k's deadline vector over all models. The slice
+// aliases internal state; callers must treat it as read-only.
+func (w *Workload) DeadlineRow(k int) []float64 { return w.deadlineS[k] }
+
 // InferS returns t_{k,i}, the on-device inference latency in seconds.
 func (w *Workload) InferS(k, i int) float64 { return w.inferS[k][i] }
+
+// InferRow returns user k's inference-latency vector over all models. The
+// slice aliases internal state; callers must treat it as read-only.
+func (w *Workload) InferRow(k int) []float64 { return w.inferS[k] }
 
 // TotalMass returns Σ_{k,i} p_{k,i}, the normalizer of eq. (2).
 func (w *Workload) TotalMass() float64 {
