@@ -59,15 +59,28 @@ type phase struct {
 	Speedup       float64 `json:"speedup"`
 }
 
-// kernelPhase compares the fused measurement kernel against the two-pass
-// reference; one op is one full checkpoint measurement (Realizations
-// fading realizations).
+// kernelPhase compares the realization-blocked fused measurement kernel
+// against the same kernel forced to per-realization sweeps and against the
+// two-pass reference; one op is one full checkpoint measurement
+// (Realizations fading realizations). All three paths are bit-identical;
+// the two extra rows isolate how much of the fused win comes from blocking
+// (one request sweep scoring a whole block of realizations) versus from
+// fusing alone.
 type kernelPhase struct {
-	Ops          int     `json:"ops"`
-	Realizations int     `json:"realizations"`
-	FusedNs      int64   `json:"fused_ns_per_op"`
-	UnfusedNs    int64   `json:"unfused_ns_per_op"`
-	Speedup      float64 `json:"speedup"`
+	Ops          int `json:"ops"`
+	Realizations int `json:"realizations"`
+	// BlockSize is the realizations per fused sweep the blocked row ran
+	// with (the session's auto split across its workers).
+	BlockSize int   `json:"block_size"`
+	FusedNs   int64 `json:"fused_ns_per_op"`
+	// PerRealizationNs is the fused kernel with SetBlockSize(1): one
+	// request sweep per realization.
+	PerRealizationNs int64   `json:"per_realization_ns_per_op"`
+	UnfusedNs        int64   `json:"unfused_ns_per_op"`
+	Speedup          float64 `json:"speedup"`
+	// BlockedSpeedup is per_realization_ns_per_op over fused_ns_per_op —
+	// the blocking win alone.
+	BlockedSpeedup float64 `json:"blocked_speedup"`
 }
 
 // resolvePhase compares a warm re-solve with the persistent commit heap
@@ -270,7 +283,7 @@ func run(args []string, stdout io.Writer) error {
 	}
 	fill(&rep.Timeline, rebTimeline, incTimeline)
 
-	if err := benchMeasurement(&rep.Measurement, warmEngine, cfg.Realizations, *checkpoints, *rounds); err != nil {
+	if err := benchMeasurement(&rep.Measurement, warmEngine, cfg.Realizations, *checkpoints, *rounds, *smoke); err != nil {
 		return err
 	}
 	if err := benchResolve(&rep.Resolve, warmEngine, *checkpoints, *rounds); err != nil {
@@ -302,11 +315,15 @@ func run(args []string, stdout io.Writer) error {
 }
 
 // benchMeasurement times one checkpoint measurement (all realizations)
-// through the fused kernel vs the two-pass reference, on the incremental
-// engine's live instance — the instance every timeline measurement
-// actually sees, threshold rank index included. Both paths produce
-// bit-identical hit ratios (cross-checked here).
-func benchMeasurement(out *kernelPhase, warmEngine func(dynamics.Mode) (*dynamics.Engine, error), realizations, ops, rounds int) error {
+// through the realization-blocked fused kernel, the same kernel forced to
+// per-realization sweeps (SetBlockSize(1)), and the two-pass reference, on
+// the incremental engine's live instance — the instance every timeline
+// measurement actually sees, threshold rank index included. All three
+// paths produce bit-identical hit ratios (cross-checked here). Under
+// -smoke the blocked path must also not fall behind the per-realization
+// path (with a ×1.25 margin for toy-dimension jitter): that is the CI
+// guard keeping the blocked sweep honest.
+func benchMeasurement(out *kernelPhase, warmEngine func(dynamics.Mode) (*dynamics.Engine, error), realizations, ops, rounds int, smoke bool) error {
 	e, err := warmEngine(dynamics.Incremental)
 	if err != nil {
 		return err
@@ -317,48 +334,79 @@ func benchMeasurement(out *kernelPhase, warmEngine func(dynamics.Mode) (*dynamic
 		return err
 	}
 	placements := []*placement.Placement{e.Placement(0)}
-	session := sim.NewFadingSession(ins, 0)
+	blocked := sim.NewFadingSession(ins, 0)
+	perReal := sim.NewFadingSession(ins, 0)
+	perReal.SetBlockSize(1)
 	src := rng.New(3)
-	fused, err := session.Evaluate(eval, placements, realizations, src)
+	fused, err := blocked.Evaluate(eval, placements, realizations, src)
 	if err != nil {
 		return err
 	}
-	unfused, err := session.EvaluateUnfused(eval, placements, realizations, src)
+	single, err := perReal.Evaluate(eval, placements, realizations, src)
 	if err != nil {
 		return err
+	}
+	unfused, err := blocked.EvaluateUnfused(eval, placements, realizations, src)
+	if err != nil {
+		return err
+	}
+	if fused[0] != single[0] {
+		return fmt.Errorf("blocked measurement %v differs from per-realization %v", fused[0], single[0])
 	}
 	if fused[0] != unfused[0] {
 		return fmt.Errorf("fused measurement %v differs from two-pass %v", fused[0], unfused[0])
 	}
-	var fastF, fastU time.Duration
-	for r := 0; r < rounds; r++ {
-		start := time.Now()
-		for n := 0; n < ops; n++ {
-			if _, err := session.Evaluate(eval, placements, realizations, src); err != nil {
-				return err
+	timePath := func(session *sim.FadingSession, unfusedPath bool) (time.Duration, error) {
+		var fastest time.Duration
+		for r := 0; r < rounds; r++ {
+			start := time.Now()
+			for n := 0; n < ops; n++ {
+				var err error
+				if unfusedPath {
+					_, err = session.EvaluateUnfused(eval, placements, realizations, src)
+				} else {
+					_, err = session.Evaluate(eval, placements, realizations, src)
+				}
+				if err != nil {
+					return 0, err
+				}
+			}
+			if d := time.Since(start); r == 0 || d < fastest {
+				fastest = d
 			}
 		}
-		df := time.Since(start)
-		start = time.Now()
-		for n := 0; n < ops; n++ {
-			if _, err := session.EvaluateUnfused(eval, placements, realizations, src); err != nil {
-				return err
-			}
-		}
-		du := time.Since(start)
-		if r == 0 || df < fastF {
-			fastF = df
-		}
-		if r == 0 || du < fastU {
-			fastU = du
-		}
+		return fastest, nil
+	}
+	fastF, err := timePath(blocked, false)
+	if err != nil {
+		return err
+	}
+	fastP, err := timePath(perReal, false)
+	if err != nil {
+		return err
+	}
+	fastU, err := timePath(blocked, true)
+	if err != nil {
+		return err
+	}
+	// Mirror the session's auto split: GOMAXPROCS workers clamped to the
+	// realization count, realizations divided evenly across them.
+	workers := runtime.GOMAXPROCS(0)
+	if workers > realizations {
+		workers = realizations
 	}
 	out.Ops = ops
 	out.Realizations = realizations
+	out.BlockSize = (realizations + workers - 1) / workers
 	out.FusedNs = fastF.Nanoseconds() / int64(ops)
+	out.PerRealizationNs = fastP.Nanoseconds() / int64(ops)
 	out.UnfusedNs = fastU.Nanoseconds() / int64(ops)
 	if fastF > 0 {
 		out.Speedup = float64(fastU) / float64(fastF)
+		out.BlockedSpeedup = float64(fastP) / float64(fastF)
+	}
+	if smoke && fastF > fastP+fastP/4 {
+		return fmt.Errorf("blocked measurement path (%v) fell behind the per-realization path (%v) beyond the smoke margin", fastF, fastP)
 	}
 	return nil
 }
@@ -450,9 +498,12 @@ var reportSchema = []fieldSpec{
 	{"timeline_end_to_end.speedup", 0.000001},
 	{"measurement.ops", 1},
 	{"measurement.realizations", 1},
+	{"measurement.block_size", 1},
 	{"measurement.fused_ns_per_op", 1},
+	{"measurement.per_realization_ns_per_op", 1},
 	{"measurement.unfused_ns_per_op", 1},
 	{"measurement.speedup", 0.000001},
+	{"measurement.blocked_speedup", 0.000001},
 	{"resolve.ops", 1},
 	{"resolve.heap_rebuild_ns_per_op", 1},
 	{"resolve.persistent_ns_per_op", 1},

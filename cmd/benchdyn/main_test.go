@@ -50,7 +50,8 @@ func TestValidateReportRejectsBrokenSections(t *testing.T) {
 		"refresh": {"ops": 2, "rebuild_ns_per_op": 10, "incremental_ns_per_op": 10, "speedup": 1},
 		"replace": {"ops": 2, "rebuild_ns_per_op": 10, "incremental_ns_per_op": 10, "speedup": 1},
 		"timeline_end_to_end": {"ops": 2, "rebuild_ns_per_op": 10, "incremental_ns_per_op": 10, "speedup": 1},
-		"measurement": {"ops": 2, "realizations": 4, "fused_ns_per_op": 10, "unfused_ns_per_op": 10, "speedup": 1},
+		"measurement": {"ops": 2, "realizations": 4, "block_size": 4, "fused_ns_per_op": 10,
+			"per_realization_ns_per_op": 10, "unfused_ns_per_op": 10, "speedup": 1, "blocked_speedup": 1},
 		"resolve": {"ops": 2, "heap_rebuild_ns_per_op": 10, "persistent_ns_per_op": 10, "speedup": 1,
 			"small_delta_stride": 100, "small_delta_heap_rebuild_ns_per_op": 10,
 			"small_delta_persistent_ns_per_op": 10, "small_delta_speedup": 1},
@@ -82,6 +83,13 @@ func TestValidateReportRejectsBrokenSections(t *testing.T) {
 		"no definition":   mutate(func(m map[string]any) { delete(m, "speedup_definition") }),
 		"no small delta":  mutate(func(m map[string]any) { delete(m["resolve"].(map[string]any), "small_delta_speedup") }),
 		"1-stride":        mutate(func(m map[string]any) { m["resolve"].(map[string]any)["small_delta_stride"] = 1 }),
+		"no block size":   mutate(func(m map[string]any) { delete(m["measurement"].(map[string]any), "block_size") }),
+		"no per-realization row": mutate(func(m map[string]any) {
+			delete(m["measurement"].(map[string]any), "per_realization_ns_per_op")
+		}),
+		"zero blocked speedup": mutate(func(m map[string]any) {
+			m["measurement"].(map[string]any)["blocked_speedup"] = 0
+		}),
 	}
 	for name, data := range cases {
 		if err := validateReport(data); err == nil {
@@ -94,14 +102,23 @@ func TestValidateReportRejectsBrokenSections(t *testing.T) {
 func TestValidateShardReport(t *testing.T) {
 	good := []byte(`{
 		"scenario": {"servers": 4, "users": 100, "models": 8, "checkpointMin": 10, "slotS": 5, "realizations": 2},
-		"unsharded": {"shards": 0, "checkpoints": 2, "checkpoint_ns_per_op": 10,
+		"unsharded": {"shards": 0, "workers": 1, "checkpoints": 2, "checkpoint_ns_per_op": 10,
 			"throughput_users_per_s": 5, "speedup": 1, "hit_ratio_mean": 0.5, "handoffs": 0, "grows": 0},
 		"sharded": [
-			{"shards": 1, "checkpoints": 2, "checkpoint_ns_per_op": 10,
+			{"shards": 1, "workers": 1, "checkpoints": 2, "checkpoint_ns_per_op": 10,
 			 "throughput_users_per_s": 5, "speedup": 1, "hit_ratio_mean": 0.5, "handoffs": 0, "grows": 0},
-			{"shards": 2, "checkpoints": 2, "checkpoint_ns_per_op": 5,
+			{"shards": 2, "workers": 1, "checkpoints": 2, "checkpoint_ns_per_op": 5,
 			 "throughput_users_per_s": 10, "speedup": 2, "hit_ratio_mean": 0.45, "handoffs": 3, "grows": 0}
 		],
+		"multicore": {
+			"workers": 2,
+			"unsharded": {"shards": 0, "workers": 2, "checkpoints": 2, "checkpoint_ns_per_op": 8,
+				"throughput_users_per_s": 6, "speedup": 1.25, "hit_ratio_mean": 0.5, "handoffs": 0, "grows": 0},
+			"sharded": [
+				{"shards": 2, "workers": 2, "checkpoints": 2, "checkpoint_ns_per_op": 4,
+				 "throughput_users_per_s": 12, "speedup": 2.5, "hit_ratio_mean": 0.45, "handoffs": 3, "grows": 0}
+			]
+		},
 		"speedup": 2,
 		"speedup_definition": "x"
 	}`)
@@ -131,6 +148,16 @@ func TestValidateShardReport(t *testing.T) {
 			delete(m["sharded"].([]any)[0].(map[string]any), "checkpoint_ns_per_op")
 		}),
 		"no definition": mutate(func(m map[string]any) { delete(m, "speedup_definition") }),
+		"no workers": mutate(func(m map[string]any) {
+			delete(m["unsharded"].(map[string]any), "workers")
+		}),
+		"no multicore": mutate(func(m map[string]any) { delete(m, "multicore") }),
+		"single-core multicore": mutate(func(m map[string]any) {
+			m["multicore"].(map[string]any)["workers"] = 1
+		}),
+		"empty multicore sharded": mutate(func(m map[string]any) {
+			m["multicore"].(map[string]any)["sharded"] = []any{}
+		}),
 	}
 	for name, data := range cases {
 		if err := validateShardReport(data); err == nil {
@@ -169,5 +196,20 @@ func TestShardSmokeRunEmitsValidReport(t *testing.T) {
 	if rep.Sharded[0].HitRatioMean != rep.Unsharded.HitRatioMean {
 		t.Errorf("shards=1 hit ratio %v differs from unsharded %v",
 			rep.Sharded[0].HitRatioMean, rep.Unsharded.HitRatioMean)
+	}
+	// The multicore sweep replays the same timeline with a wider worker
+	// pool; the determinism contract makes its quality bit-identical.
+	if rep.Multicore.Workers < 2 {
+		t.Errorf("multicore workers %d, want >= 2", rep.Multicore.Workers)
+	}
+	if rep.Multicore.Unsharded.HitRatioMean != rep.Unsharded.HitRatioMean {
+		t.Errorf("multicore unsharded hit ratio %v differs from single-core %v",
+			rep.Multicore.Unsharded.HitRatioMean, rep.Unsharded.HitRatioMean)
+	}
+	for i, r := range rep.Multicore.Sharded {
+		if r.HitRatioMean != rep.Sharded[i].HitRatioMean {
+			t.Errorf("multicore sharded[%d] hit ratio %v differs from single-core %v",
+				i, r.HitRatioMean, rep.Sharded[i].HitRatioMean)
+		}
 	}
 }

@@ -8,14 +8,19 @@ package main
 // measurement, and any triggered re-placements — reported as the fastest
 // of the timed checkpoints after one untimed warm-up (flip-index builds
 // amortize across a timeline; the min filters page-fault storms that hit
-// freshly built multi-GB engines). Like the dynamics report, the emitted
-// JSON is schema-validated before it is written.
+// freshly built multi-GB engines). The main rows pin every worker pool to
+// one goroutine so the numbers compare across machines; a second sweep at
+// Workers = max(2, NumCPU) reports the multi-core scaling curve, with
+// speedups still against the single-core unsharded baseline. Like the
+// dynamics report, the emitted JSON is schema-validated before it is
+// written.
 
 import (
 	"encoding/json"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"runtime/debug"
 	"time"
 
@@ -28,6 +33,10 @@ import (
 type shardRun struct {
 	// Shards is the cell count; 0 marks the unsharded dynamics engine.
 	Shards int `json:"shards"`
+	// Workers is the worker-pool bound the row ran with: 1 on the main
+	// rows (pinned single-core, comparable across machines), max(2,
+	// NumCPU) in the multicore section.
+	Workers int `json:"workers"`
 	// Checkpoints is the timed checkpoint count (after one warm-up).
 	Checkpoints int `json:"checkpoints"`
 	// CheckpointNs is the fastest timed checkpoint's end-to-end wall time —
@@ -37,7 +46,8 @@ type shardRun struct {
 	CheckpointNs int64 `json:"checkpoint_ns_per_op"`
 	// ThroughputUsersPerS is users per second of the fastest checkpoint.
 	ThroughputUsersPerS float64 `json:"throughput_users_per_s"`
-	// Speedup is the unsharded per-checkpoint time over this run's.
+	// Speedup is the single-core unsharded per-checkpoint time over this
+	// run's (every row, multicore included, shares that one baseline).
 	Speedup float64 `json:"speedup"`
 	// HitRatioMean averages the (aggregate) hit ratio over the timed
 	// checkpoints — the quality cost of cell autonomy, next to its speed.
@@ -48,20 +58,32 @@ type shardRun struct {
 	Grows    int `json:"grows"`
 }
 
+// shardScenario is the shard report's scenario header.
+type shardScenario struct {
+	Servers       int     `json:"servers"`
+	Users         int     `json:"users"`
+	Models        int     `json:"models"`
+	CheckpointMin int     `json:"checkpointMin"`
+	SlotS         float64 `json:"slotS"`
+	Realizations  int     `json:"realizations"`
+}
+
 type shardReport struct {
-	Scenario struct {
-		Servers       int     `json:"servers"`
-		Users         int     `json:"users"`
-		Models        int     `json:"models"`
-		CheckpointMin int     `json:"checkpointMin"`
-		SlotS         float64 `json:"slotS"`
-		Realizations  int     `json:"realizations"`
-	} `json:"scenario"`
-	// Unsharded is the single whole-area engine baseline.
+	Scenario shardScenario `json:"scenario"`
+	// Unsharded is the single whole-area engine baseline (Workers = 1).
 	Unsharded shardRun `json:"unsharded"`
-	// Sharded holds one entry per cell count, ascending.
+	// Sharded holds one entry per cell count, ascending (Workers = 1).
 	Sharded []shardRun `json:"sharded"`
-	// Speedup is the headline number: the largest cell count's speedup.
+	// Multicore repeats the sweep with Workers = max(2, NumCPU). On a
+	// single-core host the curve is flat by construction — the rows then
+	// document pool-scheduling overhead rather than parallel speedup.
+	Multicore struct {
+		Workers   int        `json:"workers"`
+		Unsharded shardRun   `json:"unsharded"`
+		Sharded   []shardRun `json:"sharded"`
+	} `json:"multicore"`
+	// Speedup is the headline number: the largest cell count's single-core
+	// speedup.
 	Speedup           float64 `json:"speedup"`
 	SpeedupDefinition string  `json:"speedup_definition"`
 }
@@ -70,6 +92,7 @@ type shardReport struct {
 // sharded entries only; the unsharded baseline's is 1 by construction).
 var shardRunSchema = []fieldSpec{
 	{"shards", 0},
+	{"workers", 1},
 	{"checkpoints", 1},
 	{"checkpoint_ns_per_op", 1},
 	{"throughput_users_per_s", 0.000001},
@@ -83,28 +106,29 @@ var shardTopSchema = []fieldSpec{
 	{"scenario.checkpointMin", 1},
 	{"scenario.slotS", 0.000001},
 	{"scenario.realizations", 1},
+	{"multicore.workers", 2},
 	{"speedup", 0.000001},
 }
 
-// runShard executes the shard scale benchmark and writes the report.
-func runShard(stdout io.Writer, users, servers, models, checkpoints int, counts []int, out string) error {
-	if checkpoints <= 0 {
-		return fmt.Errorf("shard checkpoints must be positive, got %d", checkpoints)
-	}
-	var rep shardReport
-
+// shardSweep runs the unsharded baseline and one engine per cell count,
+// all with the given worker-pool bound, and returns their rows. baseNs is
+// the reference per-checkpoint time every speedup divides; 0 means use
+// this sweep's own unsharded time (and report its speedup as exactly 1).
+func shardSweep(stdout io.Writer, scen *shardScenario, users, servers, models, checkpoints, workers int, counts []int, baseNs int64) (shardRun, []shardRun, error) {
 	// Unsharded baseline: same construction, Shards = 1 semantics, driven
 	// through the plain engine (Advance/Refresh/Step).
 	base, err := shard.NewBenchConfig(users, servers, models, 1)
 	if err != nil {
-		return err
+		return shardRun{}, nil, err
 	}
-	rep.Scenario.Servers = servers
-	rep.Scenario.Users = users
-	rep.Scenario.Models = models
-	rep.Scenario.CheckpointMin = base.CheckpointMin
-	rep.Scenario.SlotS = base.SlotS
-	rep.Scenario.Realizations = base.Realizations
+	if scen != nil {
+		scen.Servers = servers
+		scen.Users = users
+		scen.Models = models
+		scen.CheckpointMin = base.CheckpointMin
+		scen.SlotS = base.SlotS
+		scen.Realizations = base.Realizations
+	}
 	eng, err := dynamics.NewEngine(dynamics.Config{
 		Instance:      base.Instance,
 		Capacities:    base.Capacities,
@@ -113,10 +137,11 @@ func runShard(stdout io.Writer, users, servers, models, checkpoints int, counts 
 		CheckpointMin: base.CheckpointMin,
 		SlotS:         base.SlotS,
 		Realizations:  base.Realizations,
+		Workers:       workers,
 		Mode:          dynamics.Incremental,
 	}, rng.New(1))
 	if err != nil {
-		return err
+		return shardRun{}, nil, err
 	}
 	unshardedStep := func(cp int) (float64, error) {
 		if err := eng.Advance(); err != nil {
@@ -132,7 +157,7 @@ func runShard(stdout io.Writer, users, servers, models, checkpoints int, counts 
 		return st.HitRatio[0], nil
 	}
 	if _, err := unshardedStep(1); err != nil { // warm-up: flip index build
-		return err
+		return shardRun{}, nil, err
 	}
 	var hitSum float64
 	var baseDur time.Duration
@@ -140,37 +165,51 @@ func runShard(stdout io.Writer, users, servers, models, checkpoints int, counts 
 		start := time.Now()
 		hr, err := unshardedStep(cp)
 		if err != nil {
-			return err
+			return shardRun{}, nil, err
 		}
 		if d := time.Since(start); cp == 2 || d < baseDur {
 			baseDur = d
 		}
 		hitSum += hr
 	}
-	rep.Unsharded = shardRun{
+	un := shardRun{
 		Shards:              0,
+		Workers:             workers,
 		Checkpoints:         checkpoints,
 		CheckpointNs:        baseDur.Nanoseconds(),
 		ThroughputUsersPerS: float64(users) / baseDur.Seconds(),
 		Speedup:             1,
 		HitRatioMean:        hitSum / float64(checkpoints),
 	}
+	if baseNs == 0 {
+		baseNs = un.CheckpointNs
+	} else if un.CheckpointNs > 0 {
+		un.Speedup = float64(baseNs) / float64(un.CheckpointNs)
+	}
 	eng = nil
 	base = shard.Config{}
 	debug.FreeOSMemory()
-	fmt.Fprintf(stdout, "unsharded: %v/checkpoint\n", time.Duration(rep.Unsharded.CheckpointNs))
+	fmt.Fprintf(stdout, "unsharded (workers=%d): %v/checkpoint\n", workers, time.Duration(un.CheckpointNs))
 
+	var runs []shardRun
 	for _, n := range counts {
 		cfg, err := shard.NewBenchConfig(users, servers, models, n)
 		if err != nil {
-			return err
+			return shardRun{}, nil, err
+		}
+		cfg.Workers = workers
+		if workers == 1 {
+			// Pin the per-cell fading evaluation too; the default would
+			// already resolve to 1 on a single-core host, but the row
+			// promises single-core on every machine.
+			cfg.MeasureWorkers = 1
 		}
 		se, err := shard.NewEngine(cfg, rng.New(1))
 		if err != nil {
-			return err
+			return shardRun{}, nil, err
 		}
 		if _, err := se.Checkpoint(1); err != nil { // warm-up
-			return err
+			return shardRun{}, nil, err
 		}
 		warmHandoffs, warmGrows := se.Handoffs(), se.Grows()
 		var hits float64
@@ -179,7 +218,7 @@ func runShard(stdout io.Writer, users, servers, models, checkpoints int, counts 
 			start := time.Now()
 			st, err := se.Checkpoint(cp)
 			if err != nil {
-				return err
+				return shardRun{}, nil, err
 			}
 			if d := time.Since(start); cp == 2 || d < dur {
 				dur = d
@@ -188,6 +227,7 @@ func runShard(stdout io.Writer, users, servers, models, checkpoints int, counts 
 		}
 		run := shardRun{
 			Shards:              n,
+			Workers:             workers,
 			Checkpoints:         checkpoints,
 			CheckpointNs:        dur.Nanoseconds(),
 			ThroughputUsersPerS: float64(users) / dur.Seconds(),
@@ -196,18 +236,47 @@ func runShard(stdout io.Writer, users, servers, models, checkpoints int, counts 
 			Grows:               se.Grows() - warmGrows,
 		}
 		if dur > 0 {
-			run.Speedup = float64(baseDur) / float64(dur)
+			run.Speedup = float64(baseNs) / float64(dur)
 		}
-		rep.Sharded = append(rep.Sharded, run)
-		fmt.Fprintf(stdout, "%d shards: %v/checkpoint (%.2fx, hit %.4f vs %.4f, %d handoffs)\n",
-			n, time.Duration(run.CheckpointNs), run.Speedup, run.HitRatioMean,
-			rep.Unsharded.HitRatioMean, run.Handoffs)
+		runs = append(runs, run)
+		fmt.Fprintf(stdout, "%d shards (workers=%d): %v/checkpoint (%.2fx, hit %.4f vs %.4f, %d handoffs)\n",
+			n, workers, time.Duration(run.CheckpointNs), run.Speedup, run.HitRatioMean,
+			un.HitRatioMean, run.Handoffs)
 		se = nil
 		cfg = shard.Config{}
 		debug.FreeOSMemory()
 	}
+	return un, runs, nil
+}
+
+// runShard executes the shard scale benchmark and writes the report.
+func runShard(stdout io.Writer, users, servers, models, checkpoints int, counts []int, out string) error {
+	if checkpoints <= 0 {
+		return fmt.Errorf("shard checkpoints must be positive, got %d", checkpoints)
+	}
+	var rep shardReport
+
+	un, runs, err := shardSweep(stdout, &rep.Scenario, users, servers, models, checkpoints, 1, counts, 0)
+	if err != nil {
+		return err
+	}
+	rep.Unsharded = un
+	rep.Sharded = runs
+
+	mcWorkers := runtime.NumCPU()
+	if mcWorkers < 2 {
+		mcWorkers = 2
+	}
+	mcUn, mcRuns, err := shardSweep(stdout, nil, users, servers, models, checkpoints, mcWorkers, counts, un.CheckpointNs)
+	if err != nil {
+		return err
+	}
+	rep.Multicore.Workers = mcWorkers
+	rep.Multicore.Unsharded = mcUn
+	rep.Multicore.Sharded = mcRuns
+
 	rep.Speedup = rep.Sharded[len(rep.Sharded)-1].Speedup
-	rep.SpeedupDefinition = "end-to-end per-checkpoint wall time (walk + membership plan + instance refresh + fused fading measurement + triggered re-placements) of the unsharded dynamics engine over the sharded multi-cell engine at the largest cell count; hit_ratio_mean reports the quality cost of cell-autonomous placement and serving"
+	rep.SpeedupDefinition = "end-to-end per-checkpoint wall time (walk + membership plan + instance refresh + fused fading measurement + triggered re-placements) of the unsharded dynamics engine over the sharded multi-cell engine at the largest cell count, all worker pools pinned to one goroutine; the multicore section repeats the sweep with workers = max(2, NumCPU), speedups still against the single-core unsharded baseline; hit_ratio_mean reports the quality cost of cell-autonomous placement and serving"
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -229,10 +298,40 @@ func runShard(stdout io.Writer, users, servers, models, checkpoints int, counts 
 	return nil
 }
 
+// checkShardRuns validates one {unsharded, sharded[]} group of a shard
+// report: the baseline present with every per-run field sane, at least one
+// sharded entry, and a positive speedup on each sharded row.
+func checkShardRuns(doc map[string]any, label string) error {
+	un, ok := doc["unsharded"].(map[string]any)
+	if !ok {
+		return fmt.Errorf("%sunsharded: missing or not an object", label)
+	}
+	if err := checkFields(un, shardRunSchema); err != nil {
+		return fmt.Errorf("%sunsharded: %w", label, err)
+	}
+	runs, ok := doc["sharded"].([]any)
+	if !ok || len(runs) == 0 {
+		return fmt.Errorf("%ssharded: missing or empty", label)
+	}
+	for i, r := range runs {
+		obj, ok := r.(map[string]any)
+		if !ok {
+			return fmt.Errorf("%ssharded[%d]: not an object", label, i)
+		}
+		if err := checkFields(obj, shardRunSchema); err != nil {
+			return fmt.Errorf("%ssharded[%d]: %w", label, i, err)
+		}
+		if v, _ := obj["speedup"].(float64); v < 0.000001 {
+			return fmt.Errorf("%ssharded[%d]: speedup %v below minimum", label, i, v)
+		}
+	}
+	return nil
+}
+
 // validateShardReport checks the emitted BENCH_shard.json bytes against
 // the documented schema (docs/BENCHMARKS.md): top-level scenario and
-// speedup fields, an unsharded baseline, and at least one sharded entry,
-// each with every per-run field present and sane.
+// speedup fields, the single-core unsharded baseline and sharded entries,
+// and the multicore section's own baseline and entries.
 func validateShardReport(data []byte) error {
 	var doc map[string]any
 	if err := json.Unmarshal(data, &doc); err != nil {
@@ -244,28 +343,12 @@ func validateShardReport(data []byte) error {
 	if _, ok := doc["speedup_definition"].(string); !ok {
 		return fmt.Errorf("speedup_definition: missing or not a string")
 	}
-	un, ok := doc["unsharded"].(map[string]any)
+	if err := checkShardRuns(doc, ""); err != nil {
+		return err
+	}
+	mc, ok := doc["multicore"].(map[string]any)
 	if !ok {
-		return fmt.Errorf("unsharded: missing or not an object")
+		return fmt.Errorf("multicore: missing or not an object")
 	}
-	if err := checkFields(un, shardRunSchema); err != nil {
-		return fmt.Errorf("unsharded: %w", err)
-	}
-	runs, ok := doc["sharded"].([]any)
-	if !ok || len(runs) == 0 {
-		return fmt.Errorf("sharded: missing or empty")
-	}
-	for i, r := range runs {
-		obj, ok := r.(map[string]any)
-		if !ok {
-			return fmt.Errorf("sharded[%d]: not an object", i)
-		}
-		if err := checkFields(obj, shardRunSchema); err != nil {
-			return fmt.Errorf("sharded[%d]: %w", i, err)
-		}
-		if v, _ := obj["speedup"].(float64); v < 0.000001 {
-			return fmt.Errorf("sharded[%d]: speedup %v below minimum", i, v)
-		}
-	}
-	return nil
+	return checkShardRuns(mc, "multicore.")
 }

@@ -254,6 +254,10 @@ func NewEngine(cfg Config, src *rng.Source) (*Engine, error) {
 	if err != nil {
 		return nil, fmt.Errorf("dynamics: %w", err)
 	}
+	// The Workers pin governs every pool the engine drives, including the
+	// instance's parallel delta-update phase — a Workers=1 engine runs
+	// genuinely single-goroutine checkpoints.
+	ins.SetUpdateWorkers(cfg.Workers)
 	K := ins.NumUsers()
 	measure := cfg.Measurement
 	if measure == nil {

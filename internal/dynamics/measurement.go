@@ -42,6 +42,11 @@ type FadingMeasurement struct {
 	Realizations int
 	// Workers bounds the evaluation parallelism; 0 means GOMAXPROCS.
 	Workers int
+	// BlockSize is the number of realizations each worker scores through
+	// one fused sweep (sim.FadingSession.SetBlockSize). 0 splits the
+	// realizations evenly across the workers; 1 forces the
+	// per-realization path. Results are bit-identical for every value.
+	BlockSize int
 
 	session *sim.FadingSession
 }
@@ -66,6 +71,7 @@ func (m *FadingMeasurement) Measure(eval *placement.Evaluator, placements []*pla
 			workers = m.Realizations
 		}
 		m.session = sim.NewFadingSession(eval.Instance(), workers)
+		m.session.SetBlockSize(m.BlockSize)
 	}
 	return m.session.Evaluate(eval, placements, m.Realizations, src)
 }

@@ -68,9 +68,8 @@ func fusedVsUnfused(t *testing.T, e *Evaluator, placements []*Placement, seed ui
 
 // TestFusedMatchesUnfusedProperty pins fused == unfused == dense exactly
 // over random instances, placements, and fading realizations — first on
-// fresh instances (direct single-word kernel), then after an in-place
-// update has built the threshold rank index (rank-prefix kernel), so both
-// fused code paths are exercised.
+// fresh instances (whose rank index is built at construction), then after
+// an in-place update has revised thresholds through the update path.
 func TestFusedMatchesUnfusedProperty(t *testing.T) {
 	for seed := uint64(60); seed < 64; seed++ {
 		e := buildEval(t, 5, 14, 3, seed)
@@ -87,8 +86,8 @@ func TestFusedMatchesUnfusedProperty(t *testing.T) {
 		placements := []*Placement{gen, ind, NewPlacement(ins.NumServers(), ins.NumModels())}
 		fusedVsUnfused(t, e, placements, seed+100, 4)
 
-		// A no-op move builds the flip index without changing any verdict;
-		// the fused kernel now takes the rank-prefix path.
+		// A no-op move revises thresholds without changing any verdict;
+		// the rank prefixes must survive the update path.
 		all := make([]int, ins.NumUsers())
 		for k := range all {
 			all[k] = k
@@ -106,7 +105,9 @@ func TestFusedMatchesUnfusedProperty(t *testing.T) {
 
 // TestFusedMultiWordServers is the M > 64 fixture: with 70 servers the
 // packed masks span two words, exercising the generic HitRatioWithReach
-// branch and the multi-word fused kernel. All three evaluators — two-pass
+// branch and the multi-word fused kernel on a fresh instance — whose rank
+// index exists from construction, so the rank-prefix enumeration is what
+// runs here, pinned against a full scan. All three evaluators — two-pass
 // packed, fused, and the dense scalar reference — must agree bit-for-bit.
 func TestFusedMultiWordServers(t *testing.T) {
 	lib, err := libgen.GenerateSpecial(libgen.DefaultSpecialConfig(3), rng.New(71))
@@ -139,6 +140,66 @@ func TestFusedMultiWordServers(t *testing.T) {
 		t.Fatal("fixture placed nothing; equivalence would be vacuous")
 	}
 	fusedVsUnfused(t, e, []*Placement{p}, 73, 5)
+}
+
+// TestFadedCandidateRatios pins the candidate-batch certification path:
+// scoring the base placement plus N top-of-heap candidates through one
+// multi-placement sweep must equal scoring each candidate overlay as its
+// own cloned placement through FadedHitRatios — exactly, since both run
+// the same kernel over the same columns.
+func TestFadedCandidateRatios(t *testing.T) {
+	for seed := uint64(110); seed < 113; seed++ {
+		e := buildEval(t, 5, 14, 3, seed)
+		ins := e.Instance()
+		caps := UniformCapacities(ins.NumServers(), gb/2)
+		base, err := TrimCachingGen(e, caps, GenOptions{Lazy: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cands := e.TopCandidates(6)
+		if len(cands) == 0 {
+			t.Fatal("no candidates above tolerance; equivalence would be vacuous")
+		}
+		for j := 1; j < len(cands); j++ {
+			if cands[j].Key > cands[j-1].Key {
+				t.Fatalf("candidates not in descending key order at %d", j)
+			}
+		}
+		src := rng.New(seed + 200)
+		scratch := ins.MakeFadeScratch()
+		got := make([]float64, len(cands)+1)
+		for r := 0; r < 3; r++ {
+			gains := scenario.SampleGains(ins.NumServers(), ins.NumUsers(), src.SplitIndex("real", r))
+			if err := e.FadedCandidateRatios(gains, base, cands, scratch, got); err != nil {
+				t.Fatal(err)
+			}
+			placements := []*Placement{base}
+			for _, c := range cands {
+				p := base.Clone()
+				p.Set(c.Server, c.Model)
+				placements = append(placements, p)
+			}
+			want := make([]float64, len(placements))
+			if err := e.FadedHitRatios(gains, placements, scratch, want); err != nil {
+				t.Fatal(err)
+			}
+			for a := range want {
+				if got[a] != want[a] {
+					t.Fatalf("seed=%d r=%d view=%d: batch %.17g != per-clone %.17g", seed, r, a, got[a], want[a])
+				}
+			}
+		}
+
+		// Error paths: wrong output length and out-of-range candidates.
+		if err := e.FadedCandidateRatios(nil, base, cands, scratch, make([]float64, len(cands))); err == nil {
+			t.Fatal("output length mismatch must error")
+		}
+		gains := scenario.SampleGains(ins.NumServers(), ins.NumUsers(), rng.New(seed+300))
+		bad := []Candidate{{Server: ins.NumServers(), Model: 0}}
+		if err := e.FadedCandidateRatios(gains, base, bad, scratch, make([]float64, 2)); err == nil {
+			t.Fatal("out-of-range candidate must error")
+		}
+	}
 }
 
 // TestFadedHitRatiosValidation covers the fused wrapper's error paths.

@@ -1,23 +1,28 @@
 // This file is the fused fading-measurement kernel: score placements
-// under one fading realization without materializing the K×I×words
-// reachability indicator. The two-pass path (FadedReach filling
-// Reach.bits, then an evaluator streaming them again) stays for callers
-// that need the full indicator; every scalar-only consumer (checkpoint
-// measurement in both dynamics engine modes) goes through FadedHitMass,
-// which computes each (k,i) indicator word and ANDs it against the
-// placement columns in one pass — no bits write, no second stream. Hit
-// masses accumulate in ascending (k,i) order per placement, so results
-// are bit-identical to the two-pass path: same word ops, same float add
-// order.
-
+// under a block of fading realizations without materializing the
+// K×I×words reachability indicator. The two-pass path (FadedReach
+// filling Reach.bits, then an evaluator streaming them again) stays for
+// callers that need the full indicator; every scalar-only consumer
+// (checkpoint measurement in both dynamics engine modes) goes through
+// FadedHitMass or FadedHitMassBlock.
+//
+// The kernel is realization-blocked and multi-placement: one pass over
+// the requests gathers each user's link data — covering rates in a CSR
+// link table, relay rates, server bit positions, threshold rank cutoffs
+// — exactly once per block, then scores all R realizations against all
+// P placement columns before moving to the next user. The gather and
+// rank work that a per-realization sweep redoes R×P times is paid once.
+// Hit masses accumulate per (realization, placement) in ascending
+// (k, model) order, so results are bit-identical to the two-pass path
+// and independent of block size: same word ops, same float add order.
 package scenario
 
 import (
 	"fmt"
 	mbits "math/bits"
-	"sort"
 
 	"trimcaching/internal/bitset"
+	"trimcaching/internal/rng"
 )
 
 // ServerColumns is the fused measurement kernel's read-only view of a
@@ -32,22 +37,26 @@ type ServerColumns interface {
 	PackedServerColumns() []uint64
 }
 
-// FadeScratch owns the per-realization scratch of the fused measurement
-// kernel: per-link rate and per-user relay tables plus one indicator row
-// and one hit mask. Allocate once per goroutine with MakeFadeScratch and
-// reuse across realizations; a FadedHitMass call then performs no
-// allocation.
+// FadeScratch owns the reusable state of the fused measurement kernel: the
+// CSR link table (per-user covering links in ascending server order), the
+// per-link rate and per-user relay tables for one realization block, and
+// the per-user gather buffers. Allocate once per goroutine with
+// MakeFadeScratch and reuse across calls; the per-block tables grow on
+// demand, so steady-state calls perform no allocation.
 type FadeScratch struct {
-	rates    []float64
-	relay    []float64
-	row      []uint64  // multi-word indicator scratch, serverWords
-	full     []uint64  // all-servers mask, serverWords (multi-word kernel)
-	hits     []uint64  // per-(user, view) hit mask over models, Words(I)
-	dirRates []float64 // gathered covering rates for one user
-	dirBits  []uint64  // matching single-word bit masks
-	dirCuts  []int     // matching threshold rank cutoffs
-	cols     [][]uint64
-	views    []ServerColumns
+	linkStart []int32   // linkStart[k]..linkStart[k+1]: user k's link slots
+	cursor    []int32   // per-user fill cursor (m-major rate fill)
+	rates     []float64 // rates[slot*block + r]
+	relay     []float64 // relay[k*block + r]
+	rowBuf    []float64 // sampled gains, one server row × block realizations
+	hits      []uint64  // per-(user, realization, view) hit mask over models
+	covMask   []uint64  // positive-rate covering servers, serverWords
+	dirRates  []float64 // gathered covering rates for one (user, realization)
+	dirWords  []int32   // matching column word offsets (m >> 6)
+	dirBits   []uint64  // matching in-word bit masks (1 << (m & 63))
+	dirCuts   []int32   // matching threshold rank cutoffs
+	cols      [][]uint64
+	views     []ServerColumns
 }
 
 // ViewScratch returns a reusable ServerColumns slice of length n, for
@@ -60,26 +69,73 @@ func (s *FadeScratch) ViewScratch(n int) []ServerColumns {
 	return s.views[:n]
 }
 
-// MakeFadeScratch allocates a reusable scratch for FadedHitMass.
+// MakeFadeScratch allocates a reusable scratch for FadedHitMass and
+// FadedHitMassBlock.
 func (ins *Instance) MakeFadeScratch() *FadeScratch {
 	M, K, I := ins.NumServers(), ins.NumUsers(), ins.NumModels()
-	scratch := &FadeScratch{
-		rates:    make([]float64, M*K),
-		relay:    make([]float64, K),
-		row:      make([]uint64, ins.serverWords),
-		full:     make([]uint64, ins.serverWords),
-		hits:     make([]uint64, bitset.Words(I)),
-		dirRates: make([]float64, 0, M),
-		dirBits:  make([]uint64, 0, M),
-		dirCuts:  make([]int, 0, M),
+	links := 0
+	for k := 0; k < K; k++ {
+		links += len(ins.topo.ServersCovering(k))
 	}
-	bitset.Set(scratch.full).SetAll(M)
-	return scratch
+	return &FadeScratch{
+		linkStart: make([]int32, K+1),
+		cursor:    make([]int32, K),
+		rates:     make([]float64, links),
+		relay:     make([]float64, K),
+		hits:      make([]uint64, bitset.Words(I)),
+		covMask:   make([]uint64, ins.serverWords),
+		dirRates:  make([]float64, M),
+		dirWords:  make([]int32, M),
+		dirBits:   make([]uint64, M),
+		dirCuts:   make([]int32, M),
+	}
+}
+
+// prep validates the scratch against the instance, rebuilds the CSR link
+// table from the current topology (user movement re-shapes it, so it is
+// O(K)-refreshed per call), and sizes the per-block tables.
+func (s *FadeScratch) prep(ins *Instance, block int) error {
+	K, I := ins.NumUsers(), ins.NumModels()
+	if len(s.linkStart) != K+1 || len(s.hits) != bitset.Words(I) || len(s.covMask) != ins.serverWords {
+		return fmt.Errorf("scenario: fade scratch dims do not match instance")
+	}
+	n := int32(0)
+	for k := 0; k < K; k++ {
+		s.linkStart[k] = n
+		n += int32(len(ins.topo.ServersCovering(k)))
+	}
+	s.linkStart[K] = n
+	if need := int(n) * block; cap(s.rates) < need {
+		s.rates = make([]float64, need)
+	} else {
+		s.rates = s.rates[:need]
+	}
+	if need := K * block; cap(s.relay) < need {
+		s.relay = make([]float64, need)
+	} else {
+		s.relay = s.relay[:need]
+	}
+	return nil
+}
+
+// gatherCols resolves and validates the placement views' column slices.
+func (s *FadeScratch) gatherCols(views []ServerColumns, words int) ([][]uint64, error) {
+	if cap(s.cols) < len(views) {
+		s.cols = make([][]uint64, len(views))
+	}
+	cols := s.cols[:len(views)]
+	for a, v := range views {
+		cols[a] = v.PackedServerColumns()
+		if len(cols[a]) != words {
+			return nil, fmt.Errorf("scenario: view %d has %d column words, want %d", a, len(cols[a]), words)
+		}
+	}
+	return cols, nil
 }
 
 // fadeRates fills the per-link faded rates (covering pairs only) and the
-// per-user best relay rates for one realization. Shared by FadedReach and
-// FadedHitMass so both paths see identical rate tables.
+// per-user best relay rates for one realization, in the dense [m*K+k]
+// layout FadedReach consumes.
 func (ins *Instance) fadeRates(gains [][]float64, rates, relay []float64) error {
 	M, K := ins.NumServers(), ins.NumUsers()
 	// Only covering links are written and only covering links are read, so
@@ -105,6 +161,97 @@ func (ins *Instance) fadeRates(gains [][]float64, rates, relay []float64) error 
 	return nil
 }
 
+// fillLinkRatesGains fills the CSR rate table from an explicit gain matrix
+// (block = 1): the same FadedRateBps calls, in the same m-major order, as
+// fadeRates — only the storage layout differs.
+func (ins *Instance) fillLinkRatesGains(gains [][]float64, s *FadeScratch) error {
+	K := ins.NumUsers()
+	copy(s.cursor, s.linkStart[:K])
+	for m := 0; m < ins.NumServers(); m++ {
+		load := ins.topo.Load(m)
+		for _, k := range ins.topo.UsersOf(m) {
+			slot := s.cursor[k]
+			s.cursor[k]++
+			r, err := ins.wcfg.FadedRateBps(ins.topo.Distance(m, k), load, ins.shadowGain(m, k)*gains[m][k])
+			if err != nil {
+				return fmt.Errorf("scenario: faded rate m=%d k=%d: %w", m, k, err)
+			}
+			s.rates[slot] = r
+		}
+	}
+	ins.fillLinkRelay(1, s)
+	return nil
+}
+
+// fillLinkRatesSampled draws one realization block's gains inline and fills
+// the CSR rate table. Realization j consumes srcs[j] exactly as
+// SampleGainsInto would — every server row's K draws in ascending user
+// order, non-covering draws discarded — so the rates are bit-identical to
+// sampling a full gain matrix and feeding it through the per-realization
+// path. The (distance, load)-dependent SNR and bandwidth factors are
+// hoisted per link across the block (wireless.Config.LinkRate), leaving
+// one log2 per (link, realization).
+func (ins *Instance) fillLinkRatesSampled(srcs []*rng.Source, s *FadeScratch) error {
+	M, K := ins.NumServers(), ins.NumUsers()
+	block := len(srcs)
+	if need := block * K; cap(s.rowBuf) < need {
+		s.rowBuf = make([]float64, need)
+	}
+	copy(s.cursor, s.linkStart[:K])
+	for m := 0; m < M; m++ {
+		for j := 0; j < block; j++ {
+			row := s.rowBuf[j*K : (j+1)*K]
+			src := srcs[j]
+			for k := range row {
+				row[k] = src.Exp()
+			}
+		}
+		users := ins.topo.UsersOf(m)
+		if len(users) == 0 {
+			continue
+		}
+		load := ins.topo.Load(m)
+		for _, k := range users {
+			slot := int(s.cursor[k])
+			s.cursor[k]++
+			lr, err := ins.wcfg.LinkRate(ins.topo.Distance(m, k), load)
+			if err != nil {
+				return fmt.Errorf("scenario: faded rate m=%d k=%d: %w", m, k, err)
+			}
+			sg := ins.shadowGain(m, k)
+			base := slot * block
+			for j := 0; j < block; j++ {
+				r, err := lr.RateBps(sg * s.rowBuf[j*K+k])
+				if err != nil {
+					return fmt.Errorf("scenario: faded rate m=%d k=%d: %w", m, k, err)
+				}
+				s.rates[base+j] = r
+			}
+		}
+	}
+	ins.fillLinkRelay(block, s)
+	return nil
+}
+
+// fillLinkRelay fills the per-user best relay rates from the CSR rate
+// table: the max over the user's covering links in ascending server order
+// with a strict > compare — the same reduction fadeRates performs.
+func (ins *Instance) fillLinkRelay(block int, s *FadeScratch) {
+	K := ins.NumUsers()
+	for k := 0; k < K; k++ {
+		lo, hi := int(s.linkStart[k]), int(s.linkStart[k+1])
+		for j := 0; j < block; j++ {
+			best := 0.0
+			for t := lo; t < hi; t++ {
+				if v := s.rates[t*block+j]; v > best {
+					best = v
+				}
+			}
+			s.relay[k*block+j] = best
+		}
+	}
+}
+
 // checkGains validates the fading gain matrix dimensions.
 func (ins *Instance) checkGains(gains [][]float64) error {
 	M, K := ins.NumServers(), ins.NumUsers()
@@ -125,13 +272,13 @@ func (ins *Instance) checkGains(gains [][]float64) error {
 // dst[a] receives the unnormalized hit mass of views[a] (divide by
 // TotalMass for eq. 2). scratch may be nil (a fresh one is allocated).
 //
-// Per (k,i) the kernel computes the same indicator word fillReachRows
-// would store — relay verdict broadcast, covering servers patched with
-// their direct verdicts — but instead of writing it, immediately ANDs it
-// against each view's server column for model i and accumulates p_{k,i}
-// on intersection. Each view's accumulator sees additions in ascending
-// (k,i) order, exactly the order of the two-pass evaluator, so the two
-// paths agree bit-for-bit (pinned by the fused-equivalence tests).
+// Per (k,i) the kernel reproduces the verdict fillReachRows would store —
+// relay verdict broadcast, covering servers patched with their direct
+// verdicts — but enumerates only the qualifying requests through the
+// instance's threshold rank index. Each view's accumulator sees additions
+// in ascending (k, model) order, exactly the order of the two-pass
+// evaluator, so the paths agree bit-for-bit (pinned by the
+// fused-equivalence tests).
 func (ins *Instance) FadedHitMass(gains [][]float64, views []ServerColumns, dst []float64, scratch *FadeScratch) error {
 	if err := ins.checkGains(gains); err != nil {
 		return err
@@ -139,25 +286,17 @@ func (ins *Instance) FadedHitMass(gains [][]float64, views []ServerColumns, dst 
 	if len(dst) != len(views) {
 		return fmt.Errorf("scenario: %d outputs for %d views", len(dst), len(views))
 	}
-	K, I := ins.NumUsers(), ins.NumModels()
-	sw := ins.serverWords
 	if scratch == nil {
 		scratch = ins.MakeFadeScratch()
 	}
-	if len(scratch.rates) != ins.NumServers()*K || len(scratch.row) != sw || len(scratch.hits) != bitset.Words(I) {
-		return fmt.Errorf("scenario: fade scratch dims do not match instance")
+	if err := scratch.prep(ins, 1); err != nil {
+		return err
 	}
-	if cap(scratch.cols) < len(views) {
-		scratch.cols = make([][]uint64, len(views))
+	cols, err := scratch.gatherCols(views, ins.NumModels()*ins.serverWords)
+	if err != nil {
+		return err
 	}
-	cols := scratch.cols[:len(views)]
-	for a, v := range views {
-		cols[a] = v.PackedServerColumns()
-		if len(cols[a]) != I*sw {
-			return fmt.Errorf("scenario: view %d has %d column words, want %d", a, len(cols[a]), I*sw)
-		}
-	}
-	if err := ins.fadeRates(gains, scratch.rates, scratch.relay); err != nil {
+	if err := ins.fillLinkRatesGains(gains, scratch); err != nil {
 		return err
 	}
 	for a := range dst {
@@ -166,42 +305,93 @@ func (ins *Instance) FadedHitMass(gains [][]float64, views []ServerColumns, dst 
 	if len(views) == 0 {
 		return nil
 	}
-	if sw == 1 {
-		if ins.flipDirOrder != nil {
-			// The threshold rank index (built once per instance by the
-			// first delta update) turns the K×I verdict sweep into
-			// per-user binary searches plus a walk over only the
-			// qualifying requests — the common case for the incremental
-			// engine, whose instance lives across checkpoints. Freshly
-			// (re)built instances take the direct sweep below instead of
-			// paying the index build for a handful of realizations.
-			ins.fusedHitMassRanked(cols, dst, scratch)
-			return nil
-		}
-		ins.fusedHitMass1(cols, dst, scratch)
-		return nil
-	}
-	ins.fusedHitMassN(cols, dst, scratch)
+	ins.fusedHitMassBlocked(1, cols, dst, scratch)
 	return nil
 }
 
-// fusedHitMassRanked is the rank-indexed single-word kernel. For user k a
-// request (k,i) can hit only through two sources: the relay verdict
-// (minRel[k,i] ≤ relay rate) reaching a non-covering cached server, or a
-// covering server m's direct verdict (minDir[k,i] ≤ rate_mk) with m cached.
-// Both verdict sets are rank prefixes of the instance's sorted threshold
-// index, found by binary search, so the kernel touches exactly the
-// qualifying requests instead of comparing all I thresholds per source.
-// Qualifying hits are collected into a model bit mask per view and the
-// probability sum sweeps that mask in ascending model order — the same
-// additions, in the same order, as the dense sweep.
-func (ins *Instance) fusedHitMassRanked(cols [][]uint64, dst []float64, scratch *FadeScratch) {
+// FadedHitMassBlock scores every view under a block of fading
+// realizations drawn inline from srcs: realization j draws from srcs[j]
+// exactly the gains SampleGainsInto would produce, and
+// dst[j*len(views)+a] receives views[a]'s unnormalized hit mass under
+// realization j. Results are bit-identical to len(srcs) FadedHitMass
+// calls over sampled gain matrices — realizations never interact — while
+// the per-user gather, rank, and column work is paid once per block.
+// scratch may be nil (a fresh one is allocated).
+func (ins *Instance) FadedHitMassBlock(srcs []*rng.Source, views []ServerColumns, dst []float64, scratch *FadeScratch) error {
+	block := len(srcs)
+	if block == 0 {
+		return fmt.Errorf("scenario: at least one fading source is required")
+	}
+	if len(dst) != block*len(views) {
+		return fmt.Errorf("scenario: %d outputs for %d realizations x %d views", len(dst), block, len(views))
+	}
+	if scratch == nil {
+		scratch = ins.MakeFadeScratch()
+	}
+	if err := scratch.prep(ins, block); err != nil {
+		return err
+	}
+	cols, err := scratch.gatherCols(views, ins.NumModels()*ins.serverWords)
+	if err != nil {
+		return err
+	}
+	if err := ins.fillLinkRatesSampled(srcs, scratch); err != nil {
+		return err
+	}
+	for x := range dst {
+		dst[x] = 0
+	}
+	if len(views) == 0 {
+		return nil
+	}
+	ins.fusedHitMassBlocked(block, cols, dst, scratch)
+	return nil
+}
+
+// searchGreater returns the first index j with vals[j] > x in an ascending
+// slice — the rank-prefix cutoff |{j : vals[j] ≤ x}|. Equivalent to
+// sort.Search over the same predicate, inlined off the closure path for
+// the kernel's hot loop.
+func searchGreater(vals []float64, x float64) int {
+	lo, hi := 0, len(vals)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if vals[mid] > x {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// fusedHitMassBlocked is the realization-blocked multi-placement kernel.
+// For user k a request (k,i) can hit only through two sources: the relay
+// verdict (minRel[k,i] ≤ relay rate) reaching a cached server outside the
+// positive-rate covering set, or a positive-rate covering server m's
+// direct verdict (minDir[k,i] ≤ rate_mk) with m cached. Both verdict sets
+// are rank prefixes of the instance's construction-time threshold index,
+// found by binary search, so the kernel touches exactly the qualifying
+// requests instead of comparing all I thresholds per source. Qualifying
+// hits are collected into a model bit mask per (realization, view) and
+// the probability sum sweeps that mask in ascending model order — the
+// same additions, in the same order, as a dense per-realization sweep.
+//
+// The per-user state that fading does not change — covering list, rank
+// row slices, probability row — is fetched once per user and shared by
+// all block realizations; only the per-realization gather (positive-rate
+// links, cutoffs) runs R times.
+func (ins *Instance) fusedHitMassBlocked(block int, cols [][]uint64, dst []float64, scratch *FadeScratch) {
 	K, I := ins.NumUsers(), ins.NumModels()
+	sw := ins.serverWords
+	P := len(cols)
 	rates, relay := scratch.rates, scratch.relay
+	linkStart := scratch.linkStart
 	hits := scratch.hits
 	for w := range hits {
 		hits[w] = 0
 	}
+	covMask := scratch.covMask
 	for k := 0; k < K; k++ {
 		if !ins.userHasMass[k] {
 			// Zero-mass users (shard ghosts, parked slots) add exactly 0.0
@@ -209,190 +399,114 @@ func (ins *Instance) fusedHitMassRanked(cols [][]uint64, dst []float64, scratch 
 			// band from the per-cell measurement cost.
 			continue
 		}
-		// Covering servers with positive rate keep their direct verdict;
-		// covering servers with zero rate fall through to the relay
-		// verdict exactly like non-covering ones (fillReachRows' direct>0
-		// guard), so the covered mask is built from positive-rate links.
-		dirRates := scratch.dirRates[:0]
-		dirBits := scratch.dirBits[:0]
-		var covMask uint64
-		for _, m := range ins.topo.ServersCovering(k) {
-			if r := rates[m*K+k]; r > 0 {
-				dirRates = append(dirRates, r)
-				dirBits = append(dirBits, 1<<uint(m))
-				covMask |= 1 << uint(m)
-			}
-		}
-		relayRate := relay[k]
-		if relayRate <= 0 && len(dirRates) == 0 {
-			continue
-		}
+		covering := ins.topo.ServersCovering(k)
+		lo := int(linkStart[k])
 		relVals := ins.flipRelVals[k*I : (k+1)*I]
 		relOrder := ins.flipRelOrder[k*I : (k+1)*I]
 		dirVals := ins.flipDirVals[k*I : (k+1)*I]
 		dirOrder := ins.flipDirOrder[k*I : (k+1)*I]
-		relCut := 0
-		if relayRate > 0 {
-			relCut = sort.Search(I, func(j int) bool { return relVals[j] > relayRate })
-		}
-		// One cutoff per covering server, shared by every view.
-		dirCuts := scratch.dirCuts[:0]
-		for _, rate := range dirRates {
-			dirCuts = append(dirCuts, sort.Search(I, func(x int) bool { return dirVals[x] > rate }))
-		}
 		probs := ins.work.ProbRow(k)
-		for a, col := range cols {
-			// Relay source: every non-covering cached server serves i.
-			for j := 0; j < relCut; j++ {
-				i := int(relOrder[j])
-				if col[i]&^covMask != 0 {
-					hits[i>>6] |= 1 << (uint(i) & 63)
+		for r := 0; r < block; r++ {
+			// Covering servers with positive rate keep their direct verdict;
+			// covering servers with zero rate fall through to the relay
+			// verdict exactly like non-covering ones (fillReachRows'
+			// direct > 0 guard), so the covered mask is built from
+			// positive-rate links.
+			nd := 0
+			for w := 0; w < sw; w++ {
+				covMask[w] = 0
+			}
+			for j, m := range covering {
+				if rate := rates[(lo+j)*block+r]; rate > 0 {
+					scratch.dirRates[nd] = rate
+					scratch.dirWords[nd] = int32(m >> 6)
+					scratch.dirBits[nd] = 1 << uint(m&63)
+					covMask[m>>6] |= 1 << uint(m&63)
+					nd++
 				}
 			}
-			// Direct source: covering server m serves i when cached.
-			for j, cut := range dirCuts {
-				bit := dirBits[j]
-				for x := 0; x < cut; x++ {
-					i := int(dirOrder[x])
-					if col[i]&bit != 0 {
-						hits[i>>6] |= 1 << (uint(i) & 63)
+			relayRate := relay[k*block+r]
+			if relayRate <= 0 && nd == 0 {
+				continue // every indicator word is zero: nothing to add
+			}
+			relCut := 0
+			if relayRate > 0 {
+				relCut = searchGreater(relVals, relayRate)
+			}
+			// One cutoff per positive covering link, shared by every view.
+			for j := 0; j < nd; j++ {
+				scratch.dirCuts[j] = int32(searchGreater(dirVals, scratch.dirRates[j]))
+			}
+			out := dst[r*P : (r+1)*P]
+			if sw == 1 {
+				cm := covMask[0]
+				for a, col := range cols {
+					// Relay source: any cached server outside the
+					// positive-rate covering set serves i.
+					for j := 0; j < relCut; j++ {
+						i := int(relOrder[j])
+						if col[i]&^cm != 0 {
+							hits[i>>6] |= 1 << (uint(i) & 63)
+						}
 					}
-				}
-			}
-			sum := dst[a]
-			for w, v := range hits {
-				if v == 0 {
-					continue
-				}
-				hits[w] = 0
-				base := w << 6
-				for ; v != 0; v &= v - 1 {
-					sum += probs[base|mbits.TrailingZeros64(v)]
-				}
-			}
-			dst[a] = sum
-		}
-	}
-}
-
-// fusedHitMass1 is the single-word (M ≤ 64) fused kernel. The covering
-// rates are gathered once per user (recomputeUserRows' hoisting); the
-// indicator word per (k,i) matches fillReachRows' verdicts exactly.
-func (ins *Instance) fusedHitMass1(cols [][]uint64, dst []float64, scratch *FadeScratch) {
-	K, I := ins.NumUsers(), ins.NumModels()
-	fullWord := uint64(1)<<uint(ins.NumServers()) - 1
-	if ins.NumServers() == 64 {
-		fullWord = ^uint64(0)
-	}
-	rates, relay := scratch.rates, scratch.relay
-	var single []uint64
-	if len(cols) == 1 {
-		single = cols[0]
-	}
-	for k := 0; k < K; k++ {
-		if !ins.userHasMass[k] {
-			continue // zero-mass user: every addition would be +0.0
-		}
-		dirRates := scratch.dirRates[:0]
-		dirBits := scratch.dirBits[:0]
-		for _, m := range ins.topo.ServersCovering(k) {
-			if r := rates[m*K+k]; r > 0 {
-				dirRates = append(dirRates, r)
-				dirBits = append(dirBits, 1<<uint(m))
-			}
-		}
-		relayRate := relay[k]
-		if relayRate <= 0 && len(dirRates) == 0 {
-			continue // every indicator word is zero: nothing to add
-		}
-		minDir := ins.minDirRate[k*I : (k+1)*I]
-		minRel := ins.minRelRate[k*I : (k+1)*I]
-		probs := ins.work.ProbRow(k)
-		if len(cols) == 1 {
-			// Common case (one track measured per checkpoint): no inner
-			// view loop.
-			sum := dst[0]
-			for i := 0; i < I; i++ {
-				var w uint64
-				if relayRate > 0 && relayRate >= minRel[i] {
-					w = fullWord
-				}
-				for j, direct := range dirRates {
-					if direct >= minDir[i] {
-						w |= dirBits[j]
-					} else {
-						w &^= dirBits[j]
+					// Direct source: covering server m serves i when cached.
+					for j := 0; j < nd; j++ {
+						bit := scratch.dirBits[j]
+						cut := scratch.dirCuts[j]
+						for x := int32(0); x < cut; x++ {
+							i := int(dirOrder[x])
+							if col[i]&bit != 0 {
+								hits[i>>6] |= 1 << (uint(i) & 63)
+							}
+						}
 					}
+					out[a] = sweepHits(hits, probs, out[a])
 				}
-				if w&single[i] != 0 {
-					sum += probs[i]
-				}
-			}
-			dst[0] = sum
-			continue
-		}
-		for i := 0; i < I; i++ {
-			var w uint64
-			if relayRate > 0 && relayRate >= minRel[i] {
-				w = fullWord
-			}
-			for j, direct := range dirRates {
-				if direct >= minDir[i] {
-					w |= dirBits[j]
-				} else {
-					w &^= dirBits[j]
-				}
-			}
-			if w == 0 {
 				continue
 			}
 			for a, col := range cols {
-				if w&col[i] != 0 {
-					dst[a] += probs[i]
+				for j := 0; j < relCut; j++ {
+					i := int(relOrder[j])
+					off := i * sw
+					for w := 0; w < sw; w++ {
+						if col[off+w]&^covMask[w] != 0 {
+							hits[i>>6] |= 1 << (uint(i) & 63)
+							break
+						}
+					}
 				}
+				for j := 0; j < nd; j++ {
+					dw := int(scratch.dirWords[j])
+					bit := scratch.dirBits[j]
+					cut := scratch.dirCuts[j]
+					for x := int32(0); x < cut; x++ {
+						i := int(dirOrder[x])
+						if col[i*sw+dw]&bit != 0 {
+							hits[i>>6] |= 1 << (uint(i) & 63)
+						}
+					}
+				}
+				out[a] = sweepHits(hits, probs, out[a])
 			}
 		}
 	}
 }
 
-// fusedHitMassN is the multi-word (M > 64) fused kernel: each row is
-// computed into the scratch row with fillReachRows' exact verdict logic,
-// then intersected with every view's column.
-func (ins *Instance) fusedHitMassN(cols [][]uint64, dst []float64, scratch *FadeScratch) {
-	K, I := ins.NumUsers(), ins.NumModels()
-	sw := ins.serverWords
-	full := bitset.Set(scratch.full)
-	rates, relay := scratch.rates, scratch.relay
-	row := bitset.Set(scratch.row)
-	for k := 0; k < K; k++ {
-		if !ins.userHasMass[k] {
-			continue // zero-mass user: every addition would be +0.0
+// sweepHits adds the probabilities of the set models onto the running
+// accumulator in ascending model order, clearing the mask as it goes. The
+// additions land directly on the per-(realization, view) accumulator — not
+// on a per-user subtotal folded in afterwards — preserving the exact float
+// add order of the two-pass evaluator.
+func sweepHits(hits []uint64, probs []float64, sum float64) float64 {
+	for w, v := range hits {
+		if v == 0 {
+			continue
 		}
-		covering := ins.topo.ServersCovering(k)
-		relayRate := relay[k]
-		minDir := ins.minDirRate[k*I : (k+1)*I]
-		minRel := ins.minRelRate[k*I : (k+1)*I]
-		probs := ins.work.ProbRow(k)
-		for i := 0; i < I; i++ {
-			if relayRate > 0 && relayRate >= minRel[i] {
-				row.CopyFrom(full)
-			} else {
-				row.Zero()
-			}
-			for _, m := range covering {
-				if direct := rates[m*K+k]; direct > 0 {
-					if direct >= minDir[i] {
-						row.Set(m)
-					} else {
-						row.Clear(m)
-					}
-				}
-			}
-			for a, col := range cols {
-				if bitset.Intersects(row, bitset.Set(col[i*sw:(i+1)*sw])) {
-					dst[a] += probs[i]
-				}
-			}
+		hits[w] = 0
+		base := w << 6
+		for ; v != 0; v &= v - 1 {
+			sum += probs[base|mbits.TrailingZeros64(v)]
 		}
 	}
+	return sum
 }

@@ -61,7 +61,7 @@ type Instance struct {
 	serverWords int
 	userWords   int
 	reachSrv    []uint64 // [(k*I+i)*serverWords + w], bit m
-	reachUsr    []uint64 // [(m*I+i)*userWords + w], bit k
+	reachUsr    []uint64 // [(i*M+m)*userWords + w], bit k — model-major
 
 	// Incremental-update state: gen counts UpdateUsers calls (warm-start
 	// caches key their validity on it), the scratch below is reused across
@@ -72,19 +72,26 @@ type Instance struct {
 	// revGen counts ReviseUsers calls that swapped workload rows, so caches
 	// derived from probabilities (the evaluator's transposed table) can
 	// detect missed revisions.
-	gen        int
-	revGen     int
-	updDirty   []bool   // per-user dirty flag scratch
-	updForce   []bool   // per-user forced-recompute flag (revised users)
-	updUsers   []int    // dirty-user list scratch
-	updFullRow []uint64 // all-servers mask, serverWords
-	updWorkers []*updWorker
-	rankBuf    []rankPair // per-user rank rebuild scratch (ReviseUsers)
+	gen           int
+	revGen        int
+	updDirty      []bool   // per-user dirty flag scratch
+	updForce      []bool   // per-user forced-recompute flag (revised users)
+	updUsers      []int    // dirty-user list scratch
+	updFullRow    []uint64 // all-servers mask, serverWords
+	updWorkers    []*updWorker
+	updOps        []maskOp   // bucket-ordered op scratch
+	updOff        []int      // per-bucket boundary scratch
+	updCur        []int      // per-bucket write cursor scratch
+	updTouched    []uint64   // per-(model, server-word) touched masks, I*serverWords
+	updMaxWorkers int        // caller-imposed update worker bound; 0 = GOMAXPROCS
+	rankBuf       []rankPair // per-user rank rebuild scratch (ReviseUsers)
 
-	// Flip index for delta updates, built lazily on first UpdateUsers: each
-	// user's models ordered by ascending rate threshold, so a rate change
-	// old→new flips exactly the verdicts whose threshold lies between them
-	// — two binary searches instead of an I-element rescan.
+	// Threshold rank index, built at construction: each user's models
+	// ordered by ascending rate threshold. Delta updates use it as a flip
+	// index — a rate change old→new flips exactly the verdicts whose
+	// threshold lies between them, two binary searches instead of an
+	// I-element rescan — and the fused measurement kernel enumerates
+	// qualifying verdicts as rank prefixes of the same rows.
 	flipDirOrder []int32   // flipDirOrder[k*I+j]: model at rank j of user k's direct thresholds
 	flipDirVals  []float64 // flipDirVals[k*I+j] = minDirRate[k, flipDirOrder[k*I+j]]
 	flipRelOrder []int32
@@ -106,7 +113,17 @@ type RankProvider func(k int, dirOrder []int32, dirVals []float64, relOrder []in
 
 // New validates the components and precomputes rates, latencies, and I1.
 func New(topo *topology.Topology, lib *modellib.Library, work *workload.Workload, wcfg wireless.Config) (*Instance, error) {
-	return NewShadowed(topo, lib, work, wcfg, nil)
+	return newInstance(topo, lib, work, wcfg, nil, nil)
+}
+
+// NewRanked is New with a rank provider installed before the threshold
+// rank index is built, so the construction-time index fills through copies
+// instead of per-user sorts. The shard layer builds cell instances this
+// way: a bound slot's thresholds equal its global user's, so its rank rows
+// come straight from the global index. The provider stays installed for
+// later rebinds (see SetRankProvider).
+func NewRanked(topo *topology.Topology, lib *modellib.Library, work *workload.Workload, wcfg wireless.Config, provider RankProvider) (*Instance, error) {
+	return newInstance(topo, lib, work, wcfg, nil, provider)
 }
 
 // NewShadowed builds an instance with per-link log-normal shadowing gains
@@ -114,6 +131,12 @@ func New(topo *topology.Topology, lib *modellib.Library, work *workload.Workload
 // the average-channel rates used for placement and every fading
 // realization. nil disables shadowing.
 func NewShadowed(topo *topology.Topology, lib *modellib.Library, work *workload.Workload, wcfg wireless.Config, shadow [][]float64) (*Instance, error) {
+	return newInstance(topo, lib, work, wcfg, shadow, nil)
+}
+
+// newInstance is the one construction path behind New, NewRanked, and
+// NewShadowed.
+func newInstance(topo *topology.Topology, lib *modellib.Library, work *workload.Workload, wcfg wireless.Config, shadow [][]float64, provider RankProvider) (*Instance, error) {
 	if topo == nil || lib == nil || work == nil {
 		return nil, fmt.Errorf("scenario: topology, library, and workload are required")
 	}
@@ -187,7 +210,7 @@ func NewShadowed(topo *topology.Topology, lib *modellib.Library, work *workload.
 	for k := 0; k < K; k++ {
 		for i := 0; i < I; i++ {
 			ins.ServerMask(k, i).ForEach(func(m int) {
-				bitset.Set(ins.reachUsr[(m*I+i)*ins.userWords:]).Set(k)
+				bitset.Set(ins.reachUsr[(i*M+m)*ins.userWords:]).Set(k)
 			})
 		}
 	}
@@ -196,6 +219,14 @@ func NewShadowed(topo *topology.Topology, lib *modellib.Library, work *workload.
 	for k := 0; k < K; k++ {
 		ins.userHasMass[k] = rowHasMass(work.ProbRow(k))
 	}
+	// The threshold rank index is position-independent, and every fused
+	// measurement sweep now enumerates verdicts through its rank prefixes,
+	// so it is built here rather than lazily on the first delta update —
+	// fresh instances, rebuild-mode engines, and newly sliced shard cells
+	// all measure through it from their first realization. An installed
+	// provider (NewRanked) fills rows by copying instead of sorting.
+	ins.rankProvider = provider
+	ins.ensureFlipIndex()
 	return ins, nil
 }
 
@@ -456,12 +487,15 @@ func (ins *Instance) ReviseUsers(revised, massOnly []int, moved []int, pos []geo
 
 	// Phase 1, parallel over dirty users: rate columns, relay rates, and
 	// reach rows are disjoint per user, so workers write them directly;
-	// inverted-index flips land in per-worker buffers. Phase 2 applies the
-	// flips serially — flip targets are unique per (user, server, model),
-	// so the outcome is bit-identical for any worker count.
+	// inverted-index updates land in per-worker op buffers. Phase 2 applies
+	// the ops — written bits are unique per (user, server, model), so the
+	// outcome is bit-identical for any worker count.
 	workers := len(dirtyUsers) / minUsersPerWorker
 	if gmp := runtime.GOMAXPROCS(0); workers > gmp {
 		workers = gmp
+	}
+	if ins.updMaxWorkers > 0 && workers > ins.updMaxWorkers {
+		workers = ins.updMaxWorkers
 	}
 	if workers < 1 {
 		workers = 1
@@ -474,7 +508,7 @@ func (ins *Instance) ReviseUsers(revised, massOnly []int, moved []int, pos []geo
 	for w := 0; w < workers; w++ {
 		lo, hi := w*len(dirtyUsers)/workers, (w+1)*len(dirtyUsers)/workers
 		uw := ins.updWorkers[w]
-		uw.flips = uw.flips[:0]
+		uw.ops = uw.ops[:0]
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
@@ -493,18 +527,30 @@ func (ins *Instance) ReviseUsers(revised, massOnly []int, moved []int, pos []geo
 		}
 	}
 
+	// Written bits are unique per (user, server, model), so the final
+	// inverted-index state is the same for any application order. Mass
+	// updates (a checkpoint's walk dirties most users) therefore go through
+	// the bucketed path: counting-sorting the ops by model block confines
+	// each batch's writes to a cache-resident run of reachUsr rows (the
+	// index is model-major), where the direct loop pays a full cache miss
+	// per op on a gigabyte-scale index. Small deltas keep the direct loop —
+	// bucketing has a fixed two-pass cost that only pays for itself in
+	// bulk.
 	pairs := bitset.New(M * I)
-	uwords := ins.userWords
+	total := 0
 	for _, uw := range ins.updWorkers[:workers] {
-		for _, op := range uw.flips {
-			pairs.Set(int(op.pair))
-			um := bitset.Set(ins.reachUsr[int(op.pair)*uwords : (int(op.pair)+1)*uwords])
-			if op.set {
-				um.Set(int(op.k))
-			} else {
-				um.Clear(int(op.k))
+		total += len(uw.ops)
+	}
+	if shift := ins.flipBucketShift(); shift >= 0 && total >= flipBucketMinOps {
+		ins.applyOpsBucketed(pairs, workers, total, shift)
+	} else {
+		touched := ins.touchedScratch()
+		for _, uw := range ins.updWorkers[:workers] {
+			for _, op := range uw.ops {
+				ins.applyMaskOp(op, touched)
 			}
 		}
+		ins.foldTouchedPairs(pairs, touched)
 	}
 	var revCopy []int
 	if len(revised)+len(massOnly) > 0 {
@@ -566,7 +612,7 @@ func (ins *Instance) reconcileUserBits(k int) {
 		for wd, word := range rows[i*sw : (i+1)*sw] {
 			for ; word != 0; word &= word - 1 {
 				m := wd<<6 | mbits.TrailingZeros64(word)
-				bitset.Set(ins.reachUsr[(m*I+i)*uw : (m*I+i+1)*uw]).Set(k)
+				bitset.Set(ins.reachUsr[(i*M+m)*uw : (i*M+m+1)*uw]).Set(k)
 			}
 		}
 	}
@@ -596,13 +642,33 @@ func (ins *Instance) reviseThresholds(k int) {
 // for trivially small dirty sets.
 const minUsersPerWorker = 32
 
-// flipOp is one deferred inverted-index update: set or clear user k's bit
-// in pair (server, model)'s user mask.
-type flipOp struct {
-	pair int32 // m*I + i
-	k    int32
-	set  bool
+// maskOp is one deferred inverted-index update: set or clear user k's bit
+// in the user masks of pairs (m, i) for every server m in one word of a
+// server-bit mask. One op carries a whole word of the per-bit flips the
+// update pass used to record — a relay crossing, which flips a user's
+// verdict on every non-covering server at once, is one op per server word
+// instead of one per server, and a coverage-changed recompute emits at
+// most two ops per (model, server word) from its row diff. Head layout:
+// model i in bits 40..63, user k in bits 8..39, server word index in bits
+// 1..7, the set/clear verdict in bit 0 (so I < 2^24, K < 2^32, and
+// serverWords < 2^7 — far beyond any instance the generators produce).
+type maskOp struct {
+	head uint64
+	mask uint64 // server bits within word word(), bit position m&63
 }
+
+func packMaskOp(i, k, wd int, set bool, mask uint64) maskOp {
+	head := uint64(i)<<40 | uint64(uint32(k))<<8 | uint64(wd)<<1
+	if set {
+		head |= 1
+	}
+	return maskOp{head: head, mask: mask}
+}
+
+func (op maskOp) model() int  { return int(op.head >> 40) }
+func (op maskOp) user() int   { return int(uint32(op.head >> 8)) }
+func (op maskOp) word() int   { return int(op.head >> 1 & 0x7f) }
+func (op maskOp) isSet() bool { return op.head&1 != 0 }
 
 // updWorker is one parallel update worker's scratch.
 type updWorker struct {
@@ -611,7 +677,7 @@ type updWorker struct {
 	dirBits  []uint64  // matching single-word bit masks
 	covMask  []uint64  // covering-servers mask, serverWords
 	rows     []uint64  // recompute scratch (multi-word masks), I*serverWords
-	flips    []flipOp
+	ops      []maskOp
 }
 
 func newUpdWorker(M, I, serverWords int) *updWorker {
@@ -624,9 +690,160 @@ func newUpdWorker(M, I, serverWords int) *updWorker {
 	}
 }
 
-// flip records a deferred inverted-index update.
-func (w *updWorker) flip(k, pair int, set bool) {
-	w.flips = append(w.flips, flipOp{pair: int32(pair), k: int32(k), set: set})
+// emit records a deferred inverted-index update for one server word.
+func (w *updWorker) emit(i, k, wd int, set bool, mask uint64) {
+	w.ops = append(w.ops, packMaskOp(i, k, wd, set, mask))
+}
+
+// flipBucketWindowWords sizes one op bucket's reachUsr window, in words:
+// 1<<18 words = 2 MiB, small enough to sit in L2/L3 while a bucket's
+// writes land. Variable (not const) so tests can shrink it to force
+// multi-bucket runs on toy instances.
+var flipBucketWindowWords = 1 << 18
+
+// flipBucketMinOps gates the bucketed path: below this many ops the two
+// extra passes over the op list cost more than the cache misses they
+// save. Variable so tests can drive the bucketed path on small deltas.
+var flipBucketMinOps = 1 << 12
+
+// flipBucketShift returns s such that buckets of 1<<s consecutive models
+// (reachUsr is model-major, so one model's M rows are contiguous) cover a
+// window of at most flipBucketWindowWords, or -1 when the whole index
+// fits in one bucket and bucketing cannot help.
+func (ins *Instance) flipBucketShift() int {
+	blockWords := ins.NumServers() * ins.userWords
+	models := flipBucketWindowWords / blockWords
+	shift := 0
+	for models > 1 {
+		models >>= 1
+		shift++
+	}
+	if (ins.NumModels()-1)>>shift == 0 {
+		return -1
+	}
+	return shift
+}
+
+// applyMaskOp flips user op.user()'s bit in every pair the op's
+// server-mask word covers. Changed pairs are not marked per bit: the op's
+// whole mask is OR-ed into the touched scratch (one word per (model,
+// server word)), which foldTouchedPairs expands once after all ops land.
+// Parallel appliers own disjoint model ranges, so they share the scratch
+// without synchronization.
+func (ins *Instance) applyMaskOp(op maskOp, touched []uint64) {
+	uwords := ins.userWords
+	M := ins.NumServers()
+	i, k, wd := op.model(), op.user(), op.word()
+	kw, kb := k>>6, uint(k&63)
+	touched[i*ins.serverWords+wd] |= op.mask
+	rowBase := (i*M+wd<<6)*uwords + kw
+	if op.isSet() {
+		for mask := op.mask; mask != 0; mask &= mask - 1 {
+			ins.reachUsr[rowBase+mbits.TrailingZeros64(mask)*uwords] |= 1 << kb
+		}
+	} else {
+		for mask := op.mask; mask != 0; mask &= mask - 1 {
+			ins.reachUsr[rowBase+mbits.TrailingZeros64(mask)*uwords] &^= 1 << kb
+		}
+	}
+}
+
+// touchedScratch returns the zeroed per-(model, server-word) touched
+// masks for one phase-2 application.
+func (ins *Instance) touchedScratch() []uint64 {
+	n := ins.NumModels() * ins.serverWords
+	if cap(ins.updTouched) < n {
+		ins.updTouched = make([]uint64, n)
+	}
+	touched := ins.updTouched[:n]
+	clear(touched)
+	return touched
+}
+
+// foldTouchedPairs marks pairs.Set(m*I+i) for every touched (m, i).
+func (ins *Instance) foldTouchedPairs(pairs bitset.Set, touched []uint64) {
+	I, sw := ins.NumModels(), ins.serverWords
+	for i := 0; i < I; i++ {
+		for wd := 0; wd < sw; wd++ {
+			for word := touched[i*sw+wd]; word != 0; word &= word - 1 {
+				m := wd<<6 | mbits.TrailingZeros64(word)
+				pairs.Set(m*I + i)
+			}
+		}
+	}
+}
+
+// applyOpsBucketed is the bulk phase-2 path: scatter the workers' op
+// buffers into model-block buckets (counting sort on model>>shift), then
+// apply bucket by bucket, so each batch's reachUsr writes stay inside one
+// cache-resident block of model rows. Written bits are unique per update,
+// so the reordered application is bit-identical to the direct loop. With
+// more than one worker the buckets are split into contiguous ranges
+// applied in parallel — disjoint model ranges touch disjoint reachUsr
+// rows and disjoint touched words, so the appliers share both without
+// synchronization.
+func (ins *Instance) applyOpsBucketed(pairs bitset.Set, workers, total, shift int) {
+	I := ins.NumModels()
+	buckets := (I-1)>>shift + 1
+	if cap(ins.updOps) < total {
+		ins.updOps = make([]maskOp, total)
+	}
+	ops := ins.updOps[:total]
+	if cap(ins.updOff) < buckets+1 {
+		ins.updOff = make([]int, buckets+1)
+		ins.updCur = make([]int, buckets)
+	}
+	off := ins.updOff[:buckets+1]
+	cur := ins.updCur[:buckets]
+	clear(off)
+	for _, uw := range ins.updWorkers[:workers] {
+		for _, op := range uw.ops {
+			off[op.model()>>shift+1]++
+		}
+	}
+	for b := 0; b < buckets; b++ {
+		off[b+1] += off[b]
+		cur[b] = off[b]
+	}
+	for _, uw := range ins.updWorkers[:workers] {
+		for _, op := range uw.ops {
+			b := op.model() >> shift
+			ops[cur[b]] = op
+			cur[b]++
+		}
+	}
+	touched := ins.touchedScratch()
+	apply := func(ops []maskOp) {
+		for _, op := range ops {
+			ins.applyMaskOp(op, touched)
+		}
+	}
+	if workers <= 1 {
+		apply(ops)
+		ins.foldTouchedPairs(pairs, touched)
+		return
+	}
+	// Bucket-aligned split: applier w starts at the first bucket whose ops
+	// begin at or after w's even share of the total.
+	bounds := make([]int, workers+1)
+	bounds[workers] = total
+	for w := 1; w < workers; w++ {
+		b := sort.SearchInts(off, w*total/workers)
+		bounds[w] = off[min(b, buckets)]
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		if bounds[w] == bounds[w+1] {
+			continue
+		}
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			apply(ops[bounds[w]:bounds[w+1]])
+		}(w)
+	}
+	wg.Wait()
+	ins.foldTouchedPairs(pairs, touched)
 }
 
 // updateUser refreshes one dirty user: rates and relay rate first (with
@@ -677,9 +894,10 @@ func (ins *Instance) updateUser(k int, oldTopo *topology.Topology, w *updWorker)
 
 // ensureFlipIndex builds, once per instance, each user's models ordered by
 // ascending direct and relay rate thresholds. The thresholds are
-// position-independent, so the index never invalidates; it is built lazily
-// because only delta updates consume it. An installed rank provider
-// short-circuits the per-user sorts.
+// position-independent, so the index never invalidates; construction runs
+// it eagerly (the fused measurement kernel consumes the rank prefixes from
+// the first realization), so later calls are no-ops. An installed rank
+// provider short-circuits the per-user sorts.
 func (ins *Instance) ensureFlipIndex() {
 	if ins.flipDirOrder != nil {
 		return
@@ -717,6 +935,13 @@ func (ins *Instance) fillRankRows(k int) {
 	buildRankRow(ro, rv, ins.minRelRate[k*I:(k+1)*I], ins.rankBuf)
 }
 
+// SetUpdateWorkers bounds the parallel user-update phase of
+// UpdateUsers/ReviseUsers (and the bucketed flip application that follows
+// it); 0 restores the default GOMAXPROCS bound. Results are bit-identical
+// for any bound — the engines thread their Workers pin through so a
+// single-goroutine configuration really runs single-goroutine here too.
+func (ins *Instance) SetUpdateWorkers(n int) { ins.updMaxWorkers = n }
+
 // SetRankProvider installs an external source of precomputed rank rows,
 // consulted whenever a user's rank rows would otherwise be rebuilt by
 // sorting (index construction and slot rebinds). The shard layer points
@@ -724,14 +949,14 @@ func (ins *Instance) fillRankRows(k int) {
 // equal the global user's, so its rank rows are a copy, not a sort.
 func (ins *Instance) SetRankProvider(p RankProvider) { ins.rankProvider = p }
 
-// EnsureRankIndex forces construction of the per-user threshold rank index
-// (normally built lazily by the first delta update), so it can serve as a
-// copy source for other instances' rank providers.
+// EnsureRankIndex forces construction of the per-user threshold rank
+// index. Construction now builds it eagerly, so this is a no-op kept for
+// callers that predate the eager build.
 func (ins *Instance) EnsureRankIndex() { ins.ensureFlipIndex() }
 
 // UserRankRows returns user k's rank rows — models by ascending direct and
-// relay rate threshold with the matching sorted values. EnsureRankIndex
-// must have run. The slices alias internal state; treat as read-only.
+// relay rate threshold with the matching sorted values. The index exists
+// from construction. The slices alias internal state; treat as read-only.
 func (ins *Instance) UserRankRows(k int) (dirOrder []int32, dirVals []float64, relOrder []int32, relVals []float64) {
 	I := ins.NumModels()
 	return ins.flipDirOrder[k*I : (k+1)*I], ins.flipDirVals[k*I : (k+1)*I],
@@ -800,7 +1025,7 @@ func flipRange(vals []float64, oldRate, newRate float64) (lo, hi int, set bool) 
 // per-server rate changes crossed, and toggle exactly those bits in both
 // packed orientations — O(M·log I + flips) instead of an O(I) refill.
 // track false (zero-mass user) updates the rows but records no inverted-
-// index flips.
+// index ops.
 func (ins *Instance) flipUserRows(k int, covering []int, oldRelay, newRelay float64, w *updWorker, track bool) {
 	K, I := ins.NumUsers(), ins.NumModels()
 	sw := ins.serverWords
@@ -824,19 +1049,14 @@ func (ins *Instance) flipUserRows(k int, covering []int, oldRelay, newRelay floa
 		for j := lo; j < hi; j++ {
 			i := int(relOrder[j])
 			row := bitset.Set(rows[i*sw : (i+1)*sw])
-			for wd, v := range nonCov {
-				word := v
+			for wd, word := range nonCov {
 				if set {
 					row[wd] |= word
 				} else {
 					row[wd] &^= word
 				}
-				if !track {
-					continue
-				}
-				for ; word != 0; word &= word - 1 {
-					m := wd<<6 | mbits.TrailingZeros64(word)
-					w.flip(k, m*I+i, set)
+				if track && word != 0 {
+					w.emit(i, k, wd, set, word)
 				}
 			}
 		}
@@ -859,7 +1079,7 @@ func (ins *Instance) flipUserRows(k int, covering []int, oldRelay, newRelay floa
 				row.Clear(m)
 			}
 			if track {
-				w.flip(k, m*I+i, set)
+				w.emit(i, k, m>>6, set, 1<<uint(m&63))
 			}
 		}
 	}
@@ -867,10 +1087,10 @@ func (ins *Instance) flipUserRows(k int, covering []int, oldRelay, newRelay floa
 
 // recomputeUserRows is the coverage-changed fallback: recompute user k's
 // rows in one fused pass — verdict, diff against the stored row, inverted-
-// index flip, store — with the covering rates hoisted out of the model
+// index op, store — with the covering rates hoisted out of the model
 // loop. The verdicts are the same compares fillReachRows performs, so the
 // result stays bit-identical to a full rebuild. track false stores the
-// rows without diffing or flip recording (zero-mass users).
+// rows without diffing or op recording (zero-mass users).
 func (ins *Instance) recomputeUserRows(k int, covering []int, w *updWorker, track bool) {
 	K, I := ins.NumUsers(), ins.NumModels()
 	sw := ins.serverWords
@@ -915,9 +1135,11 @@ func (ins *Instance) recomputeUserRows(k int, covering []int, w *updWorker, trac
 				continue
 			}
 			rows[i] = word
-			for ; diff != 0; diff &= diff - 1 {
-				m := mbits.TrailingZeros64(diff)
-				w.flip(k, m*I+i, word&(1<<uint(m)) != 0)
+			if sm := word & diff; sm != 0 {
+				w.emit(i, k, 0, true, sm)
+			}
+			if cm := diff &^ word; cm != 0 {
+				w.emit(i, k, 0, false, cm)
 			}
 		}
 		return
@@ -929,9 +1151,14 @@ func (ins *Instance) recomputeUserRows(k int, covering []int, w *updWorker, trac
 			for wd := 0; wd < sw; wd++ {
 				newWord := w.rows[i*sw+wd]
 				diff := rows[i*sw+wd] ^ newWord
-				for ; diff != 0; diff &= diff - 1 {
-					m := wd<<6 | mbits.TrailingZeros64(diff)
-					w.flip(k, m*I+i, newWord&(1<<uint(m&63)) != 0)
+				if diff == 0 {
+					continue
+				}
+				if sm := newWord & diff; sm != 0 {
+					w.emit(i, k, wd, true, sm)
+				}
+				if cm := diff &^ newWord; cm != 0 {
+					w.emit(i, k, wd, false, cm)
 				}
 			}
 		}
@@ -995,7 +1222,7 @@ func (ins *Instance) ServerMask(k, i int) bitset.Set {
 // zero) and reconciled by ReviseUsers before mass returns.
 func (ins *Instance) UserMask(m, i int) bitset.Set {
 	uw := ins.userWords
-	off := (m*ins.NumModels() + i) * uw
+	off := (i*ins.NumServers() + m) * uw
 	return bitset.Set(ins.reachUsr[off : off+uw])
 }
 

@@ -137,6 +137,68 @@ func TestUpdateUsersParallelMatchesRebuild(t *testing.T) {
 	}
 }
 
+// TestUpdateUsersBucketedFlipsMatchRebuild forces the pair-bucketed flip
+// application (the bulk path that keeps each batch's inverted-index writes
+// inside one cache window) by shrinking the bucket knobs, and pins it
+// against both a twin instance on the default direct path and a fresh
+// rebuild: same reachability words and the same delta pair set, serial and
+// parallel.
+func TestUpdateUsersBucketedFlipsMatchRebuild(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	oldWin, oldMin := flipBucketWindowWords, flipBucketMinOps
+	defer func() { flipBucketWindowWords, flipBucketMinOps = oldWin, oldMin }()
+
+	for _, workers := range []int{1, 3} {
+		flipBucketWindowWords, flipBucketMinOps = oldWin, oldMin
+		ins, pop, walk := walkInstance(t, 8, 150, 41)
+		twin, tpop, twalk := walkInstance(t, 8, 150, 41)
+		ins.SetUpdateWorkers(workers)
+		twin.SetUpdateWorkers(workers)
+		all := make([]int, ins.NumUsers())
+		for k := range all {
+			all[k] = k
+		}
+		if shift := ins.flipBucketShift(); shift >= 0 {
+			t.Fatalf("fixture too large: whole index already spans buckets (shift %d)", shift)
+		}
+		for cp := 1; cp <= 3; cp++ {
+			for s := 0; s < 60; s++ {
+				if err := pop.Step(5, walk); err != nil {
+					t.Fatal(err)
+				}
+				if err := tpop.Step(5, twalk); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Bucketed on ins: tiny window (multiple buckets even at this
+			// size) and no op floor. Direct on twin: default knobs keep the
+			// fixture below both gates.
+			flipBucketWindowWords, flipBucketMinOps = 4*ins.userWords, 1
+			if ins.flipBucketShift() < 0 {
+				t.Fatal("shrunken window must produce multiple buckets")
+			}
+			delta, err := ins.UpdateUsers(all, pop.Positions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			flipBucketWindowWords, flipBucketMinOps = oldWin, oldMin
+			tdelta, err := twin.UpdateUsers(all, tpop.Positions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !delta.Pairs.Equal(tdelta.Pairs) {
+				t.Fatalf("workers %d cp %d: bucketed delta pairs differ from direct path", workers, cp)
+			}
+			assertInstancesEqual(t, ins, twin)
+			want, err := ins.Rebuild(pop.Positions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertInstancesEqual(t, ins, want)
+		}
+	}
+}
+
 // TestUpdateUsersPartialMove moves a subset of users and checks both the
 // equivalence and that the delta stays scoped: users that neither moved
 // nor share a load-changed server must not be reported dirty.

@@ -387,8 +387,9 @@ func NewEngine(cfg Config, src *rng.Source) (*Engine, error) {
 	}
 
 	if cfg.Shards > 1 {
-		// Build the global rank index once: every cell's rank provider
-		// copies bound slots' rows from it (see buildCell).
+		// The global rank index is every cell provider's copy source (see
+		// buildCell). Construction now builds it eagerly; this call is a
+		// no-op safety net for instances from older construction paths.
 		cfg.Instance.EnsureRankIndex()
 	}
 
@@ -490,18 +491,18 @@ func (e *Engine) buildCell(sh *cell, locals []int) error {
 	if err != nil {
 		return fmt.Errorf("shard: %w", err)
 	}
-	cellIns, err := scenario.New(topo, ins.Library(), work, ins.Wireless())
-	if err != nil {
-		return fmt.Errorf("shard: %w", err)
-	}
+	// A bound slot's QoS thresholds equal its global user's, so its rank
+	// rows are a copy of the global rank index rather than an O(I log I)
+	// sort — both at construction, where the rank index is now built
+	// eagerly for the fused kernel's rank-prefix enumeration, and on slot
+	// rebinds, the handoff path's hot spot. The provider is threaded
+	// through NewRanked so it serves the construction-time build too; it
+	// reads only immutable global rows and this cell's own slot table
+	// (mutated serially in plan), so parallel cells are race-free. Unbound
+	// (parked) slots fall back to the sort.
+	var provider scenario.RankProvider
 	if e.cfg.Shards > 1 {
-		// A bound slot's QoS thresholds equal its global user's, so its
-		// rank rows are a copy of the global rank index rather than an
-		// O(I log I) sort — binds are the handoff path's hot spot. The
-		// provider reads only immutable global rows and this cell's own
-		// slot table (mutated serially in plan), so parallel cells are
-		// race-free. Unbound (parked) slots fall back to the sort.
-		cellIns.SetRankProvider(func(slot int, do []int32, dv []float64, ro []int32, rv []float64) bool {
+		provider = func(slot int, do []int32, dv []float64, ro []int32, rv []float64) bool {
 			g := sh.slots[slot]
 			if g < 0 {
 				return false
@@ -512,7 +513,11 @@ func (e *Engine) buildCell(sh *cell, locals []int) error {
 			copy(ro, gro)
 			copy(rv, grv)
 			return true
-		})
+		}
+	}
+	cellIns, err := scenario.NewRanked(topo, ins.Library(), work, ins.Wireless(), provider)
+	if err != nil {
+		return fmt.Errorf("shard: %w", err)
 	}
 	measureWorkers := e.cfg.MeasureWorkers
 	if measureWorkers <= 0 {

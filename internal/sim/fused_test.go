@@ -13,10 +13,12 @@ import (
 )
 
 // TestFusedSessionMatchesUnfusedAcrossWorkers pins the session-level half
-// of the fused-kernel equivalence: for random instances and both fused
-// code paths (direct sweep on fresh instances, rank-prefix after an
-// in-place update), Evaluate must equal EvaluateUnfused exactly — not
-// within epsilon — and both must be bit-identical for every worker count.
+// of the fused-kernel equivalence: for random instances, both on the
+// construction-time rank index and after an in-place update has revised
+// thresholds, Evaluate must equal EvaluateUnfused exactly — not within
+// epsilon — and both must be bit-identical for every worker count and
+// every realization block size (auto, per-realization, sizes that split
+// the 17 realizations unevenly, and one covering them all).
 func TestFusedSessionMatchesUnfusedAcrossWorkers(t *testing.T) {
 	for seed := uint64(90); seed < 93; seed++ {
 		lib, err := libgen.GenerateSpecial(libgen.DefaultSpecialConfig(3), rng.New(seed))
@@ -47,29 +49,32 @@ func TestFusedSessionMatchesUnfusedAcrossWorkers(t *testing.T) {
 			t.Helper()
 			var want []float64
 			for workers := 1; workers <= 4; workers++ {
-				s := NewFadingSession(ins, workers)
-				fused, err := s.Evaluate(eval, placements, 17, rng.New(seed+2))
-				if err != nil {
-					t.Fatal(err)
-				}
-				unfused, err := s.EvaluateUnfused(eval, placements, 17, rng.New(seed+2))
-				if err != nil {
-					t.Fatal(err)
-				}
-				if fused[0] != unfused[0] {
-					t.Fatalf("%s workers=%d: fused %.17g != unfused %.17g", label, workers, fused[0], unfused[0])
-				}
-				if want == nil {
-					want = fused
-				} else if fused[0] != want[0] {
-					t.Fatalf("%s workers=%d: %.17g differs from workers=1 %.17g", label, workers, fused[0], want[0])
+				for _, bs := range []int{0, 1, 2, 3, 5, 17} {
+					s := NewFadingSession(ins, workers)
+					s.SetBlockSize(bs)
+					fused, err := s.Evaluate(eval, placements, 17, rng.New(seed+2))
+					if err != nil {
+						t.Fatal(err)
+					}
+					unfused, err := s.EvaluateUnfused(eval, placements, 17, rng.New(seed+2))
+					if err != nil {
+						t.Fatal(err)
+					}
+					if fused[0] != unfused[0] {
+						t.Fatalf("%s workers=%d block=%d: fused %.17g != unfused %.17g", label, workers, bs, fused[0], unfused[0])
+					}
+					if want == nil {
+						want = fused
+					} else if fused[0] != want[0] {
+						t.Fatalf("%s workers=%d block=%d: %.17g differs from first %.17g", label, workers, bs, fused[0], want[0])
+					}
 				}
 			}
 		}
 		check("fresh")
 
-		// A no-op move builds the threshold rank index; the fused kernel
-		// switches to the rank-prefix path and must still agree exactly.
+		// A no-op move revises thresholds through the update path; the
+		// rank prefixes must still agree exactly afterwards.
 		all := make([]int, ins.NumUsers())
 		for k := range all {
 			all[k] = k

@@ -233,24 +233,27 @@ func EvaluateUnderFadingWorkers(eval *placement.Evaluator, placements []*placeme
 }
 
 // FadingSession owns the scratch a Monte-Carlo fading evaluation needs —
-// per-worker fused-kernel scratch and gain matrices, plus the
+// per-worker fused-kernel scratch and realization sources, plus the
 // per-realization score table — so repeated Evaluate calls perform no
 // steady-state allocation. The buffers are sized by instance dimensions,
 // not bound to one instance: a session built at t = 0 serves every later
 // checkpoint of a mobility timeline, whether the instance was updated in
 // place or rebuilt.
 //
-// Evaluate scores through the fused measurement kernel
-// (scenario.Instance.FadedHitMass): only the scalar hit ratio is needed,
-// so no per-realization reachability indicator is materialized.
+// Evaluate scores through the realization-blocked fused measurement
+// kernel (scenario.Instance.FadedHitMassBlock): each worker draws a whole
+// block of realizations and scores all placements in one request sweep,
+// with no reachability indicator and no gain matrix materialized.
 // EvaluateUnfused keeps the two-pass FadedReach + HitRatioWithReach
 // reference; the paths are pinned bit-identical.
 type FadingSession struct {
 	numServers, numUsers, numModels int
 	workers                         int
+	blockSize                       int // 0 = auto (realizations split across workers)
 	scratch                         []*scenario.FadeScratch
 	bufs                            []*scenario.Reach // EvaluateUnfused only, lazy
-	gains                           [][][]float64
+	gains                           [][][]float64     // EvaluateUnfused only, lazy
+	srcs                            [][]*rng.Source   // per-worker realization sources
 	hr                              []float64
 	views                           []scenario.ServerColumns
 }
@@ -267,17 +270,22 @@ func NewFadingSession(ins *scenario.Instance, workers int) *FadingSession {
 		numModels:  ins.NumModels(),
 		workers:    workers,
 		scratch:    make([]*scenario.FadeScratch, workers),
-		gains:      make([][][]float64, workers),
+		srcs:       make([][]*rng.Source, workers),
 	}
 	for w := 0; w < workers; w++ {
 		s.scratch[w] = ins.MakeFadeScratch()
-		s.gains[w] = make([][]float64, ins.NumServers())
-		for m := range s.gains[w] {
-			s.gains[w][m] = make([]float64, ins.NumUsers())
-		}
 	}
 	return s
 }
+
+// SetBlockSize sets the number of realizations each worker scores through
+// one fused sweep (scenario.Instance.FadedHitMassBlock). 0 restores the
+// default: the realizations split evenly across the workers, so a
+// single-worker session scores them all in one sweep. 1 forces the
+// per-realization path. Results are bit-identical for every block size
+// and worker count — realizations never interact within a block, and the
+// reduction always runs in realization order.
+func (s *FadingSession) SetBlockSize(n int) { s.blockSize = n }
 
 // Evaluate measures each placement's expected hit ratio over the given
 // number of Rayleigh fading realizations against eval's instance, which
@@ -286,9 +294,12 @@ func NewFadingSession(ins *scenario.Instance, workers int) *FadingSession {
 // Realization r draws its gains from src.SplitIndex("real", r) — a pure
 // function of the seed material, not of stream position — so every
 // realization is independent of evaluation order, and the final per-
-// placement averages are reduced in realization order. The result is
-// bit-identical for any worker count, and comparisons stay paired: every
-// placement sees the same realizations.
+// placement averages are reduced in realization order. Workers score
+// whole realization blocks (SetBlockSize) through one fused sweep each;
+// the per-realization scores are computed independently within a block,
+// so the result is bit-identical for any worker count and block size,
+// and comparisons stay paired: every placement sees the same
+// realizations.
 func (s *FadingSession) Evaluate(eval *placement.Evaluator, placements []*placement.Placement, realizations int, src *rng.Source) ([]float64, error) {
 	ins, hr, workers, err := s.prepare(eval, placements, realizations)
 	if err != nil {
@@ -303,18 +314,45 @@ func (s *FadingSession) Evaluate(eval *placement.Evaluator, placements []*placem
 	for a, p := range placements {
 		views[a] = p
 	}
+	P := len(placements)
+	block := s.blockSize
+	if block <= 0 {
+		// Auto: split the realizations evenly across the workers, so the
+		// pool stays fully used while each worker amortizes its request
+		// sweep over the largest possible block.
+		block = (realizations + workers - 1) / workers
+	}
+	if block > realizations {
+		block = realizations
+	}
+	blocks := (realizations + block - 1) / block
+	if workers > blocks {
+		workers = blocks
+	}
 	total := ins.TotalMass()
-	err = s.run(workers, realizations, func(w, r int) error {
-		gains := s.gains[w]
-		// SplitIndex only reads the parent's immutable seed material, so
-		// concurrent splits are safe.
-		scenario.SampleGainsInto(gains, src.SplitIndex("real", r))
-		row := hr[r*len(placements) : (r+1)*len(placements)]
-		if err := ins.FadedHitMass(gains, views, row, s.scratch[w]); err != nil {
+	err = s.run(workers, blocks, func(w, b int) error {
+		r0 := b * block
+		n := block
+		if r0+n > realizations {
+			n = realizations - r0
+		}
+		srcs := s.srcs[w]
+		if cap(srcs) < n {
+			srcs = make([]*rng.Source, n)
+			s.srcs[w] = srcs
+		}
+		srcs = srcs[:n]
+		for j := range srcs {
+			// SplitIndex only reads the parent's immutable seed material,
+			// so concurrent splits are safe.
+			srcs[j] = src.SplitIndex("real", r0+j)
+		}
+		rows := hr[r0*P : (r0+n)*P]
+		if err := ins.FadedHitMassBlock(srcs, views, rows, s.scratch[w]); err != nil {
 			return err
 		}
-		for a := range row {
-			row[a] /= total
+		for x := range rows {
+			rows[x] /= total
 		}
 		return nil
 	})
@@ -328,8 +366,8 @@ func (s *FadingSession) Evaluate(eval *placement.Evaluator, placements []*placem
 // the full indicator, HitRatioWithReach streams it again — retained for
 // callers that need the buffer semantics and for the equivalence tests and
 // benchmarks pinning it bit-identical to the fused Evaluate. The reach
-// buffers are allocated on first use, so fused-only sessions never pay for
-// them.
+// buffers and gain matrices are allocated on first use, so fused-only
+// sessions never pay for them.
 func (s *FadingSession) EvaluateUnfused(eval *placement.Evaluator, placements []*placement.Placement, realizations int, src *rng.Source) ([]float64, error) {
 	ins, hr, workers, err := s.prepare(eval, placements, realizations)
 	if err != nil {
@@ -337,8 +375,13 @@ func (s *FadingSession) EvaluateUnfused(eval *placement.Evaluator, placements []
 	}
 	if s.bufs == nil {
 		s.bufs = make([]*scenario.Reach, s.workers)
+		s.gains = make([][][]float64, s.workers)
 		for w := range s.bufs {
 			s.bufs[w] = ins.MakeReachBuffer()
+			s.gains[w] = make([][]float64, ins.NumServers())
+			for m := range s.gains[w] {
+				s.gains[w][m] = make([]float64, ins.NumUsers())
+			}
 		}
 	}
 	err = s.run(workers, realizations, func(w, r int) error {
@@ -384,9 +427,9 @@ func (s *FadingSession) prepare(eval *placement.Evaluator, placements []*placeme
 	return ins, s.hr[:realizations*len(placements)], workers, nil
 }
 
-// run scores every realization on a bounded worker pool; the first error
-// wins and the rest of the round drains.
-func (s *FadingSession) run(workers, realizations int, score func(w, r int) error) error {
+// run dispatches tasks (realizations, or realization blocks) on a bounded
+// worker pool; the first error wins and the rest of the round drains.
+func (s *FadingSession) run(workers, tasks int, score func(w, t int) error) error {
 	var (
 		wg       sync.WaitGroup
 		errMu    sync.Mutex
@@ -408,8 +451,8 @@ func (s *FadingSession) run(workers, realizations int, score func(w, r int) erro
 			}
 		}(w)
 	}
-	for r := 0; r < realizations; r++ {
-		next <- r
+	for t := 0; t < tasks; t++ {
+		next <- t
 	}
 	close(next)
 	wg.Wait()
