@@ -145,6 +145,11 @@ func run(args []string, stdout io.Writer) error {
 	shardServers := fs.Int("shardservers", 100, "shard benchmark servers M")
 	shardModels := fs.Int("shardmodels", 250, "shard benchmark LoRA adapters I")
 	shardCheckpoints := fs.Int("shardcheckpoints", 4, "timed checkpoints per shard benchmark engine (after one warm-up; the fastest is reported)")
+	scaleUsers := fs.Int("scaleusers", 1_000_000, "scale row users K (coordinator-backed grid deployment)")
+	scaleServers := fs.Int("scaleservers", 961, "scale row servers M (grid layout; 31x31 keeps the sweep's ~1000 users per server at K = 1M, so the provisioned workload stays meaningful)")
+	scaleModels := fs.Int("scalemodels", 64, "scale row LoRA adapters I")
+	scaleShards := fs.Int("scaleshards", 36, "scale row cell count")
+	scaleCheckpoints := fs.Int("scalecheckpoints", 3, "timed checkpoints on the scale row (after one warm-up)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -154,6 +159,13 @@ func run(args []string, stdout io.Writer) error {
 	if *shardBench {
 		users, servers, models := *shardUsers, *shardServers, *shardModels
 		counts := []int{1, 2, 4, 8}
+		scale := scaleSpec{
+			Users:       *scaleUsers,
+			Servers:     *scaleServers,
+			Models:      *scaleModels,
+			Shards:      *scaleShards,
+			Checkpoints: *scaleCheckpoints,
+		}
 		if *smoke {
 			// Toy dims proving the pipeline and schema in seconds.
 			set := map[string]bool{}
@@ -168,8 +180,23 @@ func run(args []string, stdout io.Writer) error {
 				models = 48
 			}
 			counts = []int{1, 2}
+			if !set["scaleusers"] {
+				scale.Users = 2000
+			}
+			if !set["scaleservers"] {
+				scale.Servers = 16
+			}
+			if !set["scalemodels"] {
+				scale.Models = 24
+			}
+			if !set["scaleshards"] {
+				scale.Shards = 4
+			}
+			if !set["scalecheckpoints"] {
+				scale.Checkpoints = 2
+			}
 		}
-		return runShard(stdout, users, servers, models, *shardCheckpoints, counts, *shardOut)
+		return runShard(stdout, users, servers, models, *shardCheckpoints, counts, []scaleSpec{scale}, *shardOut)
 	}
 	newConfig := dynamics.NewLoRAScaleConfig
 	if *smoke {

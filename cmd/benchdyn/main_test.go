@@ -119,6 +119,16 @@ func TestValidateShardReport(t *testing.T) {
 				 "throughput_users_per_s": 12, "speedup": 2.5, "hit_ratio_mean": 0.45, "handoffs": 3, "grows": 0}
 			]
 		},
+		"scale": [
+			{"users": 2000, "servers": 16, "models": 24, "shards": 4, "workers": 2, "checkpoints": 2,
+			 "checkpoint_ns_per_op": 100, "throughput_users_per_s": 20, "hit_ratio_mean": 0.9,
+			 "handoffs": 5, "grows": 0, "bytes_per_user": 4700.5, "allocs_per_checkpoint": 700,
+			 "footprint_total_bytes": 45,
+			 "footprint": {"reach_bytes": 5, "rank_bytes": 5, "rate_bytes": 5, "workload_bytes": 5,
+				"topology_bytes": 5, "evaluator_bytes": 5, "measurement_bytes": 5, "scratch_bytes": 5,
+				"coordinator_bytes": 5},
+			 "peak_rss_bytes": 1000}
+		],
 		"speedup": 2,
 		"speedup_definition": "x"
 	}`)
@@ -157,6 +167,39 @@ func TestValidateShardReport(t *testing.T) {
 		}),
 		"empty multicore sharded": mutate(func(m map[string]any) {
 			m["multicore"].(map[string]any)["sharded"] = []any{}
+		}),
+		"no scale":    mutate(func(m map[string]any) { delete(m, "scale") }),
+		"empty scale": mutate(func(m map[string]any) { m["scale"] = []any{} }),
+		"missing bytes_per_user": mutate(func(m map[string]any) {
+			delete(m["scale"].([]any)[0].(map[string]any), "bytes_per_user")
+		}),
+		"zero bytes_per_user": mutate(func(m map[string]any) {
+			m["scale"].([]any)[0].(map[string]any)["bytes_per_user"] = 0
+		}),
+		"non-numeric bytes_per_user": mutate(func(m map[string]any) {
+			m["scale"].([]any)[0].(map[string]any)["bytes_per_user"] = "big"
+		}),
+		"missing allocs_per_checkpoint": mutate(func(m map[string]any) {
+			delete(m["scale"].([]any)[0].(map[string]any), "allocs_per_checkpoint")
+		}),
+		"zero allocs_per_checkpoint": mutate(func(m map[string]any) {
+			m["scale"].([]any)[0].(map[string]any)["allocs_per_checkpoint"] = 0
+		}),
+		"non-numeric allocs_per_checkpoint": mutate(func(m map[string]any) {
+			m["scale"].([]any)[0].(map[string]any)["allocs_per_checkpoint"] = "few"
+		}),
+		"missing footprint component": mutate(func(m map[string]any) {
+			fp := m["scale"].([]any)[0].(map[string]any)["footprint"].(map[string]any)
+			delete(fp, "coordinator_bytes")
+		}),
+		"footprint total desync": mutate(func(m map[string]any) {
+			m["scale"].([]any)[0].(map[string]any)["footprint_total_bytes"] = 46
+		}),
+		"missing peak rss": mutate(func(m map[string]any) {
+			delete(m["scale"].([]any)[0].(map[string]any), "peak_rss_bytes")
+		}),
+		"single-worker scale row": mutate(func(m map[string]any) {
+			m["scale"].([]any)[0].(map[string]any)["workers"] = 1
 		}),
 	}
 	for name, data := range cases {
@@ -211,5 +254,23 @@ func TestShardSmokeRunEmitsValidReport(t *testing.T) {
 			t.Errorf("multicore sharded[%d] hit ratio %v differs from single-core %v",
 				i, r.HitRatioMean, rep.Sharded[i].HitRatioMean)
 		}
+	}
+	if len(rep.Scale) != 1 {
+		t.Fatalf("smoke scale rows = %d, want 1", len(rep.Scale))
+	}
+	sc := rep.Scale[0]
+	if sc.Workers < 2 {
+		t.Errorf("scale workers %d, want >= 2", sc.Workers)
+	}
+	if sc.BytesPerUser <= 0 || sc.AllocsPerCheckpoint <= 0 || sc.PeakRSSBytes <= 0 {
+		t.Errorf("degenerate scale accounting: %+v", sc)
+	}
+	if sc.FootprintTotalBytes != sc.Footprint.Total() {
+		t.Errorf("scale footprint total %d is not the component sum %d",
+			sc.FootprintTotalBytes, sc.Footprint.Total())
+	}
+	if int64(sc.BytesPerUser*float64(sc.Users)+0.5) != sc.FootprintTotalBytes {
+		t.Errorf("bytes_per_user %v inconsistent with footprint total %d over %d users",
+			sc.BytesPerUser, sc.FootprintTotalBytes, sc.Users)
 	}
 }

@@ -82,6 +82,11 @@ type shardReport struct {
 		Unsharded shardRun   `json:"unsharded"`
 		Sharded   []shardRun `json:"sharded"`
 	} `json:"multicore"`
+	// Scale holds the memory-accounted scale rows (see scale.go), headlined
+	// by the K = 1M configuration. Scale rows run on a planned-grid
+	// deployment behind a coordinator global instance, so they are not
+	// point-comparable with the uniform-layout sweep rows above.
+	Scale []scaleRun `json:"scale"`
 	// Speedup is the headline number: the largest cell count's single-core
 	// speedup.
 	Speedup           float64 `json:"speedup"`
@@ -249,8 +254,10 @@ func shardSweep(stdout io.Writer, scen *shardScenario, users, servers, models, c
 	return un, runs, nil
 }
 
-// runShard executes the shard scale benchmark and writes the report.
-func runShard(stdout io.Writer, users, servers, models, checkpoints int, counts []int, out string) error {
+// runShard executes the shard scale benchmark — the single-core and
+// multicore comparison sweeps plus one memory-accounted scale row per spec
+// — and writes the report.
+func runShard(stdout io.Writer, users, servers, models, checkpoints int, counts []int, scales []scaleSpec, out string) error {
 	if checkpoints <= 0 {
 		return fmt.Errorf("shard checkpoints must be positive, got %d", checkpoints)
 	}
@@ -274,6 +281,14 @@ func runShard(stdout io.Writer, users, servers, models, checkpoints int, counts 
 	rep.Multicore.Workers = mcWorkers
 	rep.Multicore.Unsharded = mcUn
 	rep.Multicore.Sharded = mcRuns
+
+	for _, spec := range scales {
+		row, err := runScale(stdout, spec)
+		if err != nil {
+			return err
+		}
+		rep.Scale = append(rep.Scale, row)
+	}
 
 	rep.Speedup = rep.Sharded[len(rep.Sharded)-1].Speedup
 	rep.SpeedupDefinition = "end-to-end per-checkpoint wall time (walk + membership plan + instance refresh + fused fading measurement + triggered re-placements) of the unsharded dynamics engine over the sharded multi-cell engine at the largest cell count, all worker pools pinned to one goroutine; the multicore section repeats the sweep with workers = max(2, NumCPU), speedups still against the single-core unsharded baseline; hit_ratio_mean reports the quality cost of cell-autonomous placement and serving"
@@ -331,7 +346,10 @@ func checkShardRuns(doc map[string]any, label string) error {
 // validateShardReport checks the emitted BENCH_shard.json bytes against
 // the documented schema (docs/BENCHMARKS.md): top-level scenario and
 // speedup fields, the single-core unsharded baseline and sharded entries,
-// and the multicore section's own baseline and entries.
+// the multicore section's own baseline and entries, and the scale section.
+// A scale row whose bytes_per_user or allocs_per_checkpoint is missing,
+// zero, or non-numeric fails the run — those are the fields the section
+// exists to publish, and a zero means the accounting seam broke.
 func validateShardReport(data []byte) error {
 	var doc map[string]any
 	if err := json.Unmarshal(data, &doc); err != nil {
@@ -350,5 +368,33 @@ func validateShardReport(data []byte) error {
 	if !ok {
 		return fmt.Errorf("multicore: missing or not an object")
 	}
-	return checkShardRuns(mc, "multicore.")
+	if err := checkShardRuns(mc, "multicore."); err != nil {
+		return err
+	}
+	rows, ok := doc["scale"].([]any)
+	if !ok || len(rows) == 0 {
+		return fmt.Errorf("scale: missing or empty")
+	}
+	for i, r := range rows {
+		obj, ok := r.(map[string]any)
+		if !ok {
+			return fmt.Errorf("scale[%d]: not an object", i)
+		}
+		if err := checkFields(obj, scaleRunSchema); err != nil {
+			return fmt.Errorf("scale[%d]: %w", i, err)
+		}
+		// The footprint total must actually be the component sum — a
+		// desync means a component was added without threading it through.
+		fp := obj["footprint"].(map[string]any)
+		var sum float64
+		for _, v := range fp {
+			if n, ok := v.(float64); ok {
+				sum += n
+			}
+		}
+		if total, _ := obj["footprint_total_bytes"].(float64); total != sum {
+			return fmt.Errorf("scale[%d]: footprint_total_bytes %v is not the component sum %v", i, total, sum)
+		}
+	}
+	return nil
 }

@@ -1,0 +1,47 @@
+package dynamics
+
+import (
+	"testing"
+
+	"trimcaching/internal/rng"
+)
+
+// TestCheckpointAllocFree pins the tentpole's allocation contract on the
+// unsharded engine: with every pool at one worker (inline paths, no
+// goroutine spawns) and no trigger firing, a steady-state checkpoint —
+// walk, in-place delta refresh, fused fading measurement, Step — performs
+// zero heap allocations. Scratch growth is allowed to settle over a few
+// warm-up checkpoints first (arena and batch buffers grow to the walk's
+// high-water mark); after that, any allocation on this path is a
+// regression against the pooled buffers.
+func TestCheckpointAllocFree(t *testing.T) {
+	cfg, err := NewSmokeScaleConfig(Incremental)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Tracks[0].Trigger = NeverTrigger{}
+	cfg.Workers = 1
+	e, err := NewEngine(cfg, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := 0
+	checkpoint := func() {
+		cp++
+		if err := e.Advance(); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Refresh(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Step(cp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 6; i++ {
+		checkpoint()
+	}
+	if avg := testing.AllocsPerRun(5, checkpoint); avg != 0 {
+		t.Fatalf("steady-state checkpoint allocates %.1f times per run, want 0", avg)
+	}
+}

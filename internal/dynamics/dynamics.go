@@ -32,6 +32,7 @@ import (
 
 	"trimcaching/internal/bitset"
 	"trimcaching/internal/geom"
+	"trimcaching/internal/memprof"
 	"trimcaching/internal/mobility"
 	"trimcaching/internal/placement"
 	"trimcaching/internal/rng"
@@ -226,6 +227,10 @@ type Engine struct {
 	baselines  []float64
 	accPairs   []bitset.Set // per track: reach pairs changed since its last solve
 
+	measureSrc   rng.Source // per-checkpoint stream, reseeded in place
+	stepHit      []float64  // reused Step buffers; valid until the next Step
+	stepReplaced []bool
+
 	slotsPerCheckpoint int
 	checkpoints        int // excluding t = 0
 	replacements       []int
@@ -276,6 +281,8 @@ func NewEngine(cfg Config, src *rng.Source) (*Engine, error) {
 		placements:         make([]*placement.Placement, len(cfg.Tracks)),
 		baselines:          make([]float64, len(cfg.Tracks)),
 		accPairs:           make([]bitset.Set, len(cfg.Tracks)),
+		stepHit:            make([]float64, len(cfg.Tracks)),
+		stepReplaced:       make([]bool, len(cfg.Tracks)),
 		slotsPerCheckpoint: int(float64(cfg.CheckpointMin*60)/cfg.SlotS + 0.5),
 		checkpoints:        cfg.DurationMin / cfg.CheckpointMin,
 		replacements:       make([]int, len(cfg.Tracks)),
@@ -419,9 +426,11 @@ func (e *Engine) refresh(revised, massOnly []int, moved []int, pos []geom.Point)
 
 // Measure scores every track's current placement on checkpoint cp's
 // measurement stream (paired across tracks): fading realizations on the
-// Monte-Carlo track, a synthesized request window on the trace track.
+// Monte-Carlo track, a synthesized request window on the trace track. The
+// result may alias measurement-owned scratch: it is valid until the next
+// Measure or Replace call, and callers that keep the values copy them.
 func (e *Engine) Measure(cp int) ([]float64, error) {
-	hits, err := e.measure.Measure(e.eval, e.placements, e.src.SplitIndex("fading", cp))
+	hits, err := e.measure.Measure(e.eval, e.placements, e.src.SplitIndexInto(&e.measureSrc, "fading", cp))
 	if err != nil {
 		return nil, fmt.Errorf("dynamics: %w", err)
 	}
@@ -452,7 +461,7 @@ func (e *Engine) Replace(a, cp int) (float64, error) {
 	e.accPairs[a].Zero()
 	e.placements[a] = p
 	e.replacements[a]++
-	base, err := e.measure.Measure(e.eval, e.placements[a:a+1], e.src.SplitIndex("refade", cp))
+	base, err := e.measure.Measure(e.eval, e.placements[a:a+1], e.src.SplitIndexInto(&e.measureSrc, "refade", cp))
 	if err != nil {
 		return 0, fmt.Errorf("dynamics: %w", err)
 	}
@@ -597,7 +606,14 @@ func (e *Engine) Run() (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		res.Steps = append(res.Steps, step)
+		// Step's slices are engine-owned and reused; the result keeps its
+		// own copies.
+		kept := Step{
+			TimeMin:  step.TimeMin,
+			HitRatio: append([]float64(nil), step.HitRatio...),
+			Replaced: append([]bool(nil), step.Replaced...),
+		}
+		res.Steps = append(res.Steps, kept)
 	}
 	return res, nil
 }
@@ -607,6 +623,11 @@ func (e *Engine) Run() (*Result, error) {
 // re-baseline) the tracks whose trigger fired. Callers driving the engine
 // externally (the shard layer) call it once per checkpoint after
 // ApplyExternal; Run uses it verbatim.
+//
+// The returned step's HitRatio and Replaced slices are engine-owned and
+// reused: they are valid until the next Step call, so the steady-state
+// checkpoint loop allocates nothing. Callers that keep steps copy the
+// slices (Run does).
 func (e *Engine) Step(cp int) (Step, error) {
 	hits, err := e.Measure(cp)
 	if err != nil {
@@ -614,16 +635,21 @@ func (e *Engine) Step(cp int) (Step, error) {
 	}
 	step := Step{
 		TimeMin:  float64(cp * e.cfg.CheckpointMin),
-		HitRatio: make([]float64, len(e.cfg.Tracks)),
-		Replaced: make([]bool, len(e.cfg.Tracks)),
+		HitRatio: e.stepHit[:len(e.cfg.Tracks)],
+		Replaced: e.stepReplaced[:len(e.cfg.Tracks)],
 	}
 	copy(step.HitRatio, hits)
+	for a := range step.Replaced {
+		step.Replaced[a] = false
+	}
 	for a, tr := range e.cfg.Tracks {
 		trigger := tr.Trigger
 		if trigger == nil {
 			trigger = NeverTrigger{}
 		}
-		if !trigger.Fire(cp, hits[a], e.baselines[a]) {
+		// Read the copied hit ratio, not the measurement's buffer: a Replace
+		// for an earlier track re-measures and overwrites that buffer.
+		if !trigger.Fire(cp, step.HitRatio[a], e.baselines[a]) {
 			continue
 		}
 		hr, err := e.Replace(a, cp)
@@ -642,6 +668,30 @@ func (e *Engine) Step(cp int) (Step, error) {
 // Replacements returns track a's re-placement count so far (excluding the
 // initial placement).
 func (e *Engine) Replacements(a int) int { return e.replacements[a] }
+
+// MemoryFootprint returns the engine's memory accounting: the instance's
+// own breakdown, plus the evaluator state, the measurement scratch (for
+// measurements that report it), the per-track placements (counted with the
+// evaluator), and the engine's loop scratch.
+func (e *Engine) MemoryFootprint() memprof.Footprint {
+	f := e.ins.MemoryFootprint()
+	f.Evaluator += e.eval.MemoryBytes()
+	for _, p := range e.placements {
+		if p != nil {
+			f.Evaluator += p.MemoryBytes()
+		}
+	}
+	if m, ok := e.measure.(interface{ MemoryBytes() int64 }); ok {
+		f.Measurement += m.MemoryBytes()
+	}
+	f.Scratch += int64(cap(e.allUsers))*8 + int64(cap(e.positions))*16
+	f.Scratch += int64(cap(e.movedSeen)) + int64(cap(e.baselines))*8
+	f.Scratch += int64(cap(e.stepHit))*8 + int64(cap(e.stepReplaced))
+	for a := range e.accPairs {
+		f.Scratch += int64(cap(e.accPairs[a])) * 8
+	}
+	return f
+}
 
 // Run builds an engine and drives the full timeline.
 func Run(cfg Config, src *rng.Source) (*Result, error) {

@@ -1,0 +1,70 @@
+package dynamics
+
+import (
+	"testing"
+
+	"trimcaching/internal/rng"
+)
+
+// TestEngineMemoryFootprint sanity-checks the accounting seam the scale
+// benchmark reports through: after a few checkpoints every component the
+// unsharded engine owns is populated, and the footprint is stable once the
+// pooled buffers reach their high-water mark (the same steady state the
+// allocation pin measures).
+func TestEngineMemoryFootprint(t *testing.T) {
+	cfg, err := NewSmokeScaleConfig(Incremental)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(cfg, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cp := 1; cp <= 4; cp++ {
+		if err := e.Advance(); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Refresh(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Step(cp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f := e.MemoryFootprint()
+	for _, c := range []struct {
+		name  string
+		bytes int64
+	}{
+		{"reach", f.Reach}, {"rank", f.Rank}, {"rates", f.Rates},
+		{"workload", f.Workload}, {"topology", f.Topology},
+		{"evaluator", f.Evaluator}, {"measurement", f.Measurement},
+		{"scratch", f.Scratch},
+	} {
+		if c.bytes <= 0 {
+			t.Errorf("%s bytes = %d, want > 0", c.name, c.bytes)
+		}
+	}
+	if f.Coordinator != 0 {
+		t.Errorf("unsharded engine reports %d coordinator bytes, want 0", f.Coordinator)
+	}
+	if f.Total() <= 0 {
+		t.Fatalf("total = %d, want > 0", f.Total())
+	}
+	before := f.Total()
+	for cp := 5; cp <= 8; cp++ {
+		if err := e.Advance(); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Refresh(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Step(cp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := e.MemoryFootprint().Total()
+	if after < before {
+		t.Fatalf("footprint shrank %d → %d; capacities must be monotone", before, after)
+	}
+}

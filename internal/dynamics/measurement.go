@@ -49,6 +49,7 @@ type FadingMeasurement struct {
 	BlockSize int
 
 	session *sim.FadingSession
+	hits    []float64 // reused result buffer; valid until the next Measure
 }
 
 // Name implements Measurement.
@@ -73,7 +74,25 @@ func (m *FadingMeasurement) Measure(eval *placement.Evaluator, placements []*pla
 		m.session = sim.NewFadingSession(eval.Instance(), workers)
 		m.session.SetBlockSize(m.BlockSize)
 	}
-	return m.session.Evaluate(eval, placements, m.Realizations, src)
+	// The result buffer is measurement-owned and reused: valid until the
+	// next Measure call, so the steady-state checkpoint loop allocates
+	// nothing. Callers that keep the values copy them (the engine does).
+	hits, err := m.session.EvaluateInto(m.hits, eval, placements, m.Realizations, src)
+	if err != nil {
+		return nil, err
+	}
+	m.hits = hits[:cap(hits)]
+	return hits, nil
+}
+
+// MemoryBytes returns the heap bytes the measurement's session scratch
+// owns (the engine's Measurement footprint component).
+func (m *FadingMeasurement) MemoryBytes() int64 {
+	var n int64
+	if m.session != nil {
+		n += m.session.MemoryBytes()
+	}
+	return n + int64(cap(m.hits))*8
 }
 
 // TraceMeasurement is the trace-driven track: each checkpoint synthesizes a

@@ -48,6 +48,12 @@ func NewPlacement(numServers, numModels int) *Placement {
 	}
 }
 
+// MemoryBytes returns the heap bytes the placement owns (its row and
+// column bit tables).
+func (p *Placement) MemoryBytes() int64 {
+	return int64(cap(p.rows)+cap(p.cols)) * 8
+}
+
 // NumServers returns M.
 func (p *Placement) NumServers() int { return p.numServers }
 
@@ -197,6 +203,27 @@ func NewEvaluator(ins *scenario.Instance) (*Evaluator, error) {
 		baseValid: bitset.New(M * I),
 		baseGen:   ins.Generation(),
 	}, nil
+}
+
+// MemoryBytes returns the heap bytes the evaluator owns: the transposed
+// probability table, the marginal-gain memo and its validity set, the
+// persistent commit heap (entries, position index, staleness set) and its
+// per-solve working copy, the lazily built block masks, and the
+// candidate-overlay scratch. The instance is accounted separately
+// (scenario.Instance.MemoryFootprint).
+func (e *Evaluator) MemoryBytes() int64 {
+	const candSize = 16 // candidate: key float64 + two int32 coordinates
+	n := int64(cap(e.probT)+cap(e.baseGain)) * 8
+	n += int64(cap(e.baseValid)+cap(e.heapStale)) * 8
+	n += int64(cap(e.heapEnt)+cap(e.workHeap)) * candSize
+	n += int64(cap(e.heapPos)) * 4
+	n += int64(cap(e.blockMasks))*8 + int64(cap(e.blockSizes))*8
+	n += int64(cap(e.overlayWords)) * 8
+	for v := range e.overlayViews {
+		n += int64(cap(e.overlayViews[v].words)) * 8
+	}
+	n += int64(cap(e.overlayViews)) * 24
+	return n
 }
 
 // BaseGain returns u0(m,i): the marginal cache-hit mass of placing model i

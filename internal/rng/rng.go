@@ -24,16 +24,24 @@ type Source struct {
 
 // New returns a source seeded from seed via splitmix64.
 func New(seed uint64) *Source {
-	src := Source{seed: seed}
+	src := &Source{}
+	src.Reseed(seed)
+	return src
+}
+
+// Reseed reinitializes the receiver in place to the state New(seed) would
+// produce, so long-lived loops can re-derive per-iteration streams into a
+// caller-owned Source without allocating.
+func (r *Source) Reseed(seed uint64) {
+	r.seed = seed
 	sm := seed
-	for i := range src.s {
-		sm, src.s[i] = splitmix64(sm)
+	for i := range r.s {
+		sm, r.s[i] = splitmix64(sm)
 	}
 	// xoshiro must not be seeded with the all-zero state.
-	if src.s == [4]uint64{} {
-		src.s[0] = 0x9e3779b97f4a7c15
+	if r.s == [4]uint64{} {
+		r.s[0] = 0x9e3779b97f4a7c15
 	}
-	return &src
 }
 
 // splitmix64 advances the splitmix64 state and returns (next state, output).
@@ -79,6 +87,48 @@ func (r *Source) Split(label string) *Source {
 // one stream per Monte-Carlo trial.
 func (r *Source) SplitIndex(prefix string, idx int) *Source {
 	return r.Split(prefix + "/" + strconv.Itoa(idx))
+}
+
+// SplitIndexInto reseeds dst to the exact stream SplitIndex(prefix, idx)
+// would return, without building the label string or allocating a Source.
+// It hashes prefix, '/', and the decimal digits of idx through the same
+// FNV-64 fold Split applies to the concatenated label, so the two paths are
+// bit-identical. dst is returned for convenience.
+func (r *Source) SplitIndexInto(dst *Source, prefix string, idx int) *Source {
+	h := uint64(14695981039346656037) // FNV-64 offset basis
+	for i := 0; i < len(prefix); i++ {
+		h ^= uint64(prefix[i])
+		h *= 1099511628211
+	}
+	h ^= uint64('/')
+	h *= 1099511628211
+	// strconv.Itoa's digits, folded without materializing the string.
+	var buf [20]byte
+	n := len(buf)
+	u := uint64(idx)
+	neg := idx < 0
+	if neg {
+		u = uint64(-idx)
+	}
+	for {
+		n--
+		buf[n] = byte('0' + u%10)
+		u /= 10
+		if u == 0 {
+			break
+		}
+	}
+	if neg {
+		n--
+		buf[n] = '-'
+	}
+	for _, b := range buf[n:] {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	_, mix := splitmix64(r.seed ^ 0xa5a5a5a5deadbeef)
+	dst.Reseed(mix ^ h)
+	return dst
 }
 
 // SaltSeed deterministically derives a new seed from seed and label, so

@@ -1,0 +1,39 @@
+package rng
+
+import "testing"
+
+// TestSplitIndexIntoMatchesSplitIndex pins the allocation-free reseed path
+// against the string-building one, bit for bit: same seed material, same
+// label fold, same stream. The hot checkpoint loop depends on this identity
+// to re-derive per-checkpoint fading streams without allocating.
+func TestSplitIndexIntoMatchesSplitIndex(t *testing.T) {
+	parent := New(42)
+	var dst Source
+	for _, prefix := range []string{"fading", "real", "", "x/y"} {
+		for _, idx := range []int{0, 1, 9, 10, 123456789, -1, -987654321} {
+			want := parent.SplitIndex(prefix, idx)
+			got := parent.SplitIndexInto(&dst, prefix, idx)
+			if got != &dst {
+				t.Fatalf("SplitIndexInto must return dst")
+			}
+			for draw := 0; draw < 4; draw++ {
+				w, g := want.Uint64(), got.Uint64()
+				if w != g {
+					t.Fatalf("prefix %q idx %d draw %d: %#x, want %#x", prefix, idx, draw, g, w)
+				}
+			}
+		}
+	}
+}
+
+func TestSplitIndexIntoAllocFree(t *testing.T) {
+	parent := New(7)
+	var dst Source
+	idx := 0
+	if avg := testing.AllocsPerRun(100, func() {
+		idx++
+		parent.SplitIndexInto(&dst, "fading", idx)
+	}); avg != 0 {
+		t.Fatalf("SplitIndexInto allocates %.1f times per run, want 0", avg)
+	}
+}

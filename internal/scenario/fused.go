@@ -59,6 +59,16 @@ type FadeScratch struct {
 	views     []ServerColumns
 }
 
+// MemoryBytes returns the heap bytes the scratch owns at its current
+// grown-to capacity.
+func (s *FadeScratch) MemoryBytes() int64 {
+	n := int64(cap(s.linkStart)+cap(s.cursor)+cap(s.dirWords)+cap(s.dirCuts)) * 4
+	n += int64(cap(s.rates)+cap(s.relay)+cap(s.rowBuf)+cap(s.dirRates)) * 8
+	n += int64(cap(s.hits)+cap(s.covMask)+cap(s.dirBits)) * 8
+	n += int64(cap(s.cols)+cap(s.views)) * 24
+	return n
+}
+
 // ViewScratch returns a reusable ServerColumns slice of length n, for
 // wrappers (placement.Evaluator.FadedHitRatios) that adapt concrete
 // placement types per call without allocating per realization.

@@ -45,6 +45,31 @@ func Generate(lib *modellib.Library, cfg GenConfig, src *rng.Source) (*Instance,
 	return NewShadowed(topo, lib, work, cfg.Wireless, shadow)
 }
 
+// GenerateCoordinator samples the identical topology and workload draw as
+// Generate (same sub-streams, bit for bit) but assembles a coordinator
+// instance (NewCoordinator): thresholds, rank index, topology, and workload
+// only — no per-link rates and no reachability tables. This is the global
+// instance a sharded engine should be handed at scale, where the full
+// O(M·K + K·I·words) state would cost gigabytes nobody reads. Shadowed
+// configurations are rejected (coordinators carry no per-link state).
+func GenerateCoordinator(lib *modellib.Library, cfg GenConfig, src *rng.Source) (*Instance, error) {
+	if lib == nil {
+		return nil, fmt.Errorf("scenario: library is required")
+	}
+	if cfg.Wireless.ShadowingStdDB > 0 {
+		return nil, fmt.Errorf("scenario: coordinator instances carry no per-link shadowing state")
+	}
+	topo, err := topology.Generate(cfg.Topology, src.Split("topology"))
+	if err != nil {
+		return nil, fmt.Errorf("scenario: generate topology: %w", err)
+	}
+	work, err := workload.Generate(cfg.Topology.NumUsers, lib.NumModels(), cfg.Workload, src.Split("workload"))
+	if err != nil {
+		return nil, fmt.Errorf("scenario: generate workload: %w", err)
+	}
+	return NewCoordinator(topo, lib, work, cfg.Wireless)
+}
+
 // SampleGains draws one Rayleigh block-fading realization: unit-mean
 // exponential power gains for every (server, user) link.
 func SampleGains(numServers, numUsers int, src *rng.Source) [][]float64 {

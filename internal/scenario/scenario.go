@@ -17,6 +17,7 @@ import (
 
 	"trimcaching/internal/bitset"
 	"trimcaching/internal/geom"
+	"trimcaching/internal/memprof"
 	"trimcaching/internal/modellib"
 	"trimcaching/internal/topology"
 	"trimcaching/internal/wireless"
@@ -85,6 +86,16 @@ type Instance struct {
 	updTouched    []uint64   // per-(model, server-word) touched masks, I*serverWords
 	updMaxWorkers int        // caller-imposed update worker bound; 0 = GOMAXPROCS
 	rankBuf       []rankPair // per-user rank rebuild scratch (ReviseUsers)
+	updErrs       []error    // per-worker error scratch
+	updBounds     []int      // bucket-aligned split scratch (applyOpsBucketed)
+	updRevised    []int      // Delta.Revised scratch
+	updDelta      Delta      // the reused delta returned by ReviseUsers
+	moveScratch   *topology.MoveScratch
+
+	// coordinator marks a rank/workload-only instance (NewCoordinator):
+	// position-dependent state — rates, relay rates, packed reachability —
+	// is never materialized, and the update/measurement paths reject it.
+	coordinator bool
 
 	// Threshold rank index, built at construction: each user's models
 	// ordered by ascending rate threshold. Delta updates use it as a flip
@@ -113,7 +124,7 @@ type RankProvider func(k int, dirOrder []int32, dirVals []float64, relOrder []in
 
 // New validates the components and precomputes rates, latencies, and I1.
 func New(topo *topology.Topology, lib *modellib.Library, work *workload.Workload, wcfg wireless.Config) (*Instance, error) {
-	return newInstance(topo, lib, work, wcfg, nil, nil)
+	return newInstance(topo, lib, work, wcfg, nil, nil, false)
 }
 
 // NewRanked is New with a rank provider installed before the threshold
@@ -123,7 +134,7 @@ func New(topo *topology.Topology, lib *modellib.Library, work *workload.Workload
 // come straight from the global index. The provider stays installed for
 // later rebinds (see SetRankProvider).
 func NewRanked(topo *topology.Topology, lib *modellib.Library, work *workload.Workload, wcfg wireless.Config, provider RankProvider) (*Instance, error) {
-	return newInstance(topo, lib, work, wcfg, nil, provider)
+	return newInstance(topo, lib, work, wcfg, nil, provider, false)
 }
 
 // NewShadowed builds an instance with per-link log-normal shadowing gains
@@ -131,12 +142,30 @@ func NewRanked(topo *topology.Topology, lib *modellib.Library, work *workload.Wo
 // the average-channel rates used for placement and every fading
 // realization. nil disables shadowing.
 func NewShadowed(topo *topology.Topology, lib *modellib.Library, work *workload.Workload, wcfg wireless.Config, shadow [][]float64) (*Instance, error) {
-	return newInstance(topo, lib, work, wcfg, shadow, nil)
+	return newInstance(topo, lib, work, wcfg, shadow, nil, false)
 }
 
-// newInstance is the one construction path behind New, NewRanked, and
-// NewShadowed.
-func newInstance(topo *topology.Topology, lib *modellib.Library, work *workload.Workload, wcfg wireless.Config, shadow [][]float64, provider RankProvider) (*Instance, error) {
+// NewCoordinator builds a rank/workload-only instance: thresholds and the
+// threshold rank index are computed, but the position-dependent state — the
+// M×K rate table, relay rates, and both packed reachability orientations,
+// together O(M·K + M·K·I/8) bytes — is never materialized. The shard layer's
+// coordinator needs exactly the position-independent parts (topology
+// positions, workload rows, library, wireless config, rank rows to seed the
+// cells' RankProvider); at K=1M the skipped arrays are tens of gigabytes
+// that no cell ever reads. Coordinator instances reject UpdateUsers,
+// ReviseUsers, and Rebuild; cells carry their own full instances.
+func NewCoordinator(topo *topology.Topology, lib *modellib.Library, work *workload.Workload, wcfg wireless.Config) (*Instance, error) {
+	ins, err := newInstance(topo, lib, work, wcfg, nil, nil, true)
+	return ins, err
+}
+
+// Coordinator reports whether this is a rank/workload-only instance built by
+// NewCoordinator.
+func (ins *Instance) Coordinator() bool { return ins.coordinator }
+
+// newInstance is the one construction path behind New, NewRanked,
+// NewShadowed, and NewCoordinator.
+func newInstance(topo *topology.Topology, lib *modellib.Library, work *workload.Workload, wcfg wireless.Config, shadow [][]float64, provider RankProvider, coordinator bool) (*Instance, error) {
 	if topo == nil || lib == nil || work == nil {
 		return nil, fmt.Errorf("scenario: topology, library, and workload are required")
 	}
@@ -156,7 +185,7 @@ func newInstance(topo *topology.Topology, lib *modellib.Library, work *workload.
 			wcfg.CoverageRadiusM, topo.CoverageRadius())
 	}
 
-	ins := &Instance{topo: topo, lib: lib, work: work, wcfg: wcfg, shadow: shadow}
+	ins := &Instance{topo: topo, lib: lib, work: work, wcfg: wcfg, shadow: shadow, coordinator: coordinator}
 	M, K, I := topo.NumServers(), topo.NumUsers(), lib.NumModels()
 	if shadow != nil {
 		if len(shadow) != M {
@@ -169,22 +198,24 @@ func newInstance(topo *topology.Topology, lib *modellib.Library, work *workload.
 		}
 	}
 
-	ins.avgRate = make([]float64, M*K)
-	for m := 0; m < M; m++ {
-		load := topo.Load(m)
-		for _, k := range topo.UsersOf(m) {
-			rate, err := wcfg.FadedRateBps(topo.Distance(m, k), load, ins.shadowGain(m, k))
-			if err != nil {
-				return nil, fmt.Errorf("scenario: rate m=%d k=%d: %w", m, k, err)
+	if !coordinator {
+		ins.avgRate = make([]float64, M*K)
+		for m := 0; m < M; m++ {
+			load := topo.Load(m)
+			for _, k := range topo.UsersOf(m) {
+				rate, err := wcfg.FadedRateBps(topo.Distance(m, k), load, ins.shadowGain(m, k))
+				if err != nil {
+					return nil, fmt.Errorf("scenario: rate m=%d k=%d: %w", m, k, err)
+				}
+				ins.avgRate[m*K+k] = rate
 			}
-			ins.avgRate[m*K+k] = rate
 		}
-	}
-	ins.bestRelay = make([]float64, K)
-	for k := 0; k < K; k++ {
-		for _, m := range topo.ServersCovering(k) {
-			if ins.avgRate[m*K+k] > ins.bestRelay[k] {
-				ins.bestRelay[k] = ins.avgRate[m*K+k]
+		ins.bestRelay = make([]float64, K)
+		for k := 0; k < K; k++ {
+			for _, m := range topo.ServersCovering(k) {
+				if ins.avgRate[m*K+k] > ins.bestRelay[k] {
+					ins.bestRelay[k] = ins.avgRate[m*K+k]
+				}
 			}
 		}
 	}
@@ -204,14 +235,16 @@ func newInstance(topo *topology.Topology, lib *modellib.Library, work *workload.
 
 	ins.serverWords = bitset.Words(M)
 	ins.userWords = bitset.Words(K)
-	ins.reachSrv = make([]uint64, K*I*ins.serverWords)
-	ins.fillReach(ins.avgRate, ins.bestRelay, ins.reachSrv)
-	ins.reachUsr = make([]uint64, M*I*ins.userWords)
-	for k := 0; k < K; k++ {
-		for i := 0; i < I; i++ {
-			ins.ServerMask(k, i).ForEach(func(m int) {
-				bitset.Set(ins.reachUsr[(i*M+m)*ins.userWords:]).Set(k)
-			})
+	if !coordinator {
+		ins.reachSrv = make([]uint64, K*I*ins.serverWords)
+		ins.fillReach(ins.avgRate, ins.bestRelay, ins.reachSrv)
+		ins.reachUsr = make([]uint64, M*I*ins.userWords)
+		for k := 0; k < K; k++ {
+			for i := 0; i < I; i++ {
+				ins.ServerMask(k, i).ForEach(func(m int) {
+					bitset.Set(ins.reachUsr[(i*M+m)*ins.userWords:]).Set(k)
+				})
+			}
 		}
 	}
 	ins.totalMass = work.TotalMass()
@@ -366,7 +399,10 @@ func (ins *Instance) RevisionGeneration() int { return ins.revGen }
 func (ins *Instance) Shadowed() bool { return ins.shadow != nil }
 
 // Delta describes what one UpdateUsers call changed, in the form the
-// warm-start machinery consumes.
+// warm-start machinery consumes. The delta returned by
+// UpdateUsers/ReviseUsers — struct and slices — is owned by the instance
+// and reused: it is valid until the next update call, and callers that
+// hold deltas across updates must copy what they keep.
 type Delta struct {
 	// Gen is the instance generation this delta produced.
 	Gen int
@@ -436,8 +472,27 @@ func (ins *Instance) UpdateUsers(moved []int, pos []geom.Point) (*Delta, error) 
 // it in the cell it entered.
 func (ins *Instance) ReviseUsers(revised, massOnly []int, moved []int, pos []geom.Point) (*Delta, error) {
 	M, K, I := ins.NumServers(), ins.NumUsers(), ins.NumModels()
-	oldTopo := ins.topo
-	newTopo, loadChanged, err := oldTopo.MoveUsers(moved, pos)
+	if ins.coordinator {
+		return nil, fmt.Errorf("scenario: coordinator instances carry no rate or reachability state to update")
+	}
+	for _, k := range revised {
+		if k < 0 || k >= K {
+			return nil, fmt.Errorf("scenario: revised user %d out of range [0,%d)", k, K)
+		}
+	}
+	for _, k := range massOnly {
+		if k < 0 || k >= K {
+			return nil, fmt.Errorf("scenario: mass-revised user %d out of range [0,%d)", k, K)
+		}
+	}
+	if ins.moveScratch == nil {
+		ins.moveScratch = topology.NewMoveScratch(K, M)
+	}
+	// The topology is mutated in place — the instance privately owns it —
+	// with each moved user's pre-move coverage row parked in the move
+	// scratch for the update pass below. No snapshot copies: this is the
+	// checkpoint loop's dominant allocation site at scale.
+	loadChanged, err := ins.topo.MoveUsersInPlace(moved, pos, ins.moveScratch)
 	if err != nil {
 		return nil, fmt.Errorf("scenario: %w", err)
 	}
@@ -449,16 +504,6 @@ func (ins *Instance) ReviseUsers(revised, massOnly []int, moved []int, pos []geo
 		bitset.Set(ins.updFullRow).SetAll(M)
 	}
 	ins.ensureFlipIndex()
-	for _, k := range revised {
-		if k < 0 || k >= K {
-			return nil, fmt.Errorf("scenario: revised user %d out of range [0,%d)", k, K)
-		}
-	}
-	for _, k := range massOnly {
-		if k < 0 || k >= K {
-			return nil, fmt.Errorf("scenario: mass-revised user %d out of range [0,%d)", k, K)
-		}
-	}
 	dirty := ins.updDirty
 	for _, k := range revised {
 		ins.reviseThresholds(k)
@@ -471,11 +516,10 @@ func (ins *Instance) ReviseUsers(revised, massOnly []int, moved []int, pos []geo
 	for _, m := range loadChanged {
 		// Users that left m's coverage are movers and already dirty; the
 		// remaining (old ∩ new) and entering users are all in the new list.
-		for _, k := range newTopo.UsersOf(m) {
+		for _, k := range ins.topo.UsersOf(m) {
 			dirty[k] = true
 		}
 	}
-	ins.topo = newTopo
 	dirtyUsers := ins.updUsers[:0]
 	for k := 0; k < K; k++ {
 		if dirty[k] {
@@ -489,7 +533,8 @@ func (ins *Instance) ReviseUsers(revised, massOnly []int, moved []int, pos []geo
 	// reach rows are disjoint per user, so workers write them directly;
 	// inverted-index updates land in per-worker op buffers. Phase 2 applies
 	// the ops — written bits are unique per (user, server, model), so the
-	// outcome is bit-identical for any worker count.
+	// outcome is bit-identical for any worker count. A single-worker run
+	// stays on the calling goroutine: no spawns, no allocation.
 	workers := len(dirtyUsers) / minUsersPerWorker
 	if gmp := runtime.GOMAXPROCS(0); workers > gmp {
 		workers = gmp
@@ -503,24 +548,32 @@ func (ins *Instance) ReviseUsers(revised, massOnly []int, moved []int, pos []geo
 	for len(ins.updWorkers) < workers {
 		ins.updWorkers = append(ins.updWorkers, newUpdWorker(M, I, ins.serverWords))
 	}
-	errs := make([]error, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo, hi := w*len(dirtyUsers)/workers, (w+1)*len(dirtyUsers)/workers
-		uw := ins.updWorkers[w]
-		uw.ops = uw.ops[:0]
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			for _, k := range dirtyUsers[lo:hi] {
-				if err := ins.updateUser(k, oldTopo, uw); err != nil {
-					errs[w] = err
-					return
-				}
-			}
-		}(w, lo, hi)
+	if cap(ins.updErrs) < workers {
+		ins.updErrs = make([]error, workers)
 	}
-	wg.Wait()
+	errs := ins.updErrs[:workers]
+	for w := range errs {
+		errs[w] = nil
+	}
+	if workers == 1 {
+		ins.updWorkers[0].ops = ins.updWorkers[0].ops[:0]
+		ins.updateUserRange(dirtyUsers, errs, 0)
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			lo, hi := w*len(dirtyUsers)/workers, (w+1)*len(dirtyUsers)/workers
+			ins.updWorkers[w].ops = ins.updWorkers[w].ops[:0]
+			wg.Add(1)
+			// The share is passed by value: capturing dirtyUsers itself would
+			// move the slice variable to the heap on every call, including
+			// single-worker calls that never reach this branch.
+			go func(w int, share []int) {
+				defer wg.Done()
+				ins.updateUserRange(share, errs, w)
+			}(w, dirtyUsers[lo:hi])
+		}
+		wg.Wait()
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -536,7 +589,12 @@ func (ins *Instance) ReviseUsers(revised, massOnly []int, moved []int, pos []geo
 	// per op on a gigabyte-scale index. Small deltas keep the direct loop —
 	// bucketing has a fixed two-pass cost that only pays for itself in
 	// bulk.
-	pairs := bitset.New(M * I)
+	if ins.updDelta.Pairs == nil {
+		ins.updDelta.Pairs = bitset.New(M * I)
+	} else {
+		ins.updDelta.Pairs.Zero()
+	}
+	pairs := ins.updDelta.Pairs
 	total := 0
 	for _, uw := range ins.updWorkers[:workers] {
 		total += len(uw.ops)
@@ -588,13 +646,38 @@ func (ins *Instance) ReviseUsers(revised, massOnly []int, moved []int, pos []geo
 		// stays bit-identical to a fresh build over the same workload.
 		ins.totalMass = ins.work.TotalMass()
 		ins.revGen++
-		revCopy = make([]int, 0, len(revised)+len(massOnly))
-		revCopy = append(append(revCopy, revised...), massOnly...)
+		ins.updRevised = append(append(ins.updRevised[:0], revised...), massOnly...)
+		revCopy = ins.updRevised
 	}
 	ins.gen++
-	// The dirty-user list scratch is reused by the next call; the delta
-	// gets its own copy so callers can hold deltas across updates.
-	return &Delta{Gen: ins.gen, Users: append([]int(nil), dirtyUsers...), Pairs: pairs, Revised: revCopy, RevGen: ins.revGen}, nil
+	// The delta and every slice it carries are owned by the instance and
+	// valid until the next UpdateUsers/ReviseUsers call; steady-state
+	// callers (the dynamics engines) consume it before their next refresh,
+	// so the loop allocates nothing. Holding a delta across updates
+	// requires a copy.
+	ins.updDelta.Gen = ins.gen
+	ins.updDelta.Users = dirtyUsers
+	ins.updDelta.Revised = revCopy
+	ins.updDelta.RevGen = ins.revGen
+	return &ins.updDelta, nil
+}
+
+// updateUserRange refreshes one worker's share of the dirty users,
+// recording the first error in errs[w]. A user moved by the current call
+// diffs against its parked pre-move coverage row; any other dirty user's
+// coverage is unchanged, so the live row is the old row.
+func (ins *Instance) updateUserRange(dirtyUsers []int, errs []error, w int) {
+	uw := ins.updWorkers[w]
+	for _, k := range dirtyUsers {
+		oldCovering, movedNow := ins.moveScratch.OldCovering(k)
+		if !movedNow {
+			oldCovering = ins.topo.ServersCovering(k)
+		}
+		if err := ins.updateUser(k, oldCovering, uw); err != nil {
+			errs[w] = err
+			return
+		}
+	}
 }
 
 // reconcileUserBits rewrites user k's inverted-index bits from its reach
@@ -825,7 +908,11 @@ func (ins *Instance) applyOpsBucketed(pairs bitset.Set, workers, total, shift in
 	}
 	// Bucket-aligned split: applier w starts at the first bucket whose ops
 	// begin at or after w's even share of the total.
-	bounds := make([]int, workers+1)
+	if cap(ins.updBounds) < workers+1 {
+		ins.updBounds = make([]int, workers+1)
+	}
+	bounds := ins.updBounds[:workers+1]
+	bounds[0] = 0
 	bounds[workers] = total
 	for w := 1; w < workers; w++ {
 		b := sort.SearchInts(off, w*total/workers)
@@ -861,9 +948,8 @@ func (ins *Instance) applyOpsBucketed(pairs bitset.Set, workers, total, shift in
 // bitwise unaffected by their staleness, and the shard layer's ghost bands
 // stop paying per-bit bookkeeping. ReviseUsers reconciles the bits when a
 // user regains mass.
-func (ins *Instance) updateUser(k int, oldTopo *topology.Topology, w *updWorker) error {
+func (ins *Instance) updateUser(k int, oldCovering []int, w *updWorker) error {
 	K := ins.NumUsers()
-	oldCovering := oldTopo.ServersCovering(k)
 	newCovering := ins.topo.ServersCovering(k)
 	oldRelay := ins.bestRelay[k]
 	for _, m := range oldCovering {
@@ -1166,6 +1252,40 @@ func (ins *Instance) recomputeUserRows(k int, covering []int, w *updWorker, trac
 	copy(rows, w.rows)
 }
 
+// MemoryFootprint reports the heap bytes the instance owns, by component:
+// both packed reachability orientations, the threshold rank index, the
+// rate/threshold tables, the workload (headers only when rows alias a
+// parent), the topology, and the reusable update scratch. Capacities are
+// counted, not lengths — the footprint is what the instance pins in steady
+// state.
+func (ins *Instance) MemoryFootprint() memprof.Footprint {
+	var f memprof.Footprint
+	f.Reach = int64(cap(ins.reachSrv)+cap(ins.reachUsr)) * 8
+	f.Rank = int64(cap(ins.flipDirOrder)+cap(ins.flipRelOrder))*4 +
+		int64(cap(ins.flipDirVals)+cap(ins.flipRelVals))*8
+	f.Rates = int64(cap(ins.avgRate)+cap(ins.bestRelay)+cap(ins.minDirRate)+cap(ins.minRelRate)+cap(ins.sizeBits)) * 8
+	for m := range ins.shadow {
+		f.Rates += int64(cap(ins.shadow[m])) * 8
+	}
+	f.Workload = ins.work.MemoryBytes()
+	f.Topology = ins.topo.MemoryBytes()
+	f.Scratch = int64(cap(ins.updDirty)+cap(ins.updForce)+cap(ins.userHasMass)) * 1
+	f.Scratch += int64(cap(ins.updUsers)+cap(ins.updOff)+cap(ins.updCur)+cap(ins.updBounds)+cap(ins.updRevised)) * 8
+	f.Scratch += int64(cap(ins.updFullRow)+cap(ins.updTouched)) * 8
+	f.Scratch += int64(cap(ins.updOps)) * 16
+	f.Scratch += int64(cap(ins.rankBuf)) * 16
+	f.Scratch += int64(cap(ins.updDelta.Pairs)) * 8
+	for _, uw := range ins.updWorkers {
+		f.Scratch += int64(cap(uw.oldRate)+cap(uw.dirRates))*8 +
+			int64(cap(uw.dirBits)+cap(uw.covMask)+cap(uw.rows))*8 +
+			int64(cap(uw.ops))*16
+	}
+	if ins.moveScratch != nil {
+		f.Scratch += ins.moveScratch.MemoryBytes()
+	}
+	return f
+}
+
 // Topology returns the deployment.
 func (ins *Instance) Topology() *topology.Topology { return ins.topo }
 
@@ -1287,6 +1407,11 @@ func (r *Reach) Dims() (numServers, numUsers, numModels int) {
 
 // Words returns the number of words in each server mask.
 func (r *Reach) Words() int { return r.words }
+
+// MemoryBytes returns the heap bytes the buffer owns.
+func (r *Reach) MemoryBytes() int64 {
+	return int64(cap(r.bits)+cap(r.rates)+cap(r.relay)) * 8
+}
 
 // PackedServerMasks returns every server mask concatenated, laid out
 // [(k*I+i)*Words() + w]. The slice aliases the buffer; callers must treat

@@ -1,0 +1,51 @@
+package shard
+
+import (
+	"testing"
+
+	"trimcaching/internal/dynamics"
+	"trimcaching/internal/rng"
+)
+
+// TestShardCheckpointAllocFree pins the tentpole's allocation contract on
+// the sharded engine: with the cell pool and every per-cell measurement
+// pinned to one worker (inline paths, no goroutine spawns) and no trigger
+// firing, a steady-state checkpoint — global walk, membership plan with
+// live handoffs, per-cell in-place delta refresh, fused measurement, and
+// aggregation — performs zero heap allocations. The pooled handoff path is
+// exactly what this exercises: departure parkings, ownership flips, and
+// arrival rebinds all flow through reused batch buffers into each cell's
+// ReviseUsers call. Warm-up checkpoints let the arena and batch buffers
+// grow to the walk's high-water mark; growth-forced cell rebuilds would
+// allocate, so the warmed scenario must not overflow during the measured
+// window (deterministic in the seed — this is a regression pin, not a
+// statistical test).
+func TestShardCheckpointAllocFree(t *testing.T) {
+	cfg := smokeShardConfig(t, 2, 1, dynamics.Incremental)
+	cfg.Tracks = []dynamics.Track{{Algorithm: cfg.Tracks[0].Algorithm, Trigger: dynamics.NeverTrigger{}}}
+	cfg.MeasureWorkers = 1
+	e, err := NewEngine(cfg, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := 0
+	checkpoint := func() {
+		cp++
+		if _, err := e.Checkpoint(cp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		checkpoint()
+	}
+	handoffs, grows := e.Handoffs(), e.Grows()
+	if avg := testing.AllocsPerRun(6, checkpoint); avg != 0 {
+		t.Fatalf("steady-state sharded checkpoint allocates %.1f times per run, want 0", avg)
+	}
+	if e.Handoffs() == handoffs {
+		t.Fatalf("measured window saw no handoffs; the pin did not exercise the handoff path")
+	}
+	if e.Grows() != grows {
+		t.Fatalf("measured window grew a cell; pick a seed/warm-up that stays within slot headroom")
+	}
+}

@@ -32,6 +32,32 @@ import (
 // comparison runs. Deterministic in the fixed seed, so every shard count
 // sees the identical deployment, workload, and walk.
 func NewBenchConfig(users, servers, models, shards int) (Config, error) {
+	return newBenchConfig(users, servers, models, shards, topology.LayoutUniform, false)
+}
+
+// NewScaleBenchConfig is NewBenchConfig at coordinator scale — the K = 1M
+// configuration of the memory-accounted scale benchmark. Two changes make
+// the million-user row feasible and well-formed:
+//
+//   - The global instance is a coordinator (scenario.GenerateCoordinator):
+//     thresholds, rank index, topology, and workload only. A full global
+//     instance carries O(M·K) rates and O(K·I·words) reachability that no
+//     cell ever reads — at K = 1M that is tens of gigabytes and minutes of
+//     construction spent on dead state.
+//   - Servers deploy on a grid (topology.LayoutGrid) instead of uniformly
+//     at random, so every shard cell structurally owns at least one server
+//     (NewEngine rejects empty cells; at hundreds of servers over dozens of
+//     cells a uniform draw leaves a cell empty with noticeable probability).
+//
+// The draw differs from NewBenchConfig's (the layouts differ), so scale
+// rows are not comparable point-for-point with the uniform-layout sweep;
+// they share everything else — density, library, wireless, workload,
+// timeline.
+func NewScaleBenchConfig(users, servers, models, shards int) (Config, error) {
+	return newBenchConfig(users, servers, models, shards, topology.LayoutGrid, true)
+}
+
+func newBenchConfig(users, servers, models, shards int, layout topology.Layout, coordinator bool) (Config, error) {
 	lcfg := libgen.DefaultLoRAConfig(models)
 	lcfg.FoundationParams = 1_000_000_000
 	lib, err := libgen.GenerateLoRA(lcfg)
@@ -46,8 +72,12 @@ func NewBenchConfig(users, servers, models, shards int) (Config, error) {
 	wl.DeadlineMinS, wl.DeadlineMaxS = 60, 180
 	wl.InferMinS, wl.InferMaxS = 1, 5
 	side := 1000 * math.Sqrt(float64(servers)/10)
-	ins, err := scenario.Generate(lib, scenario.GenConfig{
-		Topology: topology.Config{AreaSideM: side, NumServers: servers, NumUsers: users, CoverageRadiusM: w.CoverageRadiusM},
+	gen := scenario.Generate
+	if coordinator {
+		gen = scenario.GenerateCoordinator
+	}
+	ins, err := gen(lib, scenario.GenConfig{
+		Topology: topology.Config{AreaSideM: side, NumServers: servers, NumUsers: users, CoverageRadiusM: w.CoverageRadiusM, ServerLayout: layout},
 		Wireless: w,
 		Workload: wl,
 	}, rng.New(1).Split("instance"))

@@ -34,6 +34,7 @@ import (
 
 	"trimcaching/internal/dynamics"
 	"trimcaching/internal/geom"
+	"trimcaching/internal/memprof"
 	"trimcaching/internal/mobility"
 	"trimcaching/internal/rng"
 	"trimcaching/internal/scenario"
@@ -315,6 +316,10 @@ type Engine struct {
 	zeroRow  []float64
 	refBuf   []ref // plan-phase scratch for one user's new refs
 	headroom float64
+
+	planScratch []int     // plan-phase localCells backing, reused
+	aggStep     Step      // aggregate's reused result; valid until the next call
+	aggNum      []float64 // aggregate's weighted-sum scratch
 }
 
 // NewEngine validates the configuration, partitions servers into cells,
@@ -521,7 +526,16 @@ func (e *Engine) buildCell(sh *cell, locals []int) error {
 	}
 	measureWorkers := e.cfg.MeasureWorkers
 	if measureWorkers <= 0 {
-		measureWorkers = runtime.GOMAXPROCS(0) / e.cfg.Shards
+		// Divide the CPU budget by the cells actually running concurrently —
+		// the effective cell-pool width — not by the cell count: a
+		// Workers:1 engine over 8 shards runs cells serially, so each cell's
+		// measurement may use the whole budget, and an explicit Workers pin
+		// caps the budget itself.
+		budget := runtime.GOMAXPROCS(0)
+		if e.cfg.Workers > 0 && e.cfg.Workers < budget {
+			budget = e.cfg.Workers
+		}
+		measureWorkers = budget / e.workers
 		if measureWorkers < 1 {
 			measureWorkers = 1
 		}
@@ -608,18 +622,33 @@ func (e *Engine) Grows() int { return e.grows }
 // instance TotalMass is exactly its owned request mass — ghost and spare
 // rows are zero). A single cell passes its hit ratio through untouched,
 // keeping Shards = 1 bit-identical to the unsharded engine.
+//
+// The returned step's slices are engine-owned and reused: valid until the
+// next aggregate (Checkpoint) call. Callers that keep steps copy the
+// slices (Run does).
 func (e *Engine) aggregate(timeMin float64) Step {
+	nt := len(e.cfg.Tracks)
+	if cap(e.aggStep.HitRatio) < nt {
+		e.aggStep.HitRatio = make([]float64, nt)
+		e.aggStep.Replaced = make([]bool, nt)
+		e.aggNum = make([]float64, nt)
+	}
 	step := Step{
 		TimeMin:  timeMin,
-		HitRatio: make([]float64, len(e.cfg.Tracks)),
-		Replaced: make([]bool, len(e.cfg.Tracks)),
+		HitRatio: e.aggStep.HitRatio[:nt],
+		Replaced: e.aggStep.Replaced[:nt],
 	}
 	if len(e.cells) == 1 {
 		copy(step.HitRatio, e.cells[0].lastStep.HitRatio)
 		copy(step.Replaced, e.cells[0].lastStep.Replaced)
 		return step
 	}
-	num := make([]float64, len(e.cfg.Tracks))
+	num := e.aggNum[:nt]
+	for a := range num {
+		num[a] = 0
+		step.HitRatio[a] = 0
+		step.Replaced[a] = false
+	}
 	var den float64
 	for _, sh := range e.cells {
 		// Replacement flags aggregate regardless of mass: a cell can
@@ -650,9 +679,11 @@ func (e *Engine) aggregate(timeMin float64) Step {
 // baselineStep assembles the t = 0 step from the cells' initial baselines.
 func (e *Engine) baselineStep() Step {
 	for _, sh := range e.cells {
-		sh.lastStep = dynamics.Step{
-			HitRatio: append([]float64(nil), sh.lastBaseline...),
-			Replaced: make([]bool, len(e.cfg.Tracks)),
+		sh.lastStep.TimeMin = 0
+		sh.lastStep.HitRatio = append(sh.lastStep.HitRatio[:0], sh.lastBaseline...)
+		sh.lastStep.Replaced = sh.lastStep.Replaced[:0]
+		for range e.cfg.Tracks {
+			sh.lastStep.Replaced = append(sh.lastStep.Replaced, false)
 		}
 		sh.lastMass = sh.eng.Instance().TotalMass()
 	}
@@ -661,7 +692,8 @@ func (e *Engine) baselineStep() Step {
 
 // Checkpoint advances one checkpoint: walk all users, plan and apply the
 // membership diffs, refresh and measure every cell on the worker pool, and
-// aggregate. cp counts from 1.
+// aggregate. cp counts from 1. The returned step's slices are engine-owned
+// and reused (see aggregate); callers that keep steps copy them.
 func (e *Engine) Checkpoint(cp int) (Step, error) {
 	for s := 0; s < e.slotsPerCheckpoint; s++ {
 		if err := e.pop.Step(e.cfg.SlotS, e.walkSrc); err != nil {
@@ -692,13 +724,12 @@ func (e *Engine) plan() error {
 		sh.overflow = sh.overflow[:0]
 		sh.epoch++
 	}
-	scratch := make([]int, 0, 8)
 	for k := range e.positions {
 		pos := e.positions[k]
 		oldOwner := int(e.owner[k])
 		newOwner := e.grid.cellOf(pos)
-		newLocal := e.localCells(pos, newOwner, scratch)
-		scratch = newLocal
+		newLocal := e.localCells(pos, newOwner, e.planScratch)
+		e.planScratch = newLocal
 		e.refBuf = e.refBuf[:0]
 
 		for _, r := range e.refs[k] {
@@ -847,8 +878,18 @@ func (sh *cell) revise(slot int, level int8) {
 // runCells refreshes and steps every cell on the worker pool. Cells are
 // independent (private instances, evaluators, and measurement scratch;
 // shared state is read-only), so the pool is a pure wall-clock lever:
-// results are bit-identical for any worker count.
+// results are bit-identical for any worker count. A single-worker engine
+// steps the cells inline — no channel, no goroutines — so the Workers:1
+// steady-state checkpoint allocates nothing.
 func (e *Engine) runCells(cp int) error {
+	if e.workers <= 1 {
+		for _, sh := range e.cells {
+			if err := e.runCell(sh, cp); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 	var (
 		wg       sync.WaitGroup
 		errMu    sync.Mutex
@@ -900,7 +941,10 @@ func (e *Engine) runCell(sh *cell, cp int) error {
 	if err != nil {
 		return fmt.Errorf("shard: cell %d: %w", sh.id, err)
 	}
-	sh.lastStep = st
+	// Step's slices are engine-owned and reused; keep cell-owned copies.
+	sh.lastStep.TimeMin = st.TimeMin
+	sh.lastStep.HitRatio = append(sh.lastStep.HitRatio[:0], st.HitRatio...)
+	sh.lastStep.Replaced = append(sh.lastStep.Replaced[:0], st.Replaced...)
 	sh.lastMass = sh.eng.Instance().TotalMass()
 	return nil
 }
@@ -912,13 +956,15 @@ func (e *Engine) Run() (*Result, error) {
 		Replacements: make([]int, len(e.cfg.Tracks)),
 		Cells:        len(e.cells),
 	}
-	res.Steps = append(res.Steps, e.baselineStep())
+	res.Steps = append(res.Steps, copyStep(e.baselineStep()))
 	for cp := 1; cp <= e.checkpoints; cp++ {
 		step, err := e.Checkpoint(cp)
 		if err != nil {
 			return nil, err
 		}
-		res.Steps = append(res.Steps, step)
+		// Checkpoint's slices are engine-owned and reused; the result keeps
+		// its own copies.
+		res.Steps = append(res.Steps, copyStep(step))
 	}
 	for a := range res.Replacements {
 		res.Replacements[a] = e.replacedBase[a]
@@ -929,6 +975,49 @@ func (e *Engine) Run() (*Result, error) {
 	res.Handoffs = e.handoffs
 	res.Grows = e.grows
 	return res, nil
+}
+
+// copyStep deep-copies a step whose slices alias engine-owned scratch.
+func copyStep(st Step) Step {
+	return Step{
+		TimeMin:  st.TimeMin,
+		HitRatio: append([]float64(nil), st.HitRatio...),
+		Replaced: append([]bool(nil), st.Replaced...),
+	}
+}
+
+// MemoryFootprint returns the sharded engine's memory accounting: the sum
+// of every cell's engine breakdown plus the cells' slot tables and batch
+// scratch, with the coordinator's own state — the global instance (its
+// whole footprint: topology, workload, and, for full instances, rank and
+// reach state no cell reads), the membership maps, and the plan-phase
+// scratch — under Coordinator. Build the global instance with
+// scenario.NewCoordinator to keep that component to the topology, workload,
+// and rank index alone.
+func (e *Engine) MemoryFootprint() memprof.Footprint {
+	var f memprof.Footprint
+	for _, sh := range e.cells {
+		f.Add(sh.eng.MemoryFootprint())
+		var cellScratch int64
+		cellScratch += int64(cap(sh.servers))*8 + int64(cap(sh.serverPts))*16 + int64(cap(sh.caps))*8
+		cellScratch += int64(cap(sh.slots)+cap(sh.free)+cap(sh.pendingMove)+cap(sh.moveEpoch)+cap(sh.revEpoch)) * 4
+		cellScratch += int64(cap(sh.revTouch)+cap(sh.revised)+cap(sh.massOnly)+cap(sh.moved)) * 8
+		cellScratch += int64(cap(sh.revLevel)) + int64(cap(sh.overflow))*4
+		cellScratch += int64(cap(sh.movedPos)) * 16
+		cellScratch += int64(cap(sh.lastStep.HitRatio)+cap(sh.lastBaseline))*8 + int64(cap(sh.lastStep.Replaced))
+		f.Scratch += cellScratch
+	}
+	g := e.cfg.Instance.MemoryFootprint()
+	f.Coordinator += g.Total()
+	f.Coordinator += int64(cap(e.positions))*16 + int64(cap(e.owner))*4
+	for k := range e.refs {
+		f.Coordinator += int64(cap(e.refs[k])) * 8
+	}
+	f.Coordinator += int64(cap(e.refs)) * 24
+	f.Coordinator += int64(cap(e.zeroRow)+cap(e.aggNum)+cap(e.aggStep.HitRatio))*8 +
+		int64(cap(e.aggStep.Replaced)) + int64(cap(e.planScratch))*8 + int64(cap(e.refBuf))*8 +
+		int64(cap(e.replacedBase))*8
+	return f
 }
 
 // Run builds a sharded engine and drives the full timeline.

@@ -253,9 +253,27 @@ type FadingSession struct {
 	scratch                         []*scenario.FadeScratch
 	bufs                            []*scenario.Reach // EvaluateUnfused only, lazy
 	gains                           [][][]float64     // EvaluateUnfused only, lazy
-	srcs                            [][]*rng.Source   // per-worker realization sources
+	srcs                            [][]*rng.Source   // per-worker realization source views
+	srcVals                         [][]rng.Source    // the sources behind srcs, reseeded in place
 	hr                              []float64
 	views                           []scenario.ServerColumns
+	ctx                             evalContext // reused fused-scoring context
+}
+
+// evalContext carries one Evaluate call's read-only scoring state. It lives
+// inside the session and is passed to the worker pool as a pointer, so the
+// hot path builds no closure: a fused evaluation allocates nothing once the
+// session buffers have grown to the call's shape.
+type evalContext struct {
+	s            *FadingSession
+	ins          *scenario.Instance
+	src          *rng.Source
+	views        []scenario.ServerColumns
+	hr           []float64
+	block        int
+	realizations int
+	placements   int
+	total        float64
 }
 
 // NewFadingSession allocates a session for instances with ins's dimensions
@@ -271,6 +289,7 @@ func NewFadingSession(ins *scenario.Instance, workers int) *FadingSession {
 		workers:    workers,
 		scratch:    make([]*scenario.FadeScratch, workers),
 		srcs:       make([][]*rng.Source, workers),
+		srcVals:    make([][]rng.Source, workers),
 	}
 	for w := 0; w < workers; w++ {
 		s.scratch[w] = ins.MakeFadeScratch()
@@ -301,6 +320,15 @@ func (s *FadingSession) SetBlockSize(n int) { s.blockSize = n }
 // and comparisons stay paired: every placement sees the same
 // realizations.
 func (s *FadingSession) Evaluate(eval *placement.Evaluator, placements []*placement.Placement, realizations int, src *rng.Source) ([]float64, error) {
+	return s.EvaluateInto(nil, eval, placements, realizations, src)
+}
+
+// EvaluateInto is Evaluate with a caller-provided result buffer: the
+// per-placement averages are written into dst (grown if its capacity is
+// short; pass nil to allocate fresh) and returned as dst[:len(placements)].
+// Checkpoint loops that evaluate every slot should pass a persistent buffer
+// so the steady state performs no allocation at all.
+func (s *FadingSession) EvaluateInto(dst []float64, eval *placement.Evaluator, placements []*placement.Placement, realizations int, src *rng.Source) ([]float64, error) {
 	ins, hr, workers, err := s.prepare(eval, placements, realizations)
 	if err != nil {
 		return nil, err
@@ -314,7 +342,6 @@ func (s *FadingSession) Evaluate(eval *placement.Evaluator, placements []*placem
 	for a, p := range placements {
 		views[a] = p
 	}
-	P := len(placements)
 	block := s.blockSize
 	if block <= 0 {
 		// Auto: split the realizations evenly across the workers, so the
@@ -329,37 +356,57 @@ func (s *FadingSession) Evaluate(eval *placement.Evaluator, placements []*placem
 	if workers > blocks {
 		workers = blocks
 	}
-	total := ins.TotalMass()
-	err = s.run(workers, blocks, func(w, b int) error {
-		r0 := b * block
-		n := block
-		if r0+n > realizations {
-			n = realizations - r0
-		}
-		srcs := s.srcs[w]
-		if cap(srcs) < n {
-			srcs = make([]*rng.Source, n)
-			s.srcs[w] = srcs
-		}
-		srcs = srcs[:n]
-		for j := range srcs {
-			// SplitIndex only reads the parent's immutable seed material,
-			// so concurrent splits are safe.
-			srcs[j] = src.SplitIndex("real", r0+j)
-		}
-		rows := hr[r0*P : (r0+n)*P]
-		if err := ins.FadedHitMassBlock(srcs, views, rows, s.scratch[w]); err != nil {
-			return err
-		}
-		for x := range rows {
-			rows[x] /= total
-		}
-		return nil
-	})
+	s.ctx = evalContext{
+		s:            s,
+		ins:          ins,
+		src:          src,
+		views:        views,
+		hr:           hr,
+		block:        block,
+		realizations: realizations,
+		placements:   len(placements),
+		total:        ins.TotalMass(),
+	}
+	err = s.run(workers, blocks, &s.ctx)
+	s.ctx = evalContext{} // drop the borrowed eval/src references
 	if err != nil {
 		return nil, err
 	}
-	return s.reduce(hr, len(placements), realizations)
+	return s.reduce(dst, hr, len(placements), realizations), nil
+}
+
+// score evaluates realization block b on worker w through one fused sweep.
+func (c *evalContext) score(w, b int) error {
+	s := c.s
+	r0 := b * c.block
+	n := c.block
+	if r0+n > c.realizations {
+		n = c.realizations - r0
+	}
+	srcs, vals := s.srcs[w], s.srcVals[w]
+	if cap(srcs) < n {
+		srcs = make([]*rng.Source, n)
+		vals = make([]rng.Source, n)
+		for j := range srcs {
+			srcs[j] = &vals[j]
+		}
+		s.srcs[w], s.srcVals[w] = srcs, vals
+	}
+	srcs, vals = srcs[:n], vals[:n]
+	for j := range vals {
+		// SplitIndexInto only reads the parent's immutable seed material,
+		// so concurrent splits are safe; the per-realization source values
+		// are worker-owned and reseeded in place.
+		c.src.SplitIndexInto(&vals[j], "real", r0+j)
+	}
+	rows := c.hr[r0*c.placements : (r0+n)*c.placements]
+	if err := c.ins.FadedHitMassBlock(srcs, c.views, rows, s.scratch[w]); err != nil {
+		return err
+	}
+	for x := range rows {
+		rows[x] /= c.total
+	}
+	return nil
 }
 
 // EvaluateUnfused is the two-pass reference path — FadedReach materializes
@@ -384,7 +431,7 @@ func (s *FadingSession) EvaluateUnfused(eval *placement.Evaluator, placements []
 			}
 		}
 	}
-	err = s.run(workers, realizations, func(w, r int) error {
+	err = s.run(workers, realizations, scoreFunc(func(w, r int) error {
 		gains := s.gains[w]
 		scenario.SampleGainsInto(gains, src.SplitIndex("real", r))
 		reach, err := ins.FadedReach(gains, s.bufs[w])
@@ -399,11 +446,11 @@ func (s *FadingSession) EvaluateUnfused(eval *placement.Evaluator, placements []
 			hr[r*len(placements)+a] = v
 		}
 		return nil
-	})
+	}))
 	if err != nil {
 		return nil, err
 	}
-	return s.reduce(hr, len(placements), realizations)
+	return s.reduce(nil, hr, len(placements), realizations), nil
 }
 
 // prepare validates the instance against the session dimensions and sizes
@@ -427,9 +474,32 @@ func (s *FadingSession) prepare(eval *placement.Evaluator, placements []*placeme
 	return ins, s.hr[:realizations*len(placements)], workers, nil
 }
 
+// scorer evaluates one task (a realization, or a realization block) on a
+// given worker slot. The fused path implements it on *evalContext so the
+// hot loop dispatches through a pre-built pointer rather than a closure.
+type scorer interface {
+	score(w, t int) error
+}
+
+// scoreFunc adapts a closure to the scorer interface (reference paths only;
+// the conversion allocates).
+type scoreFunc func(w, t int) error
+
+func (f scoreFunc) score(w, t int) error { return f(w, t) }
+
 // run dispatches tasks (realizations, or realization blocks) on a bounded
-// worker pool; the first error wins and the rest of the round drains.
-func (s *FadingSession) run(workers, tasks int, score func(w, t int) error) error {
+// worker pool; the first error wins and the rest of the round drains. A
+// single-worker run executes inline — no channel, no goroutine — so the
+// Workers:1 checkpoint loop stays allocation-free.
+func (s *FadingSession) run(workers, tasks int, sc scorer) error {
+	if workers <= 1 {
+		for t := 0; t < tasks; t++ {
+			if err := sc.score(0, t); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 	var (
 		wg       sync.WaitGroup
 		errMu    sync.Mutex
@@ -441,7 +511,7 @@ func (s *FadingSession) run(workers, tasks int, score func(w, t int) error) erro
 		go func(w int) {
 			defer wg.Done()
 			for r := range next {
-				if err := score(w, r); err != nil {
+				if err := sc.score(w, r); err != nil {
 					errMu.Lock()
 					if firstErr == nil {
 						firstErr = err
@@ -459,11 +529,48 @@ func (s *FadingSession) run(workers, tasks int, score func(w, t int) error) erro
 	return firstErr
 }
 
+// MemoryBytes returns the heap bytes the session owns: per-worker fused
+// scratch and realization sources, the per-realization score table, and the
+// lazily built unfused reference buffers when present.
+func (s *FadingSession) MemoryBytes() int64 {
+	const (
+		hdrSize = 24 // slice header
+		srcSize = 40 // rng.Source: 4-word state + seed
+	)
+	var n int64
+	for _, sc := range s.scratch {
+		n += sc.MemoryBytes()
+	}
+	n += int64(cap(s.scratch)+cap(s.srcs)+cap(s.srcVals)) * hdrSize
+	for w := range s.srcs {
+		n += int64(cap(s.srcs[w]))*8 + int64(cap(s.srcVals[w]))*srcSize
+	}
+	n += int64(cap(s.hr)) * 8
+	n += int64(cap(s.views)) * 16
+	for _, b := range s.bufs {
+		n += b.MemoryBytes()
+	}
+	for w := range s.gains {
+		n += int64(cap(s.gains[w])) * hdrSize
+		for m := range s.gains[w] {
+			n += int64(cap(s.gains[w][m])) * 8
+		}
+	}
+	return n
+}
+
 // reduce averages the per-realization scores in realization order (the
-// determinism contract: bit-identical for any worker count). The result is
-// freshly allocated — callers keep it across Evaluate calls.
-func (s *FadingSession) reduce(hr []float64, placements, realizations int) ([]float64, error) {
-	sums := make([]float64, placements)
+// determinism contract: bit-identical for any worker count) into dst, which
+// is grown when nil or short — so Evaluate allocates a fresh result while
+// EvaluateInto with a persistent buffer allocates nothing.
+func (s *FadingSession) reduce(dst []float64, hr []float64, placements, realizations int) []float64 {
+	if cap(dst) < placements {
+		dst = make([]float64, placements)
+	}
+	sums := dst[:placements]
+	for a := range sums {
+		sums[a] = 0
+	}
 	for r := 0; r < realizations; r++ {
 		for a := 0; a < placements; a++ {
 			sums[a] += hr[r*placements+a]
@@ -472,5 +579,5 @@ func (s *FadingSession) reduce(hr []float64, placements, realizations int) ([]fl
 	for a := range sums {
 		sums[a] /= float64(realizations)
 	}
-	return sums, nil
+	return sums
 }

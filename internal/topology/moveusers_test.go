@@ -103,6 +103,50 @@ func TestMoveUsersMatchesWithUserPositions(t *testing.T) {
 	}
 }
 
+// TestMoveUsersInPlaceMatchesMoveUsers drifts users through the mutating
+// arena-backed path and pins every snapshot against the copying MoveUsers
+// result: identical positions, coverage, server membership, and the same
+// loadChanged set. The checkpoint loop's zero-allocation contract rides on
+// the in-place path being a drop-in replacement.
+func TestMoveUsersInPlaceMatchesMoveUsers(t *testing.T) {
+	topo := moveTestTopology(t)
+	scratch := NewMoveScratch(topo.NumUsers(), topo.NumServers())
+	src := rng.New(9)
+	area := topo.Area()
+	for round := 0; round < 20; round++ {
+		n := 1 + int(src.Uint64()%uint64(topo.NumUsers()))
+		perm := src.Perm(topo.NumUsers())
+		moved := perm[:n]
+		pos := make([]geom.Point, n)
+		for j := range pos {
+			pos[j] = area.SamplePoints(src, 1)[0]
+		}
+		want, wantChanged, err := topo.MoveUsers(moved, pos)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotChanged, err := topo.MoveUsersInPlace(moved, pos, scratch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertTopologiesEqual(t, topo, want)
+		if len(gotChanged) != len(wantChanged) {
+			t.Fatalf("round %d: %d loadChanged servers, want %d", round, len(gotChanged), len(wantChanged))
+		}
+		for j := range wantChanged {
+			if gotChanged[j] != wantChanged[j] {
+				t.Fatalf("round %d: loadChanged[%d] = %d, want %d", round, j, gotChanged[j], wantChanged[j])
+			}
+		}
+		// The scratch must expose each mover's pre-move coverage row.
+		for _, k := range moved {
+			if _, ok := scratch.OldCovering(k); !ok {
+				t.Fatalf("round %d: scratch lost pre-move coverage for user %d", round, k)
+			}
+		}
+	}
+}
+
 func TestMoveUsersValidation(t *testing.T) {
 	topo := moveTestTopology(t)
 	p := topo.UserPos(0)

@@ -75,6 +75,9 @@ type Workload struct {
 	prob      [][]float64 // p[k][i], each row sums to 1
 	deadlineS [][]float64 // T̄[k][i] in seconds
 	inferS    [][]float64 // t[k][i] in seconds
+	// aliased marks a NewAliased slot table: rows point into a parent
+	// workload, so memory accounting counts only the row headers here.
+	aliased bool
 }
 
 // Generate samples a workload for numUsers users over numModels models.
@@ -139,6 +142,7 @@ func NewAliased(numUsers, numModels int) (*Workload, error) {
 		prob:      make([][]float64, numUsers),
 		deadlineS: make([][]float64, numUsers),
 		inferS:    make([][]float64, numUsers),
+		aliased:   true,
 	}
 	for k := 0; k < numUsers; k++ {
 		w.prob[k] = zero
@@ -220,6 +224,22 @@ func (w *Workload) TotalMass() float64 {
 		}
 	}
 	return total
+}
+
+// MemoryBytes returns the heap bytes the workload owns: row headers for
+// all three tables, plus the row data for workloads that own their rows.
+// Aliased slot tables (NewAliased) count headers only — their rows point
+// into a parent workload, which accounts for the data itself.
+func (w *Workload) MemoryBytes() int64 {
+	const hdrSize = 24 // slice header
+	n := int64(cap(w.prob)+cap(w.deadlineS)+cap(w.inferS)) * hdrSize
+	if w.aliased {
+		return n
+	}
+	for k := range w.prob {
+		n += int64(cap(w.prob[k])+cap(w.deadlineS[k])+cap(w.inferS[k])) * 8
+	}
+	return n
 }
 
 // UserTopModels returns user k's model indexes sorted by decreasing request
