@@ -13,7 +13,11 @@
 // timeline runs on the sharded multi-cell engine instead: the area is
 // partitioned into N geographic cells with per-cell instances and
 // placements, and the reported hit ratio is the request-mass-weighted
-// aggregate (fading measurement only).
+// aggregate (fading measurement only). With -gallery <name> it runs one
+// scenario-gallery timeline (outage, flashcrowd, diurnal, churn) through
+// BOTH the unsharded and the sharded engine and prints the event-annotated
+// trajectories; unset flags keep the gallery's golden defaults, so a bare
+// -gallery run reproduces the checked-in artifacts.
 //
 // Usage:
 //
@@ -23,9 +27,11 @@
 //	servesim -alg gen -mobility 120 -replace-threshold 0.1
 //	servesim -alg gen -trace -replace-threshold 0.1 -trigger-window 2
 //	servesim -alg gen -mobility 120 -shards 4 -users 300
+//	servesim -gallery outage -users 100000 -servers 100 -models 60 -mob-realizations 25
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -34,6 +40,7 @@ import (
 
 	"trimcaching/internal/cachesim"
 	"trimcaching/internal/dynamics"
+	"trimcaching/internal/experiments"
 	"trimcaching/internal/libgen"
 	"trimcaching/internal/placement"
 	"trimcaching/internal/rng"
@@ -72,6 +79,9 @@ func run(args []string, stdout io.Writer) error {
 	traceDriven := fs.Bool("trace", false, "trace-driven mobility: measure checkpoints by serving synthesized request windows at -rate instead of fading Monte-Carlo")
 	triggerWindow := fs.Int("trigger-window", 1, "checkpoints averaged by the trace-driven replacement trigger")
 	shards := fs.Int("shards", 1, "partition the area into this many geographic cells with per-cell engines (mobility mode, fading measurement only)")
+	gallery := fs.String("gallery", "", "run this scenario-gallery timeline (outage, flashcrowd, diurnal, churn) through both engines instead of serving a trace")
+	reserveModels := fs.Int("reserve-models", 0, "extra adapters held back for gallery grow events (gallery mode)")
+	galleryJSON := fs.String("gallery-json", "", "also write the gallery artifact (both legs) to this JSON file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -83,6 +93,48 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if *traceDriven && *mobilityMin <= 0 {
 		*mobilityMin = 120 // the §VII-E timeline
+	}
+	if *gallery != "" {
+		// Start from the golden-pinned defaults and apply only the flags
+		// the user actually set, so a bare -gallery run reproduces the
+		// checked-in reduced-scale artifacts bit for bit.
+		set := map[string]bool{}
+		fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		gcfg := experiments.DefaultGalleryConfig()
+		if set["servers"] {
+			gcfg.Servers = *servers
+		}
+		if set["users"] {
+			gcfg.Users = *users
+		}
+		if set["models"] {
+			gcfg.Models = *models
+		}
+		if set["reserve-models"] {
+			gcfg.ReserveModels = *reserveModels
+		}
+		if set["capacity"] {
+			gcfg.CapacityBytes = int64(*capacityGB * 1e9)
+		}
+		if set["mobility"] {
+			gcfg.DurationMin = *mobilityMin
+		}
+		if set["checkpoint"] {
+			gcfg.CheckpointMin = *checkpointMin
+		}
+		if set["mob-realizations"] {
+			gcfg.Realizations = *mobRealizations
+		}
+		if set["shards"] {
+			gcfg.Shards = *shards
+		}
+		if set["seed"] {
+			gcfg.Seed = *seed
+		}
+		if *rebuild {
+			gcfg.Mode = dynamics.Rebuild
+		}
+		return runGallery(stdout, *gallery, gcfg, *galleryJSON)
 	}
 
 	algorithm, err := placement.ByName(*alg)
@@ -180,6 +232,83 @@ func run(args []string, stdout io.Writer) error {
 		res.P95Latency.Round(1_000_000), res.P99Latency.Round(1_000_000))
 	fmt.Fprintf(tw, "peak concurrency\t%d downloads on one server\n", res.PeakConcurrency)
 	return tw.Flush()
+}
+
+// runGallery drives one gallery scenario through both engines and prints
+// the event-annotated timelines side by side.
+func runGallery(stdout io.Writer, name string, base experiments.GalleryConfig, jsonOut string) error {
+	cfg, err := experiments.GalleryScenario(name, base)
+	if err != nil {
+		return err
+	}
+	unsharded, err := experiments.RunGallery(cfg)
+	if err != nil {
+		return err
+	}
+	sharded, err := experiments.RunGallerySharded(cfg)
+	if err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(stdout, 0, 0, 2, ' ', 0)
+	fmt.Fprintf(tw, "gallery scenario\t%s\n", cfg.Name)
+	fmt.Fprintf(tw, "deployment\tM=%d K=%d I=%d (+%d reserve) Q=%.2fGB shards=%d seed=%d\n",
+		cfg.Servers, cfg.Users, cfg.Models, cfg.ReserveModels, float64(cfg.CapacityBytes)/1e9, cfg.Shards, cfg.Seed)
+	fmt.Fprintf(tw, "timeline\t%d min, %d min checkpoints, %d fading realizations\n",
+		cfg.DurationMin, cfg.CheckpointMin, cfg.Realizations)
+	for _, res := range []*experiments.GalleryResult{unsharded, sharded} {
+		leg := "unsharded"
+		if res.Sharded {
+			leg = fmt.Sprintf("sharded (%d cells, %d handoffs, %d slot regrows)", cfg.Shards, res.Handoffs, res.Grows)
+		}
+		fmt.Fprintf(tw, "\t\t\n")
+		fmt.Fprintf(tw, "engine\t%s\t\n", leg)
+		fmt.Fprintf(tw, "time (min)\thit ratio\tevents\n")
+		for _, st := range res.Steps {
+			marker := ""
+			if st.Replaced {
+				marker = "<- replaced"
+			}
+			events := ""
+			for i, ev := range st.Events {
+				if i > 0 {
+					events += ", "
+				}
+				events += ev
+			}
+			if events != "" && marker != "" {
+				marker += " "
+			}
+			fmt.Fprintf(tw, "%.0f\t%.4f\t%s%s\n", st.TimeMin, st.HitRatio, marker, events)
+		}
+		fmt.Fprintf(tw, "replacements\t%d (final library %d models)\t\n", res.Replacements, res.FinalModels)
+		if res.PreOutageHit > 0 {
+			rec := "never"
+			if res.RecoveryCheckpoints >= 0 {
+				rec = fmt.Sprintf("%d checkpoints", res.RecoveryCheckpoints)
+			}
+			fmt.Fprintf(tw, "recovery\tpre-outage hit %.4f, recovered to %.0f%% in %s\t\n",
+				res.PreOutageHit, 100*cfg.RecoveryFrac, rec)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	if jsonOut != "" {
+		artifact := struct {
+			Config    experiments.GalleryConfig  `json:"config"`
+			Unsharded *experiments.GalleryResult `json:"unsharded"`
+			Sharded   *experiments.GalleryResult `json:"sharded"`
+		}{cfg, unsharded, sharded}
+		buf, err := json.MarshalIndent(artifact, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonOut, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", jsonOut)
+	}
+	return nil
 }
 
 // mobilityOptions collects the -mobility / -trace mode knobs.

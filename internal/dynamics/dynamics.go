@@ -469,6 +469,29 @@ func (e *Engine) Replace(a, cp int) (float64, error) {
 	return base[0], nil
 }
 
+// SetServersDown takes servers out of (or back into) service on the live
+// instance and threads the resulting delta through the evaluator and every
+// track's accumulated repair set, exactly like a refresh. It works in both
+// modes: the Incremental instance keeps the down set directly, and
+// scenario.Instance.Rebuild re-applies it on every Rebuild-mode refresh, so
+// the Incremental == Rebuild pin holds through outages. The caller decides
+// when tracks re-place (typically Replace right after, on both the outage
+// and the recovery — a degradation trigger alone would never fire on
+// recovery, since hit ratios only improve when servers return).
+func (e *Engine) SetServersDown(servers []int, down bool) error {
+	delta, err := e.ins.SetServersDown(servers, down)
+	if err != nil {
+		return fmt.Errorf("dynamics: %w", err)
+	}
+	if err := e.eval.ApplyDelta(delta); err != nil {
+		return fmt.Errorf("dynamics: %w", err)
+	}
+	for a := range e.accPairs {
+		e.accPairs[a].Or(delta.Pairs)
+	}
+	return nil
+}
+
 // ProfileCheckpoints advances n checkpoints and returns the wall time
 // spent refreshing the instance and — when forceReplace is set — re-solving
 // every track's placement at every checkpoint. The fading measurement is

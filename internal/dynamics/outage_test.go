@@ -1,0 +1,135 @@
+package dynamics
+
+import (
+	"testing"
+
+	"trimcaching/internal/rng"
+)
+
+// TestOutageRepairMatchesColdSolve is the outage-repair contract's
+// placement half: after SetServersDown, a warm-started Replace must yield
+// placements bit-identical to an engine built cold over the already
+// reduced instance — down servers' zero-gain columns receive nothing, and
+// the repair forgets nothing the cold solver would not also forget. The
+// recovery edge is pinned symmetrically: replacing after the servers
+// return reproduces the never-outaged engine's initial placements.
+func TestOutageRepairMatchesColdSolve(t *testing.T) {
+	downed := []int{0, 2}
+
+	warm, err := NewEngine(testConfig(testInstance(t, 42), nil, Incremental, 1), rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := warm.SetServersDown(downed, true); err != nil {
+		t.Fatal(err)
+	}
+	for a := range warm.cfg.Tracks {
+		if _, err := warm.Replace(a, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	reduced := testInstance(t, 42)
+	if _, err := reduced.SetServersDown(downed, true); err != nil {
+		t.Fatal(err)
+	}
+	cold, err := NewEngine(testConfig(reduced, nil, Incremental, 1), rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	assertPlacementsEqual(t, "warm repair vs cold reduced solve", warm, cold)
+	for a := range warm.cfg.Tracks {
+		for _, m := range downed {
+			if n := warm.Placement(a).Models(m).Count(); n != 0 {
+				t.Fatalf("track %d placed %d models on down server %d", a, n, m)
+			}
+		}
+	}
+
+	// Recovery: the restored geometry is bit-identical to the pre-outage
+	// instance, so a forced replace matches a never-outaged cold solve.
+	if err := warm.SetServersDown(downed, false); err != nil {
+		t.Fatal(err)
+	}
+	for a := range warm.cfg.Tracks {
+		if _, err := warm.Replace(a, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pristine, err := NewEngine(testConfig(testInstance(t, 42), nil, Incremental, 1), rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertPlacementsEqual(t, "post-recovery replace vs pristine solve", warm, pristine)
+}
+
+func assertPlacementsEqual(t *testing.T, label string, got, want *Engine) {
+	t.Helper()
+	for a := range want.cfg.Tracks {
+		g, w := got.Placement(a), want.Placement(a)
+		for m := 0; m < w.NumServers(); m++ {
+			if !g.Models(m).Equal(w.Models(m)) {
+				t.Fatalf("%s: track %d: server %d holds %v, want %v",
+					label, a, m, g.ModelsOn(m), w.ModelsOn(m))
+			}
+		}
+	}
+}
+
+// runOutageTimeline drives a six-checkpoint timeline with an outage at
+// checkpoint 2 and recovery at checkpoint 4, forcing a replace on both
+// edges — the dynamics-level shape of the gallery's outage scenario.
+func runOutageTimeline(t *testing.T, mode Mode, workers int) *Result {
+	t.Helper()
+	eng, err := NewEngine(testConfig(testInstance(t, 7), nil, mode, workers), rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	downed := []int{1, 4}
+	res := &Result{Replacements: make([]int, len(eng.cfg.Tracks))}
+	for cp := 1; cp <= eng.Checkpoints(); cp++ {
+		if cp == 2 || cp == 4 {
+			if err := eng.SetServersDown(downed, cp == 2); err != nil {
+				t.Fatal(err)
+			}
+			for a := range eng.cfg.Tracks {
+				if _, err := eng.Replace(a, cp); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := eng.Advance(); err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.Refresh(); err != nil {
+			t.Fatal(err)
+		}
+		st, err := eng.Step(cp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Steps = append(res.Steps, Step{
+			TimeMin:  st.TimeMin,
+			HitRatio: append([]float64(nil), st.HitRatio...),
+			Replaced: append([]bool(nil), st.Replaced...),
+		})
+	}
+	for a := range res.Replacements {
+		res.Replacements[a] = eng.Replacements(a)
+	}
+	return res
+}
+
+// TestOutageTimelineModeAndWorkerAgnostic pins the outage timeline
+// bit-identical between Incremental and Rebuild refreshes (Rebuild
+// re-applies the down set through Instance.Rebuild) and across worker
+// counts.
+func TestOutageTimelineModeAndWorkerAgnostic(t *testing.T) {
+	want := runOutageTimeline(t, Incremental, 1)
+	assertResultsEqual(t, runOutageTimeline(t, Incremental, 4), want, "workers 4 vs 1")
+	assertResultsEqual(t, runOutageTimeline(t, Rebuild, 1), want, "rebuild vs incremental")
+	if want.Replacements[0] < 2 {
+		t.Fatalf("forced replaces not counted: %v", want.Replacements)
+	}
+}

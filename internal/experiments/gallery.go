@@ -1,0 +1,782 @@
+// This file is the scenario gallery: a declarative event schedule (Timeline)
+// injected into a dynamics timeline run — server outages with forced repair
+// and recovery, flash-crowd and diurnal demand revisions through the
+// mass-only revise path, and rolling model-library churn via mid-timeline
+// instance rebuilds — executed identically through the unsharded engine
+// (RunGallery, externally-driven mobility) and the sharded engine
+// (RunGallerySharded). Each run emits a golden-pinnable GalleryResult: the
+// hit-ratio trajectory per checkpoint, which events landed where, the
+// re-placement count, and the measured recovery latency after an outage.
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"trimcaching/internal/dynamics"
+	"trimcaching/internal/geom"
+	"trimcaching/internal/libgen"
+	"trimcaching/internal/mobility"
+	"trimcaching/internal/modellib"
+	"trimcaching/internal/placement"
+	"trimcaching/internal/rng"
+	"trimcaching/internal/scenario"
+	"trimcaching/internal/shard"
+	"trimcaching/internal/topology"
+	"trimcaching/internal/wireless"
+	"trimcaching/internal/workload"
+)
+
+// EventKind names one scenario-event family.
+type EventKind string
+
+// The event families the gallery can inject at a checkpoint boundary.
+const (
+	// EventOutage takes Servers out of service and forces an immediate
+	// repair over the reduced server set.
+	EventOutage EventKind = "outage"
+	// EventRecovery returns Servers to service and forces a re-placement
+	// onto the restored capacity (a degradation trigger never fires on
+	// recovery — hit ratios only improve when servers come back).
+	EventRecovery EventKind = "recovery"
+	// EventDemand revises every user's popularity row to a blend of its
+	// base profile and a target profile, scaled by MassScale, through the
+	// mass-only revise path.
+	EventDemand EventKind = "demand"
+	// EventGrow appends Models adapters from the reserve library and
+	// rebuilds placements over the grown library at the current positions.
+	EventGrow EventKind = "grow"
+)
+
+// Event is one timestamped scenario event. Events fire at the start of
+// their checkpoint, before that checkpoint's mobility slots.
+type Event struct {
+	// Checkpoint is when the event fires, counting from 1.
+	Checkpoint int `json:"checkpoint"`
+	// Kind selects the event family.
+	Kind EventKind `json:"kind"`
+	// Servers lists the affected servers (outage and recovery).
+	Servers []int `json:"servers,omitempty"`
+	// HotModel is the demand target: a model id the crowd converges on, or
+	// -1 for each user's own popularity profile reversed (the diurnal
+	// "different population is awake" wave).
+	HotModel int `json:"hotModel,omitempty"`
+	// Weight is the demand blend weight in [0, 1]: 0 restores the base
+	// profile, 1 replaces it with the target.
+	Weight float64 `json:"weight,omitempty"`
+	// MassScale multiplies total request mass (demand); 0 means 1.
+	MassScale float64 `json:"massScale,omitempty"`
+	// Models is how many reserve adapters a grow event appends.
+	Models int `json:"models,omitempty"`
+}
+
+// Timeline is a declarative event schedule, ordered by checkpoint.
+type Timeline struct {
+	Events []Event `json:"events"`
+}
+
+// at returns the events firing at checkpoint cp, in schedule order.
+func (t Timeline) at(cp int) []Event {
+	var evs []Event
+	for _, ev := range t.Events {
+		if ev.Checkpoint == cp {
+			evs = append(evs, ev)
+		}
+	}
+	return evs
+}
+
+// GalleryConfig parameterizes one gallery scenario run. The deployment is
+// the shard benchmark's: a grid server layout at the paper's density (10
+// servers per km²), a LoRA library over a shared 1B-parameter foundation
+// model, LLM-provisioning deadlines, and an occasional-download activity
+// model — the setting where every event family has visible effect.
+type GalleryConfig struct {
+	// Name labels the scenario in artifacts ("outage", "flashcrowd", ...).
+	Name string `json:"name"`
+	// Servers, Users, Models shape the deployment; ReserveModels is how
+	// many extra adapters the master library holds for grow events.
+	Servers       int `json:"servers"`
+	Users         int `json:"users"`
+	Models        int `json:"models"`
+	ReserveModels int `json:"reserveModels"`
+	// CapacityBytes is the per-server storage budget; 0 means 2.06 GB —
+	// the shared 2 GB foundation plus 6 of the 10 MB adapters — so each
+	// server caches a small slice of the library and placement has to
+	// chase demand.
+	CapacityBytes int64 `json:"capacityBytes"`
+	// DurationMin, CheckpointMin, SlotS shape the timeline (§VII-E).
+	DurationMin   int     `json:"durationMin"`
+	CheckpointMin int     `json:"checkpointMin"`
+	SlotS         float64 `json:"slotS"`
+	// Realizations is the fading realizations per checkpoint measurement.
+	Realizations int `json:"realizations"`
+	// Mode selects Incremental or Rebuild refreshes (pinned identical).
+	Mode dynamics.Mode `json:"mode"`
+	// Workers bounds update/measurement parallelism; 0 means GOMAXPROCS.
+	// Results are bit-identical for any worker count.
+	Workers int `json:"workers,omitempty"`
+	// Shards is the cell count for the sharded leg (RunGallerySharded).
+	Shards int `json:"shards"`
+	// Seed makes the whole run deterministic.
+	Seed uint64 `json:"seed"`
+	// RecoveryFrac defines recovery: the first checkpoint at or after the
+	// recovery event whose hit ratio reaches RecoveryFrac times the
+	// pre-outage hit ratio. 0 means 0.98.
+	RecoveryFrac float64 `json:"recoveryFrac"`
+	// Timeline is the event schedule (see GalleryScenario).
+	Timeline Timeline `json:"timeline"`
+}
+
+// DefaultGalleryConfig returns the reduced-scale gallery setting used by
+// the golden tests and the CI smoke: large enough that every event family
+// moves the hit ratio, small enough to run in seconds.
+func DefaultGalleryConfig() GalleryConfig {
+	return GalleryConfig{
+		Servers:       12,
+		Users:         400,
+		Models:        24,
+		ReserveModels: 8,
+		CapacityBytes: 2_060_000_000,
+		DurationMin:   120,
+		CheckpointMin: 10,
+		SlotS:         5,
+		Realizations:  4,
+		Mode:          dynamics.Incremental,
+		Shards:        4,
+		Seed:          1,
+		RecoveryFrac:  0.98,
+	}
+}
+
+// Validate reports the first invalid field, if any.
+func (c GalleryConfig) Validate() error {
+	if c.Servers <= 0 || c.Users <= 0 || c.Models <= 0 {
+		return fmt.Errorf("gallery: need positive servers/users/models, got %d/%d/%d", c.Servers, c.Users, c.Models)
+	}
+	if c.ReserveModels < 0 {
+		return fmt.Errorf("gallery: ReserveModels must be >= 0, got %d", c.ReserveModels)
+	}
+	if c.DurationMin <= 0 || c.CheckpointMin <= 0 || c.DurationMin < c.CheckpointMin {
+		return fmt.Errorf("gallery: bad timeline %d/%d min", c.DurationMin, c.CheckpointMin)
+	}
+	if c.SlotS <= 0 {
+		return fmt.Errorf("gallery: SlotS must be positive")
+	}
+	if c.Realizations <= 0 {
+		return fmt.Errorf("gallery: Realizations must be positive")
+	}
+	if c.Shards <= 0 {
+		return fmt.Errorf("gallery: Shards must be positive, got %d", c.Shards)
+	}
+	if c.RecoveryFrac < 0 || c.RecoveryFrac > 1 {
+		return fmt.Errorf("gallery: RecoveryFrac %v outside [0, 1]", c.RecoveryFrac)
+	}
+	checkpoints := c.DurationMin / c.CheckpointMin
+	grown := 0
+	for e, ev := range c.Timeline.Events {
+		if ev.Checkpoint < 1 || ev.Checkpoint > checkpoints {
+			return fmt.Errorf("gallery: event %d at checkpoint %d outside [1, %d]", e, ev.Checkpoint, checkpoints)
+		}
+		switch ev.Kind {
+		case EventOutage, EventRecovery:
+			if len(ev.Servers) == 0 {
+				return fmt.Errorf("gallery: event %d (%s) names no servers", e, ev.Kind)
+			}
+			for _, m := range ev.Servers {
+				if m < 0 || m >= c.Servers {
+					return fmt.Errorf("gallery: event %d: server %d out of range [0,%d)", e, m, c.Servers)
+				}
+			}
+		case EventDemand:
+			if ev.HotModel < -1 || ev.HotModel >= c.Models {
+				return fmt.Errorf("gallery: event %d: hot model %d out of range [-1,%d)", e, ev.HotModel, c.Models)
+			}
+			if ev.Weight < 0 || ev.Weight > 1 {
+				return fmt.Errorf("gallery: event %d: weight %v outside [0, 1]", e, ev.Weight)
+			}
+			if ev.MassScale < 0 {
+				return fmt.Errorf("gallery: event %d: mass scale %v negative", e, ev.MassScale)
+			}
+		case EventGrow:
+			if ev.Models <= 0 {
+				return fmt.Errorf("gallery: event %d grows by %d models", e, ev.Models)
+			}
+			grown += ev.Models
+		default:
+			return fmt.Errorf("gallery: event %d has unknown kind %q", e, ev.Kind)
+		}
+	}
+	if grown > c.ReserveModels {
+		return fmt.Errorf("gallery: timeline grows %d models but only %d are reserved", grown, c.ReserveModels)
+	}
+	return nil
+}
+
+// GalleryNames lists the built-in scenarios in gallery order.
+func GalleryNames() []string { return []string{"outage", "flashcrowd", "diurnal", "churn"} }
+
+// GalleryScenario fills base's Name and Timeline with one of the built-in
+// scenario families, scheduled relative to base's checkpoint count:
+//
+//   - "outage": a quarter of the servers fail a third of the way in and
+//     return at two thirds, with forced repair on both edges.
+//   - "flashcrowd": demand converges hard on one model (blend 0.8) with a
+//     1.5x mass surge, then reverts.
+//   - "diurnal": every checkpoint re-blends demand along a raised-cosine
+//     wave toward each user's reversed profile — a different population
+//     waking up through the day.
+//   - "churn": the reserve adapters roll in as two library grows.
+func GalleryScenario(name string, base GalleryConfig) (GalleryConfig, error) {
+	cfg := base
+	cfg.Name = name
+	checkpoints := cfg.DurationMin / cfg.CheckpointMin
+	third := (checkpoints + 2) / 3
+	twoThirds := (2*checkpoints + 2) / 3
+	switch name {
+	case "outage":
+		downed := make([]int, 0, cfg.Servers/4)
+		for m := 0; m < (cfg.Servers+3)/4; m++ {
+			downed = append(downed, m)
+		}
+		cfg.Timeline = Timeline{Events: []Event{
+			{Checkpoint: third, Kind: EventOutage, Servers: downed},
+			{Checkpoint: twoThirds, Kind: EventRecovery, Servers: downed},
+		}}
+	case "flashcrowd":
+		cfg.Timeline = Timeline{Events: []Event{
+			{Checkpoint: third, Kind: EventDemand, HotModel: 0, Weight: 0.8, MassScale: 1.5},
+			{Checkpoint: twoThirds, Kind: EventDemand, HotModel: 0, Weight: 0, MassScale: 1},
+		}}
+	case "diurnal":
+		evs := make([]Event, 0, checkpoints)
+		for cp := 1; cp <= checkpoints; cp++ {
+			w := 0.45 * (1 - math.Cos(2*math.Pi*float64(cp)/float64(checkpoints)))
+			evs = append(evs, Event{Checkpoint: cp, Kind: EventDemand, HotModel: -1, Weight: w, MassScale: 1})
+		}
+		cfg.Timeline = Timeline{Events: evs}
+	case "churn":
+		first := cfg.ReserveModels / 2
+		second := cfg.ReserveModels - first
+		cfg.Timeline = Timeline{Events: []Event{
+			{Checkpoint: third, Kind: EventGrow, Models: first},
+			{Checkpoint: twoThirds, Kind: EventGrow, Models: second},
+		}}
+	default:
+		return GalleryConfig{}, fmt.Errorf("gallery: unknown scenario %q (have %v)", name, GalleryNames())
+	}
+	return cfg, cfg.Validate()
+}
+
+// GalleryStep is one checkpoint of a gallery timeline.
+type GalleryStep struct {
+	// TimeMin is minutes since the start.
+	TimeMin float64 `json:"timeMin"`
+	// HitRatio is the fading-averaged cache hit ratio.
+	HitRatio float64 `json:"hitRatio"`
+	// Replaced reports whether the placement was re-solved here, by the
+	// degradation trigger or an event's forced repair.
+	Replaced bool `json:"replaced"`
+	// Events labels the scenario events that fired at this checkpoint.
+	Events []string `json:"events,omitempty"`
+}
+
+// GalleryResult is one completed gallery scenario run.
+type GalleryResult struct {
+	// Scenario is the scenario name; Sharded tells which engine ran it.
+	Scenario string `json:"scenario"`
+	Sharded  bool   `json:"sharded"`
+	// Steps holds one entry per checkpoint, including t = 0.
+	Steps []GalleryStep `json:"steps"`
+	// Replacements counts re-placements over the whole run, including the
+	// re-solves forced by events and library grows.
+	Replacements int `json:"replacements"`
+	// FinalModels is the active library size at the end (grows included).
+	FinalModels int `json:"finalModels"`
+	// PreOutageHit is the hit ratio of the checkpoint preceding the first
+	// outage (0 when the timeline has no outage).
+	PreOutageHit float64 `json:"preOutageHit,omitempty"`
+	// RecoveryCheckpoints is how many checkpoints after the recovery event
+	// the hit ratio first reached RecoveryFrac times PreOutageHit; -1 when
+	// the timeline has no recovery or the run never recovered.
+	RecoveryCheckpoints int `json:"recoveryCheckpoints"`
+	// Handoffs and Grows are sharded-leg counters (cell ownership changes
+	// and slot-table overflow rebuilds).
+	Handoffs int `json:"handoffs,omitempty"`
+	Grows    int `json:"grows,omitempty"`
+}
+
+// galleryFoundationParams sizes the shared foundation model (1B parameters,
+// 2 GB at fp16), as in the shard benchmark deployment.
+const galleryFoundationParams = 1_000_000_000
+
+// gallerySetup is the state shared by both gallery legs: the master
+// library and workload (Models+ReserveModels wide), the fixed topology
+// draw, and the wireless/placement configuration.
+type gallerySetup struct {
+	cfg    GalleryConfig
+	itot   int
+	lib    *modellib.Library
+	topo   *topology.Topology
+	w      wireless.Config
+	master *workload.Workload
+	caps   []int64
+	tracks []dynamics.Track
+}
+
+// newGallerySetup validates cfg and draws the deployment. The topology and
+// master workload come from the same "instance" sub-streams Generate uses,
+// so the draw is stable in (config, seed) alone.
+func newGallerySetup(cfg GalleryConfig) (*gallerySetup, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.CapacityBytes == 0 {
+		cfg.CapacityBytes = 2_060_000_000
+	}
+	if cfg.RecoveryFrac == 0 {
+		cfg.RecoveryFrac = 0.98
+	}
+	itot := cfg.Models + cfg.ReserveModels
+	lcfg := libgen.DefaultLoRAConfig(itot)
+	lcfg.FoundationParams = galleryFoundationParams
+	lib, err := libgen.GenerateLoRA(lcfg)
+	if err != nil {
+		return nil, fmt.Errorf("gallery: %w", err)
+	}
+	w := wireless.DefaultConfig()
+	// A constrained backhaul (100 Mbps against a 2 GB foundation model)
+	// makes relay delivery miss every deadline: models are served from the
+	// covering servers' own caches, so per-server capacity binds and every
+	// event family — outages, demand waves, library churn — moves the hit
+	// ratio instead of being papered over by network-wide relay reach.
+	w.BackhaulBps = 1e8
+	w.ActiveProb = 0.02
+	wl := workload.DefaultConfig()
+	wl.DeadlineMinS, wl.DeadlineMaxS = 60, 180
+	wl.InferMinS, wl.InferMaxS = 1, 5
+	side := 1000 * math.Sqrt(float64(cfg.Servers)/10)
+	src := rng.New(cfg.Seed).Split("instance")
+	topo, err := topology.Generate(topology.Config{
+		AreaSideM:       side,
+		NumServers:      cfg.Servers,
+		NumUsers:        cfg.Users,
+		CoverageRadiusM: w.CoverageRadiusM,
+		ServerLayout:    topology.LayoutGrid,
+	}, src.Split("topology"))
+	if err != nil {
+		return nil, fmt.Errorf("gallery: %w", err)
+	}
+	master, err := workload.Generate(cfg.Users, itot, wl, src.Split("workload"))
+	if err != nil {
+		return nil, fmt.Errorf("gallery: %w", err)
+	}
+	return &gallerySetup{
+		cfg:    cfg,
+		itot:   itot,
+		lib:    lib,
+		topo:   topo,
+		w:      w,
+		master: master,
+		caps:   placement.UniformCapacities(cfg.Servers, cfg.CapacityBytes),
+		tracks: []dynamics.Track{{
+			Algorithm: placement.GenAlgorithm{Options: placement.GenOptions{Lazy: true}},
+			Trigger:   dynamics.ThresholdTrigger{Degradation: 0.05},
+		}},
+	}, nil
+}
+
+// activeInstance assembles an instance over the first active models of the
+// master library, with an aliased workload whose rows are prefixes of the
+// master rows — growing the library is then a pure prefix extension, and
+// the shared foundation blocks keep their identity across grows.
+func (s *gallerySetup) activeInstance(topo *topology.Topology, active int, coordinator bool) (*scenario.Instance, *workload.Workload, error) {
+	ids := make([]int, active)
+	for i := range ids {
+		ids[i] = i
+	}
+	alib, err := libgen.Subset(s.lib, ids)
+	if err != nil {
+		return nil, nil, fmt.Errorf("gallery: %w", err)
+	}
+	awork, err := workload.NewAliased(s.cfg.Users, active)
+	if err != nil {
+		return nil, nil, fmt.Errorf("gallery: %w", err)
+	}
+	for k := 0; k < s.cfg.Users; k++ {
+		if err := awork.SetUserRows(k, s.master.ProbRow(k)[:active], s.master.DeadlineRow(k)[:active], s.master.InferRow(k)[:active]); err != nil {
+			return nil, nil, fmt.Errorf("gallery: %w", err)
+		}
+	}
+	var ins *scenario.Instance
+	if coordinator {
+		ins, err = scenario.NewCoordinator(topo, alib, awork, s.w)
+	} else {
+		ins, err = scenario.New(topo, alib, awork, s.w)
+	}
+	if err != nil {
+		return nil, nil, fmt.Errorf("gallery: %w", err)
+	}
+	return ins, awork, nil
+}
+
+// demandState is the current demand blend: every user's live probability
+// row is base (the master prefix) blended toward a target profile and
+// scaled. Rows are written into ping-ponged arenas so a demand revision
+// always rebinds to fresh memory — consumers holding the previous rows
+// (aliased cell slot tables in the sharded leg) keep reading stable values
+// until their own revise rebinding.
+type demandState struct {
+	itot   int
+	master *workload.Workload
+	hot    int
+	weight float64
+	mass   float64
+	arenas [2][]float64
+	flip   int
+}
+
+func newDemandState(master *workload.Workload, itot int) *demandState {
+	return &demandState{itot: itot, master: master, mass: 1}
+}
+
+// set records a demand event's blend parameters.
+func (d *demandState) set(ev Event) {
+	d.hot, d.weight, d.mass = ev.HotModel, ev.Weight, ev.MassScale
+	if d.mass == 0 {
+		d.mass = 1
+	}
+}
+
+// active reports whether the live rows differ from the base profile.
+func (d *demandState) active() bool { return d.weight != 0 || d.mass != 1 }
+
+// apply rebinds every user's probability row in work to the current blend
+// at the given active library width. With no blend in effect the rows go
+// back to the master prefixes.
+func (d *demandState) apply(work *workload.Workload, active int) error {
+	K := work.NumUsers()
+	if !d.active() {
+		for k := 0; k < K; k++ {
+			if err := work.SetUserProbRow(k, d.master.ProbRow(k)[:active]); err != nil {
+				return fmt.Errorf("gallery: %w", err)
+			}
+		}
+		return nil
+	}
+	if d.arenas[d.flip] == nil {
+		d.arenas[d.flip] = make([]float64, K*d.itot)
+	}
+	arena := d.arenas[d.flip]
+	d.flip ^= 1
+	for k := 0; k < K; k++ {
+		base := d.master.ProbRow(k)
+		row := arena[k*d.itot : k*d.itot+active]
+		for i := 0; i < active; i++ {
+			target := 0.0
+			switch {
+			case d.hot >= 0:
+				if i == d.hot {
+					target = 1
+				}
+			default:
+				target = base[active-1-i]
+			}
+			row[i] = d.mass * ((1-d.weight)*base[i] + d.weight*target)
+		}
+		if err := work.SetUserProbRow(k, row); err != nil {
+			return fmt.Errorf("gallery: %w", err)
+		}
+	}
+	return nil
+}
+
+// eventLabel renders an event for the step artifact.
+func eventLabel(ev Event, active int) string {
+	switch ev.Kind {
+	case EventOutage, EventRecovery:
+		return fmt.Sprintf("%s(%d servers)", ev.Kind, len(ev.Servers))
+	case EventDemand:
+		mass := ev.MassScale
+		if mass == 0 {
+			mass = 1
+		}
+		return fmt.Sprintf("demand(hot=%d w=%.3f mass=%.3f)", ev.HotModel, ev.Weight, mass)
+	case EventGrow:
+		return fmt.Sprintf("grow(+%d -> %d models)", ev.Models, active)
+	default:
+		return string(ev.Kind)
+	}
+}
+
+// finishGallery computes the recovery latency and trims the result.
+func finishGallery(res *GalleryResult, cfg GalleryConfig, recoveryCp int) {
+	res.RecoveryCheckpoints = -1
+	if recoveryCp < 0 || res.PreOutageHit <= 0 {
+		return
+	}
+	target := cfg.RecoveryFrac * res.PreOutageHit
+	for cp := recoveryCp; cp < len(res.Steps); cp++ {
+		if res.Steps[cp].HitRatio >= target {
+			res.RecoveryCheckpoints = cp - recoveryCp
+			return
+		}
+	}
+}
+
+// RunGallery runs one gallery scenario through the unsharded dynamics
+// engine. The driver owns the mobility population (the engine runs in
+// ExternalMobility mode, exactly as the shard layer drives its cells) so
+// that scenario events can be injected at checkpoint boundaries: outages
+// and recoveries thread SetServersDown deltas through the evaluator and
+// force a Replace, demand revisions rebind probability rows and flow
+// through ApplyExternal's mass-only path, and library grows rebuild the
+// engine over the widened instance at the current user positions — with
+// the current down set re-applied first, so the grown t = 0 solve is over
+// the reduced server set too.
+func RunGallery(cfg GalleryConfig) (*GalleryResult, error) {
+	s, err := newGallerySetup(cfg)
+	if err != nil {
+		return nil, err
+	}
+	cfg = s.cfg // defaults filled
+	root := rng.New(cfg.Seed)
+	active := cfg.Models
+	ins, awork, err := s.activeInstance(s.topo, active, false)
+	if err != nil {
+		return nil, err
+	}
+	dcfg := dynamics.Config{
+		Instance:         ins,
+		Capacities:       s.caps,
+		Tracks:           s.tracks,
+		DurationMin:      cfg.DurationMin,
+		CheckpointMin:    cfg.CheckpointMin,
+		SlotS:            cfg.SlotS,
+		Realizations:     cfg.Realizations,
+		Workers:          cfg.Workers,
+		Mode:             cfg.Mode,
+		ExternalMobility: true,
+	}
+	eng, err := dynamics.NewEngine(dcfg, root)
+	if err != nil {
+		return nil, err
+	}
+	pop, err := mobility.NewPopulation(s.topo.Area(), s.topo.UserPositions(), root.Split("mobility"))
+	if err != nil {
+		return nil, err
+	}
+	walkSrc := root.Split("walk")
+	K := cfg.Users
+	allUsers := make([]int, K)
+	for k := range allUsers {
+		allUsers[k] = k
+	}
+	positions := make([]geom.Point, K)
+	pop.PositionsInto(positions)
+	demand := newDemandState(s.master, s.itot)
+	var currentDown []int
+
+	checkpoints := cfg.DurationMin / cfg.CheckpointMin
+	slots := int(float64(cfg.CheckpointMin*60)/cfg.SlotS + 0.5)
+	res := &GalleryResult{Scenario: cfg.Name, Steps: make([]GalleryStep, 0, checkpoints+1)}
+	res.Steps = append(res.Steps, GalleryStep{TimeMin: 0, HitRatio: eng.Baseline(0)})
+	replacements := 0
+	recoveryCp := -1
+
+	for cp := 1; cp <= checkpoints; cp++ {
+		var labels []string
+		var massRev []int
+		forced := false
+		for _, ev := range cfg.Timeline.at(cp) {
+			switch ev.Kind {
+			case EventOutage, EventRecovery:
+				down := ev.Kind == EventOutage
+				if down && res.PreOutageHit == 0 {
+					res.PreOutageHit = res.Steps[len(res.Steps)-1].HitRatio
+				}
+				if !down {
+					recoveryCp = cp
+				}
+				if err := eng.SetServersDown(ev.Servers, down); err != nil {
+					return nil, err
+				}
+				currentDown = eng.Instance().DownServers()
+				if _, err := eng.Replace(0, cp); err != nil {
+					return nil, err
+				}
+				forced = true
+			case EventDemand:
+				demand.set(ev)
+				if err := demand.apply(awork, active); err != nil {
+					return nil, err
+				}
+				massRev = allUsers
+			case EventGrow:
+				active += ev.Models
+				topoNow, err := s.topo.WithUserPositions(positions)
+				if err != nil {
+					return nil, err
+				}
+				grown, gwork, err := s.activeInstance(topoNow, active, false)
+				if err != nil {
+					return nil, err
+				}
+				if err := demand.apply(gwork, active); err != nil {
+					return nil, err
+				}
+				if len(currentDown) > 0 {
+					if _, err := grown.SetServersDown(currentDown, true); err != nil {
+						return nil, err
+					}
+				}
+				replacements += eng.Replacements(0) + 1
+				dcfg.Instance = grown
+				eng, err = dynamics.NewEngine(dcfg, root.SplitIndex("grow", cp))
+				if err != nil {
+					return nil, err
+				}
+				awork = gwork
+				forced = true
+			}
+			labels = append(labels, eventLabel(ev, active))
+		}
+		for sl := 0; sl < slots; sl++ {
+			if err := pop.Step(cfg.SlotS, walkSrc); err != nil {
+				return nil, err
+			}
+		}
+		pop.PositionsInto(positions)
+		if err := eng.ApplyExternal(nil, massRev, allUsers, positions); err != nil {
+			return nil, err
+		}
+		st, err := eng.Step(cp)
+		if err != nil {
+			return nil, err
+		}
+		res.Steps = append(res.Steps, GalleryStep{
+			TimeMin:  st.TimeMin,
+			HitRatio: st.HitRatio[0],
+			Replaced: st.Replaced[0] || forced,
+			Events:   labels,
+		})
+	}
+	res.Replacements = replacements + eng.Replacements(0)
+	res.FinalModels = active
+	finishGallery(res, cfg, recoveryCp)
+	return res, nil
+}
+
+// RunGallerySharded runs the same gallery scenario through the sharded
+// engine: the global instance is a coordinator over the active library
+// prefix, outages map onto cell-local SetServersDown with a forced
+// all-cell replace, demand revisions swap global rows and queue through
+// ReviseUserMass, and library grows hand the engine a widened coordinator
+// instance (GrowLibrary) rebuilt at the engine's current positions.
+func RunGallerySharded(cfg GalleryConfig) (*GalleryResult, error) {
+	s, err := newGallerySetup(cfg)
+	if err != nil {
+		return nil, err
+	}
+	cfg = s.cfg
+	active := cfg.Models
+	ins, awork, err := s.activeInstance(s.topo, active, true)
+	if err != nil {
+		return nil, err
+	}
+	scfg := shard.Config{
+		Instance:      ins,
+		Capacities:    s.caps,
+		Tracks:        s.tracks,
+		DurationMin:   cfg.DurationMin,
+		CheckpointMin: cfg.CheckpointMin,
+		SlotS:         cfg.SlotS,
+		Realizations:  cfg.Realizations,
+		Mode:          cfg.Mode,
+		Shards:        cfg.Shards,
+		Workers:       cfg.Workers,
+	}
+	se, err := shard.NewEngine(scfg, rng.New(cfg.Seed))
+	if err != nil {
+		return nil, err
+	}
+	K := cfg.Users
+	allUsers := make([]int, K)
+	for k := range allUsers {
+		allUsers[k] = k
+	}
+	demand := newDemandState(s.master, s.itot)
+
+	checkpoints := cfg.DurationMin / cfg.CheckpointMin
+	res := &GalleryResult{Scenario: cfg.Name, Sharded: true, Steps: make([]GalleryStep, 0, checkpoints+1)}
+	step0 := se.InitialStep()
+	res.Steps = append(res.Steps, GalleryStep{TimeMin: 0, HitRatio: step0.HitRatio[0]})
+	recoveryCp := -1
+
+	for cp := 1; cp <= checkpoints; cp++ {
+		var labels []string
+		forced := false
+		for _, ev := range cfg.Timeline.at(cp) {
+			switch ev.Kind {
+			case EventOutage, EventRecovery:
+				down := ev.Kind == EventOutage
+				if down && res.PreOutageHit == 0 {
+					res.PreOutageHit = res.Steps[len(res.Steps)-1].HitRatio
+				}
+				if !down {
+					recoveryCp = cp
+				}
+				if err := se.SetServersDown(ev.Servers, down); err != nil {
+					return nil, err
+				}
+				if err := se.ForceReplace(cp); err != nil {
+					return nil, err
+				}
+				forced = true
+			case EventDemand:
+				demand.set(ev)
+				if err := demand.apply(awork, active); err != nil {
+					return nil, err
+				}
+				if err := se.ReviseUserMass(allUsers); err != nil {
+					return nil, err
+				}
+			case EventGrow:
+				active += ev.Models
+				topoNow, err := s.topo.WithUserPositions(se.Positions())
+				if err != nil {
+					return nil, err
+				}
+				grown, gwork, err := s.activeInstance(topoNow, active, true)
+				if err != nil {
+					return nil, err
+				}
+				if err := demand.apply(gwork, active); err != nil {
+					return nil, err
+				}
+				if err := se.GrowLibrary(grown); err != nil {
+					return nil, err
+				}
+				awork = gwork
+				forced = true
+			}
+			labels = append(labels, eventLabel(ev, active))
+		}
+		st, err := se.Checkpoint(cp)
+		if err != nil {
+			return nil, err
+		}
+		res.Steps = append(res.Steps, GalleryStep{
+			TimeMin:  st.TimeMin,
+			HitRatio: st.HitRatio[0],
+			Replaced: st.Replaced[0] || forced,
+			Events:   labels,
+		})
+	}
+	res.Replacements = se.Replacements(0)
+	res.FinalModels = active
+	res.Handoffs = se.Handoffs()
+	res.Grows = se.Grows()
+	finishGallery(res, cfg, recoveryCp)
+	return res, nil
+}

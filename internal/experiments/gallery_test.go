@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"trimcaching/internal/dynamics"
+)
+
+// galleryGolden is the checked-in artifact for one scenario: the full
+// timeline through both engines. Byte-compared against testdata; refresh
+// with UPDATE_GOLDENS=1 go test ./internal/experiments -run TestGalleryGoldens.
+type galleryGolden struct {
+	Config    GalleryConfig  `json:"config"`
+	Unsharded *GalleryResult `json:"unsharded"`
+	Sharded   *GalleryResult `json:"sharded"`
+}
+
+func runGalleryPair(t *testing.T, cfg GalleryConfig) (*GalleryResult, *GalleryResult) {
+	t.Helper()
+	un, err := RunGallery(cfg)
+	if err != nil {
+		t.Fatalf("%s unsharded: %v", cfg.Name, err)
+	}
+	sh, err := RunGallerySharded(cfg)
+	if err != nil {
+		t.Fatalf("%s sharded: %v", cfg.Name, err)
+	}
+	return un, sh
+}
+
+// TestGalleryGoldens runs every built-in scenario through both engines at
+// the reduced scale and pins the complete timelines — hit ratios to the
+// last bit, event placement, replacement counts, recovery latency —
+// against the checked-in goldens.
+func TestGalleryGoldens(t *testing.T) {
+	for _, name := range GalleryNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			cfg, err := GalleryScenario(name, DefaultGalleryConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			un, sh := runGalleryPair(t, cfg)
+			assertGalleryShape(t, cfg, un)
+			assertGalleryShape(t, cfg, sh)
+
+			got, err := json.MarshalIndent(galleryGolden{Config: cfg, Unsharded: un, Sharded: sh}, "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, '\n')
+			path := filepath.Join("testdata", name+".golden.json")
+			if os.Getenv("UPDATE_GOLDENS") != "" {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("updated %s", path)
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (regenerate with UPDATE_GOLDENS=1): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("golden drift in %s\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+			}
+		})
+	}
+}
+
+// assertGalleryShape checks the scenario-specific invariants that make a
+// timeline a proof, beyond byte equality with the golden.
+func assertGalleryShape(t *testing.T, cfg GalleryConfig, res *GalleryResult) {
+	t.Helper()
+	leg := "unsharded"
+	if res.Sharded {
+		leg = "sharded"
+	}
+	checkpoints := cfg.DurationMin / cfg.CheckpointMin
+	if len(res.Steps) != checkpoints+1 {
+		t.Fatalf("%s: %d steps, want %d", leg, len(res.Steps), checkpoints+1)
+	}
+	for i, st := range res.Steps {
+		if st.HitRatio <= 0 || st.HitRatio > 1 {
+			t.Fatalf("%s: step %d hit ratio %v outside (0, 1]", leg, i, st.HitRatio)
+		}
+	}
+	switch cfg.Name {
+	case "outage":
+		if res.PreOutageHit <= 0 {
+			t.Errorf("%s: no pre-outage hit recorded", leg)
+		}
+		third := (checkpoints + 2) / 3
+		if dip := res.Steps[third].HitRatio; dip >= res.PreOutageHit {
+			t.Errorf("%s: outage did not dent the hit ratio: %v -> %v", leg, res.PreOutageHit, dip)
+		}
+		if res.RecoveryCheckpoints < 0 {
+			t.Errorf("%s: timeline never recovered to %v of %v", leg, cfg.RecoveryFrac, res.PreOutageHit)
+		}
+	case "churn":
+		if res.FinalModels != cfg.Models+cfg.ReserveModels {
+			t.Errorf("%s: final library %d models, want %d", leg, res.FinalModels, cfg.Models+cfg.ReserveModels)
+		}
+	default:
+		if res.FinalModels != cfg.Models {
+			t.Errorf("%s: final library %d models, want %d", leg, res.FinalModels, cfg.Models)
+		}
+	}
+}
+
+// TestGalleryDeterminism pins every scenario timeline bit-identical across
+// worker counts and across Incremental vs Rebuild refreshes, through both
+// engines, on a shortened clock.
+func TestGalleryDeterminism(t *testing.T) {
+	for _, name := range GalleryNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			base := DefaultGalleryConfig()
+			base.DurationMin = 60
+			cfg, err := GalleryScenario(name, base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantUn, wantSh := runGalleryPair(t, cfg)
+
+			workers := cfg
+			workers.Workers = 3
+			gotUn, gotSh := runGalleryPair(t, workers)
+			assertGalleryEqual(t, "workers 3 vs default unsharded", gotUn, wantUn)
+			assertGalleryEqual(t, "workers 3 vs default sharded", gotSh, wantSh)
+
+			rebuild := cfg
+			rebuild.Mode = dynamics.Rebuild
+			gotUn, gotSh = runGalleryPair(t, rebuild)
+			assertGalleryEqual(t, "rebuild vs incremental unsharded", gotUn, wantUn)
+			assertGalleryEqual(t, "rebuild vs incremental sharded", gotSh, wantSh)
+		})
+	}
+}
+
+func assertGalleryEqual(t *testing.T, label string, got, want *GalleryResult) {
+	t.Helper()
+	g, err := json.Marshal(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(g, w) {
+		t.Fatalf("%s diverged\n--- got ---\n%s\n--- want ---\n%s", label, g, w)
+	}
+}

@@ -149,8 +149,15 @@ func (s *FadeScratch) gatherCols(views []ServerColumns, words int) ([][]uint64, 
 func (ins *Instance) fadeRates(gains [][]float64, rates, relay []float64) error {
 	M, K := ins.NumServers(), ins.NumUsers()
 	// Only covering links are written and only covering links are read, so
-	// the rate scratch needs no clearing between realizations.
+	// the rate scratch needs no clearing between realizations — which is why
+	// a down server's links are written as 0 rather than skipped.
 	for m := 0; m < M; m++ {
+		if ins.serverDown(m) {
+			for _, k := range ins.topo.UsersOf(m) {
+				rates[m*K+k] = 0
+			}
+			continue
+		}
 		load := ins.topo.Load(m)
 		for _, k := range ins.topo.UsersOf(m) {
 			r, err := ins.wcfg.FadedRateBps(ins.topo.Distance(m, k), load, ins.shadowGain(m, k)*gains[m][k])
@@ -178,6 +185,15 @@ func (ins *Instance) fillLinkRatesGains(gains [][]float64, s *FadeScratch) error
 	K := ins.NumUsers()
 	copy(s.cursor, s.linkStart[:K])
 	for m := 0; m < ins.NumServers(); m++ {
+		if ins.serverDown(m) {
+			// The CSR scratch is not cleared between calls, so down links
+			// are written as 0, not skipped.
+			for _, k := range ins.topo.UsersOf(m) {
+				s.rates[s.cursor[k]] = 0
+				s.cursor[k]++
+			}
+			continue
+		}
 		load := ins.topo.Load(m)
 		for _, k := range ins.topo.UsersOf(m) {
 			slot := s.cursor[k]
@@ -218,6 +234,21 @@ func (ins *Instance) fillLinkRatesSampled(srcs []*rng.Source, s *FadeScratch) er
 		}
 		users := ins.topo.UsersOf(m)
 		if len(users) == 0 {
+			continue
+		}
+		if ins.serverDown(m) {
+			// The row draws above already consumed this server's gains —
+			// outages must not shift the fading stream — so only the rate
+			// writes are replaced with zeros (the CSR scratch is reused
+			// across calls and cannot be left stale).
+			for _, k := range users {
+				slot := int(s.cursor[k])
+				s.cursor[k]++
+				base := slot * block
+				for j := 0; j < block; j++ {
+					s.rates[base+j] = 0
+				}
+			}
 			continue
 		}
 		load := ins.topo.Load(m)
@@ -402,6 +433,10 @@ func (ins *Instance) fusedHitMassBlocked(block int, cols [][]uint64, dst []float
 		hits[w] = 0
 	}
 	covMask := scratch.covMask
+	// Relay sources are restricted to up servers: a cached down server has
+	// its reachability bits cleared in the two-pass path, so the fused path
+	// masks placement columns with the same up-servers word(s).
+	up := ins.updFullRow
 	for k := 0; k < K; k++ {
 		if !ins.userHasMass[k] {
 			// Zero-mass users (shard ghosts, parked slots) add exactly 0.0
@@ -450,12 +485,13 @@ func (ins *Instance) fusedHitMassBlocked(block int, cols [][]uint64, dst []float
 			out := dst[r*P : (r+1)*P]
 			if sw == 1 {
 				cm := covMask[0]
+				upWord := up[0]
 				for a, col := range cols {
-					// Relay source: any cached server outside the
+					// Relay source: any cached up server outside the
 					// positive-rate covering set serves i.
 					for j := 0; j < relCut; j++ {
 						i := int(relOrder[j])
-						if col[i]&^cm != 0 {
+						if col[i]&upWord&^cm != 0 {
 							hits[i>>6] |= 1 << (uint(i) & 63)
 						}
 					}
@@ -479,7 +515,7 @@ func (ins *Instance) fusedHitMassBlocked(block int, cols [][]uint64, dst []float
 					i := int(relOrder[j])
 					off := i * sw
 					for w := 0; w < sw; w++ {
-						if col[off+w]&^covMask[w] != 0 {
+						if col[off+w]&up[w]&^covMask[w] != 0 {
 							hits[i>>6] |= 1 << (uint(i) & 63)
 							break
 						}

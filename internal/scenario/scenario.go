@@ -36,6 +36,11 @@ type Instance struct {
 	avgRate   []float64   // avgRate[m*K+k]; 0 when m does not cover k
 	bestRelay []float64   // bestRelay[k]: max covering-server avg rate, 0 if uncovered
 	shadow    [][]float64 // optional per-link log-normal shadowing gains; nil = none
+	// down[m] marks server m out of service (SetServersDown): its link rates
+	// are pinned to 0, it leaves the relay candidate set, and the up-servers
+	// mask (updFullRow) drops its bit so no reachability row — average or
+	// faded — ever includes it. nil means every server is up.
+	down      []bool
 	totalMass float64
 	sizeBits  []float64 // sizeBits[i]: model size in bits, hoisted out of hot loops
 	// userHasMass[k] caches whether user k's probability row carries any
@@ -236,6 +241,11 @@ func newInstance(topo *topology.Topology, lib *modellib.Library, work *workload.
 	ins.serverWords = bitset.Words(M)
 	ins.userWords = bitset.Words(K)
 	if !coordinator {
+		// The up-servers mask starts full and is maintained by
+		// SetServersDown; every reachability fill (construction, faded
+		// realizations, delta updates) broadcasts relay verdicts over it.
+		ins.updFullRow = make([]uint64, ins.serverWords)
+		bitset.Set(ins.updFullRow).SetAll(M)
 		ins.reachSrv = make([]uint64, K*I*ins.serverWords)
 		ins.fillReach(ins.avgRate, ins.bestRelay, ins.reachSrv)
 		ins.reachUsr = make([]uint64, M*I*ins.userWords)
@@ -276,11 +286,12 @@ func rowHasMass(row []float64) bool {
 // fillReach computes the word-packed I1 indicator under the given per-link
 // rates (rates[m*K+k], 0 for non-covering pairs) and per-user best relay
 // rates, writing server masks into dst with layout [(k*I+i)*serverWords].
+// Relay verdicts broadcast over the up-servers mask, so down servers never
+// appear in any row.
 func (ins *Instance) fillReach(rates, relay []float64, dst []uint64) {
 	K, I := ins.NumUsers(), ins.NumModels()
 	sw := ins.serverWords
-	full := bitset.Set(make([]uint64, sw))
-	full.SetAll(ins.NumServers())
+	full := bitset.Set(ins.updFullRow)
 	for k := 0; k < K; k++ {
 		ins.fillReachRows(k, ins.topo.ServersCovering(k), rates, relay[k], full,
 			dst[k*I*sw:(k+1)*I*sw])
@@ -359,6 +370,9 @@ func (ins *Instance) fillReachRows(k int, covering []int, rates []float64, relay
 // rates[m*K+k] must be 0 for non-covering pairs; relayRate[k] is the best
 // covering-server rate of user k. Unreachable pairs yield +Inf.
 func (ins *Instance) latency(m, k, i int, rates []float64, relayRate []float64) float64 {
+	if ins.serverDown(m) {
+		return math.Inf(1) // the serving server is out of service
+	}
 	sizeBits := ins.sizeBits[i]
 	infer := ins.work.InferS(k, i)
 	if direct := rates[m*ins.NumUsers()+k]; direct > 0 {
@@ -435,7 +449,19 @@ func (ins *Instance) Rebuild(users []geom.Point) (*Instance, error) {
 	if err != nil {
 		return nil, fmt.Errorf("scenario: %w", err)
 	}
-	return NewShadowed(topo, ins.lib, ins.work, ins.wcfg, ins.shadow)
+	fresh, err := NewShadowed(topo, ins.lib, ins.work, ins.wcfg, ins.shadow)
+	if err != nil {
+		return nil, err
+	}
+	// Outages survive rebuilds: the rebuild-mode engine pin (Incremental ==
+	// Rebuild) holds through SetServersDown only if the fresh instance
+	// carries the same down set.
+	if downList := ins.DownServers(); len(downList) > 0 {
+		if _, err := fresh.SetServersDown(downList, true); err != nil {
+			return nil, err
+		}
+	}
+	return fresh, nil
 }
 
 // UpdateUsers moves user moved[j] to pos[j] and incrementally refreshes the
@@ -497,12 +523,7 @@ func (ins *Instance) ReviseUsers(revised, massOnly []int, moved []int, pos []geo
 		return nil, fmt.Errorf("scenario: %w", err)
 	}
 
-	if ins.updDirty == nil {
-		ins.updDirty = make([]bool, K)
-		ins.updForce = make([]bool, K)
-		ins.updFullRow = make([]uint64, ins.serverWords)
-		bitset.Set(ins.updFullRow).SetAll(M)
-	}
+	ins.ensureUpdScratch()
 	ins.ensureFlipIndex()
 	dirty := ins.updDirty
 	for _, k := range revised {
@@ -719,6 +740,15 @@ func (ins *Instance) reviseThresholds(k int) {
 		ins.rankBuf = make([]rankPair, I)
 	}
 	ins.fillRankRows(k)
+}
+
+// ensureUpdScratch allocates the per-user dirty/force flag scratch shared
+// by ReviseUsers and SetServersDown.
+func (ins *Instance) ensureUpdScratch() {
+	if ins.updDirty == nil {
+		ins.updDirty = make([]bool, ins.NumUsers())
+		ins.updForce = make([]bool, ins.NumUsers())
+	}
 }
 
 // minUsersPerWorker keeps the parallel update phase from spawning workers
@@ -958,6 +988,9 @@ func (ins *Instance) updateUser(k int, oldCovering []int, w *updWorker) error {
 	}
 	best := 0.0
 	for _, m := range newCovering {
+		if ins.serverDown(m) {
+			continue // rate stays 0: the oldCovering sweep above zeroed it
+		}
 		rate, err := ins.wcfg.FadedRateBps(ins.topo.Distance(m, k), ins.topo.Load(m), ins.shadowGain(m, k))
 		if err != nil {
 			return fmt.Errorf("scenario: rate m=%d k=%d: %w", m, k, err)

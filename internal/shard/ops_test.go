@@ -1,0 +1,138 @@
+package shard
+
+import (
+	"testing"
+
+	"trimcaching/internal/dynamics"
+	"trimcaching/internal/rng"
+	"trimcaching/internal/scenario"
+)
+
+// driveOutageTimeline runs a sharded smoke timeline with an outage before
+// checkpoint 1 and recovery before checkpoint 2, forcing replaces on both
+// edges, and returns the aggregated steps (copied).
+func driveOutageTimeline(t *testing.T, cfg Config, seed uint64, downed []int) []Step {
+	t.Helper()
+	se, err := NewEngine(cfg, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	copyStep := func(st Step) Step {
+		return Step{
+			TimeMin:  st.TimeMin,
+			HitRatio: append([]float64(nil), st.HitRatio...),
+			Replaced: append([]bool(nil), st.Replaced...),
+		}
+	}
+	steps := []Step{copyStep(se.InitialStep())}
+	for cp := 1; cp <= se.Checkpoints(); cp++ {
+		if cp == 1 || cp == 2 {
+			if err := se.SetServersDown(downed, cp == 1); err != nil {
+				t.Fatal(err)
+			}
+			if err := se.ForceReplace(cp); err != nil {
+				t.Fatal(err)
+			}
+		}
+		st, err := se.Checkpoint(cp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		steps = append(steps, copyStep(st))
+	}
+	return steps
+}
+
+// TestShardOutageSingleShardMatchesDynamics pins the sharded outage seam
+// at Shards = 1 against the unsharded engine driving the identical event
+// schedule: SetServersDown + ForceReplace through the single cell must be
+// bit-identical to dynamics.Engine.SetServersDown + Replace.
+func TestShardOutageSingleShardMatchesDynamics(t *testing.T) {
+	downed := []int{0, 2}
+	got := driveOutageTimeline(t, smokeShardConfig(t, 1, 1, dynamics.Incremental), 7, downed)
+
+	dc, err := dynamics.NewSmokeScaleConfig(dynamics.Incremental)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := dynamics.NewEngine(dc, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Step{{TimeMin: 0, HitRatio: []float64{eng.Baseline(0)}, Replaced: []bool{false}}}
+	for cp := 1; cp <= eng.Checkpoints(); cp++ {
+		if cp == 1 || cp == 2 {
+			if err := eng.SetServersDown(downed, cp == 1); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := eng.Replace(0, cp); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := eng.Advance(); err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.Refresh(); err != nil {
+			t.Fatal(err)
+		}
+		st, err := eng.Step(cp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, Step{
+			TimeMin:  st.TimeMin,
+			HitRatio: append([]float64(nil), st.HitRatio...),
+			Replaced: append([]bool(nil), st.Replaced...),
+		})
+	}
+	sameSteps(t, "single-shard outage vs dynamics", got, want)
+}
+
+// TestShardOutageAcrossCellsDeterministic pins the multi-cell outage
+// timeline bit-identical across worker counts and cell refresh modes, with
+// the down set spanning both cells and surviving the recovery edge.
+func TestShardOutageAcrossCellsDeterministic(t *testing.T) {
+	downed := []int{0, 3}
+	want := driveOutageTimeline(t, smokeShardConfig(t, 2, 1, dynamics.Incremental), 7, downed)
+	sameSteps(t, "workers 4 vs 1",
+		driveOutageTimeline(t, smokeShardConfig(t, 2, 4, dynamics.Incremental), 7, downed), want)
+	sameSteps(t, "rebuild vs incremental",
+		driveOutageTimeline(t, smokeShardConfig(t, 2, 2, dynamics.Rebuild), 7, downed), want)
+	if want[1].HitRatio[0] >= want[0].HitRatio[0] {
+		t.Errorf("outage did not dent the hit ratio: t0 %v, outage %v", want[0].HitRatio[0], want[1].HitRatio[0])
+	}
+}
+
+// TestGrowLibraryRejectsBadInstances pins GrowLibrary's input contract.
+func TestGrowLibraryRejectsBadInstances(t *testing.T) {
+	cfg := smokeShardConfig(t, 2, 1, dynamics.Incremental)
+	se, err := NewEngine(cfg, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := se.GrowLibrary(nil); err == nil {
+		t.Error("nil instance accepted")
+	}
+	// An instance at the wrong user positions must be rejected: the cells
+	// bind slots to the engine's tracked walk, not the instance's draw.
+	if _, err := se.Checkpoint(1); err != nil {
+		t.Fatal(err)
+	}
+	stale := cfg.Instance
+	if err := se.GrowLibrary(stale); err == nil {
+		t.Error("instance at stale positions accepted after a walk")
+	}
+	// Same positions but a shrunken library must be rejected.
+	gt := stale.Topology()
+	topoNow, err := gt.WithUserPositions(se.Positions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved, err := scenario.New(topoNow, stale.Library(), stale.Workload(), stale.Wireless())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := se.GrowLibrary(moved); err != nil {
+		t.Errorf("same-size relocated instance rejected: %v", err)
+	}
+}

@@ -231,6 +231,11 @@ type cell struct {
 	free  []int32 // free-slot stack
 	local int     // bound slots
 
+	// downLocal lists the cell's out-of-service servers (local indices,
+	// ascending). Maintained by Engine.SetServersDown and re-applied on
+	// every rebuild, so outages survive grows.
+	downLocal []int
+
 	// Per-checkpoint batches, built by the serial plan phase and consumed
 	// by the parallel refresh. pending* deduplicate by slot with an epoch
 	// stamp: a slot parked and rebound in the same checkpoint keeps one
@@ -316,6 +321,11 @@ type Engine struct {
 	zeroRow  []float64
 	refBuf   []ref // plan-phase scratch for one user's new refs
 	headroom float64
+
+	// pendingMass queues global users whose probability rows the caller
+	// swapped in the global workload (ReviseUserMass); the next plan()
+	// drains it into per-cell mass-only revisions after the membership pass.
+	pendingMass []int
 
 	planScratch []int     // plan-phase localCells backing, reused
 	aggStep     Step      // aggregate's reused result; valid until the next call
@@ -523,6 +533,14 @@ func (e *Engine) buildCell(sh *cell, locals []int) error {
 	cellIns, err := scenario.NewRanked(topo, ins.Library(), work, ins.Wireless(), provider)
 	if err != nil {
 		return fmt.Errorf("shard: %w", err)
+	}
+	// Outages survive rebuilds: re-apply the cell's down set before the
+	// engine's t = 0 solve, so a grown cell's initial placement is already
+	// over the reduced server set.
+	if len(sh.downLocal) > 0 {
+		if _, err := cellIns.SetServersDown(sh.downLocal, true); err != nil {
+			return fmt.Errorf("shard: cell %d: %w", sh.id, err)
+		}
 	}
 	measureWorkers := e.cfg.MeasureWorkers
 	if measureWorkers <= 0 {
@@ -843,6 +861,28 @@ func (e *Engine) plan() error {
 		}
 		sh.fresh = true
 		e.grows++
+	}
+	// Drain queued mass revisions (ReviseUserMass) after the membership
+	// pass, so a queued user that also moved, flipped ownership, or arrived
+	// this checkpoint dedups into the same slot batches. Cell rows alias the
+	// global buffers, so a global row swap must be re-bound per owning slot;
+	// ghost slots stay on the shared zero row, and freshly rebuilt cells
+	// already bound the live rows.
+	if len(e.pendingMass) > 0 {
+		gw := e.cfg.Instance.Workload()
+		for _, g := range e.pendingMass {
+			for _, r := range e.refs[g] {
+				sh := e.cells[r.cell]
+				if sh.fresh || int(r.cell) != int(e.owner[g]) {
+					continue
+				}
+				if err := sh.work.SetUserProbRow(int(r.slot), gw.ProbRow(g)); err != nil {
+					return fmt.Errorf("shard: %w", err)
+				}
+				sh.revise(int(r.slot), revLevelMass)
+			}
+		}
+		e.pendingMass = e.pendingMass[:0]
 	}
 	return nil
 }
