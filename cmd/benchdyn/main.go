@@ -141,6 +141,10 @@ func run(args []string, stdout io.Writer) error {
 	out := fs.String("out", "BENCH_dynamics.json", "output JSON path, - for stdout")
 	shardBench := fs.Bool("shard", false, "run the shard scale benchmark instead (sharded multi-cell engine vs unsharded), writing -shardout")
 	shardOut := fs.String("shardout", "BENCH_shard.json", "shard benchmark output JSON path, - for stdout")
+	serveBench := fs.Bool("serve", false, "run the trace-driven serving benchmark instead (request-level throughput and tail latency, unsharded vs sharded), writing -serveout")
+	serveOut := fs.String("serveout", "BENCH_serve.json", "serve benchmark output JSON path, - for stdout")
+	serveRate := fs.Float64("serverate", 1, "serve benchmark request rate (requests per user per hour)")
+	serveCheckpoints := fs.Int("servecheckpoints", 4, "timed checkpoints per serve benchmark engine (after one warm-up; the fastest is reported)")
 	shardUsers := fs.Int("shardusers", 100000, "shard benchmark users K")
 	shardServers := fs.Int("shardservers", 100, "shard benchmark servers M")
 	shardModels := fs.Int("shardmodels", 250, "shard benchmark LoRA adapters I")
@@ -155,6 +159,26 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if *checkpoints <= 0 || *rounds <= 0 {
 		return fmt.Errorf("checkpoints and rounds must be positive, got %d and %d", *checkpoints, *rounds)
+	}
+	if *serveBench {
+		// The serving sweep shares the shard benchmark's scenario dims.
+		users, servers, models := *shardUsers, *shardServers, *shardModels
+		counts := []int{1, 2, 4, 8}
+		if *smoke {
+			set := map[string]bool{}
+			fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+			if !set["shardusers"] {
+				users = 600
+			}
+			if !set["shardservers"] {
+				servers = 12
+			}
+			if !set["shardmodels"] {
+				models = 48
+			}
+			counts = []int{1, 2}
+		}
+		return runServe(stdout, users, servers, models, *serveRate, *serveCheckpoints, counts, *serveOut)
 	}
 	if *shardBench {
 		users, servers, models := *shardUsers, *shardServers, *shardModels

@@ -209,6 +209,136 @@ func TestValidateShardReport(t *testing.T) {
 	}
 }
 
+func TestValidateServeReport(t *testing.T) {
+	good := []byte(`{
+		"scenario": {"servers": 4, "users": 100, "models": 8, "checkpointMin": 10, "slotS": 5,
+			"requestsPerUserPerHour": 6, "windowS": 600},
+		"unsharded": {"shards": 0, "workers": 1, "checkpoints": 2, "checkpoint_ns_per_op": 10,
+			"requests": 40, "throughput_requests_per_s": 5, "speedup": 1, "hit_ratio_mean": 0.5,
+			"p50_latency_ns": 100, "p95_latency_ns": 200, "p99_latency_ns": 300, "handoffs": 0},
+		"sharded": [
+			{"shards": 1, "workers": 1, "checkpoints": 2, "checkpoint_ns_per_op": 10,
+			 "requests": 40, "throughput_requests_per_s": 5, "speedup": 1, "hit_ratio_mean": 0.5,
+			 "p50_latency_ns": 100, "p95_latency_ns": 200, "p99_latency_ns": 300, "handoffs": 0},
+			{"shards": 2, "workers": 1, "checkpoints": 2, "checkpoint_ns_per_op": 5,
+			 "requests": 40, "throughput_requests_per_s": 10, "speedup": 2, "hit_ratio_mean": 0.45,
+			 "p50_latency_ns": 100, "p95_latency_ns": 200, "p99_latency_ns": 300, "handoffs": 3}
+		],
+		"multicore": {
+			"workers": 2,
+			"unsharded": {"shards": 0, "workers": 2, "checkpoints": 2, "checkpoint_ns_per_op": 8,
+				"requests": 40, "throughput_requests_per_s": 6, "speedup": 1.25, "hit_ratio_mean": 0.5,
+				"p50_latency_ns": 100, "p95_latency_ns": 200, "p99_latency_ns": 300, "handoffs": 0},
+			"sharded": [
+				{"shards": 2, "workers": 2, "checkpoints": 2, "checkpoint_ns_per_op": 4,
+				 "requests": 40, "throughput_requests_per_s": 12, "speedup": 2.5, "hit_ratio_mean": 0.45,
+				 "p50_latency_ns": 100, "p95_latency_ns": 200, "p99_latency_ns": 300, "handoffs": 3}
+			]
+		},
+		"speedup": 2,
+		"speedup_definition": "x"
+	}`)
+	if err := validateServeReport(good); err != nil {
+		t.Fatalf("baseline serve report must validate, got %v", err)
+	}
+	mutate := func(fn func(m map[string]any)) []byte {
+		var m map[string]any
+		if err := json.Unmarshal(good, &m); err != nil {
+			t.Fatal(err)
+		}
+		fn(m)
+		data, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	cases := map[string][]byte{
+		"no unsharded":  mutate(func(m map[string]any) { delete(m, "unsharded") }),
+		"empty sharded": mutate(func(m map[string]any) { m["sharded"] = []any{} }),
+		"zero requests": mutate(func(m map[string]any) { m["unsharded"].(map[string]any)["requests"] = 0 }),
+		"zero throughput": mutate(func(m map[string]any) {
+			m["unsharded"].(map[string]any)["throughput_requests_per_s"] = 0
+		}),
+		"zero speedup": mutate(func(m map[string]any) {
+			m["sharded"].([]any)[1].(map[string]any)["speedup"] = 0
+		}),
+		"missing p99": mutate(func(m map[string]any) {
+			delete(m["sharded"].([]any)[0].(map[string]any), "p99_latency_ns")
+		}),
+		"crossed quantiles": mutate(func(m map[string]any) {
+			m["sharded"].([]any)[1].(map[string]any)["p95_latency_ns"] = 400
+		}),
+		"no rate": mutate(func(m map[string]any) {
+			delete(m["scenario"].(map[string]any), "requestsPerUserPerHour")
+		}),
+		"no definition": mutate(func(m map[string]any) { delete(m, "speedup_definition") }),
+		"no multicore":  mutate(func(m map[string]any) { delete(m, "multicore") }),
+		"single-core multicore": mutate(func(m map[string]any) {
+			m["multicore"].(map[string]any)["workers"] = 1
+		}),
+	}
+	for name, data := range cases {
+		if err := validateServeReport(data); err == nil {
+			t.Errorf("%s: validation must fail", name)
+		}
+	}
+}
+
+// TestServeSmokeRunEmitsValidReport drives the trace-driven serving
+// benchmark pipeline at toy scale end to end.
+func TestServeSmokeRunEmitsValidReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke benchmark run in -short mode")
+	}
+	out := filepath.Join(t.TempDir(), "serve.json")
+	var stdout bytes.Buffer
+	if err := run([]string{"-smoke", "-serve", "-serveout", out}, &stdout); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := validateServeReport(data); err != nil {
+		t.Fatalf("emitted serve report fails schema: %v", err)
+	}
+	var rep serveReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Sharded) != 2 || rep.Sharded[0].Shards != 1 || rep.Sharded[1].Shards != 2 {
+		t.Fatalf("smoke serve shard counts wrong: %+v", rep.Sharded)
+	}
+	// Shards=1 serving is bit-identical to the unsharded engine: same
+	// requests, same hit ratio, same quantiles.
+	one, un := rep.Sharded[0], rep.Unsharded
+	if one.Requests != un.Requests || one.HitRatioMean != un.HitRatioMean ||
+		one.P50LatencyNs != un.P50LatencyNs || one.P99LatencyNs != un.P99LatencyNs {
+		t.Errorf("shards=1 serving diverged from unsharded:\n%+v\nvs\n%+v", one, un)
+	}
+	// Global-user-keyed streams make the synthesized window partition-
+	// invariant: every row serves the same request count.
+	for i, r := range rep.Sharded {
+		if r.Requests != un.Requests {
+			t.Errorf("sharded[%d] served %d requests, unsharded %d; the window must partition exactly",
+				i, r.Requests, un.Requests)
+		}
+	}
+	// The multicore sweep replays the same timeline with a wider pool;
+	// determinism makes its serving numbers bit-identical.
+	if rep.Multicore.Unsharded.HitRatioMean != un.HitRatioMean {
+		t.Errorf("multicore unsharded hit ratio %v differs from single-core %v",
+			rep.Multicore.Unsharded.HitRatioMean, un.HitRatioMean)
+	}
+	for i, r := range rep.Multicore.Sharded {
+		if r.HitRatioMean != rep.Sharded[i].HitRatioMean || r.P99LatencyNs != rep.Sharded[i].P99LatencyNs {
+			t.Errorf("multicore sharded[%d] serving differs from single-core:\n%+v\nvs\n%+v",
+				i, r, rep.Sharded[i])
+		}
+	}
+}
+
 // TestShardSmokeRunEmitsValidReport drives the shard benchmark pipeline at
 // toy scale end to end.
 func TestShardSmokeRunEmitsValidReport(t *testing.T) {

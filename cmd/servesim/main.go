@@ -13,7 +13,9 @@
 // timeline runs on the sharded multi-cell engine instead: the area is
 // partitioned into N geographic cells with per-cell instances and
 // placements, and the reported hit ratio is the request-mass-weighted
-// aggregate (fading measurement only). With -gallery <name> it runs one
+// aggregate; combined with -trace each cell serves its owned users'
+// arrivals and the timeline adds the aggregated per-window request counts
+// and exact latency quantiles. With -gallery <name> it runs one
 // scenario-gallery timeline (outage, flashcrowd, diurnal, churn) through
 // BOTH the unsharded and the sharded engine and prints the event-annotated
 // trajectories; unset flags keep the gallery's golden defaults, so a bare
@@ -78,7 +80,7 @@ func run(args []string, stdout io.Writer) error {
 	rebuild := fs.Bool("rebuild", false, "use full per-checkpoint instance rebuilds instead of incremental deltas")
 	traceDriven := fs.Bool("trace", false, "trace-driven mobility: measure checkpoints by serving synthesized request windows at -rate instead of fading Monte-Carlo")
 	triggerWindow := fs.Int("trigger-window", 1, "checkpoints averaged by the trace-driven replacement trigger")
-	shards := fs.Int("shards", 1, "partition the area into this many geographic cells with per-cell engines (mobility mode, fading measurement only)")
+	shards := fs.Int("shards", 1, "partition the area into this many geographic cells with per-cell engines (mobility or trace mode)")
 	gallery := fs.String("gallery", "", "run this scenario-gallery timeline (outage, flashcrowd, diurnal, churn) through both engines instead of serving a trace")
 	reserveModels := fs.Int("reserve-models", 0, "extra adapters held back for gallery grow events (gallery mode)")
 	galleryJSON := fs.String("gallery-json", "", "also write the gallery artifact (both legs) to this JSON file")
@@ -350,15 +352,13 @@ func runMobility(stdout io.Writer, ins *scenario.Instance, alg placement.Algorit
 		timeMin  []float64
 		hit      []float64
 		replaced []bool
+		serve    []cachesim.EventResult
 		count    int
 		extra    string
 	}
 	var tl timeline
 	if opt.shards > 1 {
-		if opt.traceDriven {
-			return fmt.Errorf("-shards supports the fading measurement only (drop -trace)")
-		}
-		res, err := shard.Run(shard.Config{
+		cfg := shard.Config{
 			Instance:      ins,
 			Capacities:    caps,
 			Tracks:        []dynamics.Track{{Algorithm: alg, Trigger: trigger}},
@@ -368,7 +368,17 @@ func runMobility(stdout io.Writer, ins *scenario.Instance, alg placement.Algorit
 			Realizations:  opt.realizations,
 			Mode:          mode,
 			Shards:        opt.shards,
-		}, src)
+		}
+		if opt.traceDriven {
+			// Sharded trace-driven serving: each cell synthesizes its owned
+			// users' arrivals and serves them; the steps then carry the
+			// aggregated per-window serving stats.
+			cfg.Trace = &shard.TraceConfig{
+				RequestsPerUserPerHour: opt.traceRate,
+				WindowS:                float64(opt.checkpointMin) * 60,
+			}
+		}
+		res, err := shard.Run(cfg, src)
 		if err != nil {
 			return err
 		}
@@ -376,6 +386,9 @@ func runMobility(stdout io.Writer, ins *scenario.Instance, alg placement.Algorit
 			tl.timeMin = append(tl.timeMin, s.TimeMin)
 			tl.hit = append(tl.hit, s.HitRatio[0])
 			tl.replaced = append(tl.replaced, s.Replaced[0])
+			if opt.traceDriven {
+				tl.serve = append(tl.serve, s.Serve[0])
+			}
 		}
 		tl.count = res.Replacements[0]
 		tl.extra = fmt.Sprintf("shards\t%d cells, %d handoffs, %d grows\n", res.Cells, res.Handoffs, res.Grows)
@@ -408,13 +421,26 @@ func runMobility(stdout io.Writer, ins *scenario.Instance, alg placement.Algorit
 	if tl.extra != "" {
 		fmt.Fprint(tw, tl.extra)
 	}
-	fmt.Fprintf(tw, "time (min)\thit ratio\treplaced\n")
-	for i := range tl.timeMin {
-		marker := ""
-		if tl.replaced[i] {
-			marker = "  <- replaced"
+	if tl.serve != nil {
+		fmt.Fprintf(tw, "time (min)\thit ratio\trequests\tp50\tp99\treplaced\n")
+		for i := range tl.timeMin {
+			marker := ""
+			if tl.replaced[i] {
+				marker = "  <- replaced"
+			}
+			sv := tl.serve[i]
+			fmt.Fprintf(tw, "%.0f\t%.4f\t%d\t%v\t%v\t%s\n", tl.timeMin[i], tl.hit[i],
+				sv.Requests, sv.P50Latency.Round(1_000_000), sv.P99Latency.Round(1_000_000), marker)
 		}
-		fmt.Fprintf(tw, "%.0f\t%.4f\t%s\n", tl.timeMin[i], tl.hit[i], marker)
+	} else {
+		fmt.Fprintf(tw, "time (min)\thit ratio\treplaced\n")
+		for i := range tl.timeMin {
+			marker := ""
+			if tl.replaced[i] {
+				marker = "  <- replaced"
+			}
+			fmt.Fprintf(tw, "%.0f\t%.4f\t%s\n", tl.timeMin[i], tl.hit[i], marker)
+		}
 	}
 	fmt.Fprintf(tw, "replacements\t%d\n", tl.count)
 	return tw.Flush()

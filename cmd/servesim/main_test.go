@@ -121,3 +121,21 @@ func TestRunTraceDrivenTimeline(t *testing.T) {
 		t.Fatalf("incremental and rebuild trace timelines differ:\n%s\nvs\n%s", out.String(), reb.String())
 	}
 }
+
+func TestRunTraceDrivenSharded(t *testing.T) {
+	// -trace -shards N: the sharded engine serves each cell's owned
+	// arrivals and the timeline adds the aggregated per-window serving
+	// columns.
+	var out bytes.Buffer
+	err := run([]string{"-alg", "gen", "-servers", "8", "-users", "60", "-models", "16",
+		"-trace", "-shards", "2", "-mobility", "30", "-checkpoint", "10", "-rate", "40",
+		"-replace-threshold", "0.2", "-trigger-window", "2"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"trace-driven", "2 cells", "requests", "p99"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("sharded trace output missing %q:\n%s", want, out.String())
+		}
+	}
+}

@@ -45,3 +45,46 @@ func TestCheckpointAllocFree(t *testing.T) {
 		t.Fatalf("steady-state checkpoint allocates %.1f times per run, want 0", avg)
 	}
 }
+
+// TestTraceCheckpointAllocFree is the same pin for the trace-driven
+// measurement track: synthesis (per-user Poisson streams), the event-driven
+// serve, and the recorded window stats must all reuse their scratch, so a
+// steady-state serving checkpoint at Workers=1 performs zero heap
+// allocations once the buffers reach the trace's high-water mark. Window
+// sizes fluctuate across checkpoints, so the warm-up must span enough
+// windows to establish that mark; the pin is deterministic in the seed.
+func TestTraceCheckpointAllocFree(t *testing.T) {
+	cfg, err := NewSmokeScaleConfig(Incremental)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Tracks[0].Trigger = NeverTrigger{}
+	cfg.Workers = 1
+	cfg.Measurement = &TraceMeasurement{
+		RequestsPerUserPerHour: 120,
+		WindowS:                float64(cfg.CheckpointMin) * 60,
+	}
+	e, err := NewEngine(cfg, rng.New(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := 0
+	checkpoint := func() {
+		cp++
+		if err := e.Advance(); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Refresh(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Step(cp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		checkpoint()
+	}
+	if avg := testing.AllocsPerRun(5, checkpoint); avg != 0 {
+		t.Fatalf("steady-state serving checkpoint allocates %.1f times per run, want 0", avg)
+	}
+}

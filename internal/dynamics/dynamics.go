@@ -214,10 +214,11 @@ type Engine struct {
 	src     *rng.Source
 	walkSrc *rng.Source
 
-	ins     *scenario.Instance
-	eval    *placement.Evaluator
-	measure Measurement
-	pop     *mobility.Population
+	ins       *scenario.Instance
+	eval      *placement.Evaluator
+	measure   Measurement
+	traceMeas *TraceMeasurement // non-nil when measure is the trace track
+	pop       *mobility.Population
 
 	allUsers  []int
 	positions []geom.Point
@@ -287,6 +288,7 @@ func NewEngine(cfg Config, src *rng.Source) (*Engine, error) {
 		checkpoints:        cfg.DurationMin / cfg.CheckpointMin,
 		replacements:       make([]int, len(cfg.Tracks)),
 	}
+	e.traceMeas, _ = measure.(*TraceMeasurement)
 	for k := range e.allUsers {
 		e.allUsers[k] = k
 	}
@@ -461,6 +463,12 @@ func (e *Engine) Replace(a, cp int) (float64, error) {
 	e.accPairs[a].Zero()
 	e.placements[a] = p
 	e.replacements[a]++
+	if e.traceMeas != nil {
+		// The re-baseline is a single-placement Measure; recording it would
+		// clobber track 0's window stats with track a's refade window.
+		e.traceMeas.noRecord = true
+		defer func() { e.traceMeas.noRecord = false }()
+	}
 	base, err := e.measure.Measure(e.eval, e.placements[a:a+1], e.src.SplitIndexInto(&e.measureSrc, "refade", cp))
 	if err != nil {
 		return 0, fmt.Errorf("dynamics: %w", err)
@@ -691,6 +699,12 @@ func (e *Engine) Step(cp int) (Step, error) {
 // Replacements returns track a's re-placement count so far (excluding the
 // initial placement).
 func (e *Engine) Replacements(a int) int { return e.replacements[a] }
+
+// TraceMeasurement returns the engine's trace-driven measurement, or nil
+// when the engine measures with the Monte-Carlo fading track. Callers use
+// it to read request-level serve stats (LastResults, LastLatencies) after a
+// Step — the production-facing numbers the scalar hit ratio compresses away.
+func (e *Engine) TraceMeasurement() *TraceMeasurement { return e.traceMeas }
 
 // MemoryFootprint returns the engine's memory accounting: the instance's
 // own breakdown, plus the evaluator state, the measurement scratch (for

@@ -114,9 +114,32 @@ type TraceMeasurement struct {
 	// Event configures the serving simulator; a zero CloudRateBps selects
 	// cachesim.DefaultEventConfig.
 	Event cachesim.EventConfig
+	// UserKey maps a workload slot to the global user id that keys its
+	// arrival stream, and reports whether the slot synthesizes arrivals at
+	// all. Nil is the identity map (the unsharded engine). The shard layer
+	// passes its slot table here so a user's request stream is bit-stable
+	// across cell handoffs and each request is served by exactly one cell.
+	UserKey trace.UserMap
+	// StreamSalt decorrelates the serving fades of sibling measurements
+	// (one per shard cell) that deliberately share seed material so their
+	// arrival streams agree. Zero uses the plain "serve"/track stream —
+	// required for the Shards=1 == unsharded bit-identity pin.
+	StreamSalt int
 
 	synth   *trace.Synthesizer
 	session *cachesim.ServeSession
+
+	// Per-Measure recordings, reused across checkpoints. noRecord is set by
+	// the engine around replacement re-measures (their single-placement
+	// calls would otherwise clobber track 0's window stats).
+	hits     []float64
+	results  []cachesim.EventResult
+	lats     [][]float64
+	noRecord bool
+
+	arrivalSrc rng.Source
+	saltSrc    rng.Source
+	serveSrc   rng.Source
 }
 
 // Name implements Measurement.
@@ -140,19 +163,64 @@ func (m *TraceMeasurement) Measure(eval *placement.Evaluator, placements []*plac
 		}
 		m.synth, m.session = synth, session
 	}
-	tr, err := m.synth.Window(ins.Workload(), src.Split("arrivals"))
+	tr, err := m.synth.WindowMapped(ins.Workload(), src.SplitInto(&m.arrivalSrc, "arrivals"), m.UserKey)
 	if err != nil {
 		return nil, fmt.Errorf("dynamics: %w", err)
 	}
-	hits := make([]float64, len(placements))
+	if cap(m.hits) < len(placements) {
+		m.hits = make([]float64, len(placements))
+		m.results = make([]cachesim.EventResult, len(placements))
+		m.lats = make([][]float64, len(placements))
+	}
+	hits := m.hits[:len(placements)]
 	for a, p := range placements {
-		res, err := m.session.Serve(ins, p, tr, src.SplitIndex("serve", a))
+		serveSrc := src
+		if m.StreamSalt != 0 {
+			serveSrc = src.SplitIndexInto(&m.saltSrc, "cellserve", m.StreamSalt)
+		}
+		res, err := m.session.Serve(ins, p, tr, serveSrc.SplitIndexInto(&m.serveSrc, "serve", a))
 		if err != nil {
 			return nil, fmt.Errorf("dynamics: %w", err)
 		}
 		hits[a] = res.HitRatio
+		if !m.noRecord {
+			m.results[a] = res
+			m.lats[a] = append(m.lats[a][:0], m.session.Latencies()...)
+		}
 	}
 	return hits, nil
+}
+
+// LastResults returns the per-track EventResults of the most recent
+// recorded Measure call (replacement re-measures are excluded by the
+// engine). The slice aliases measurement-owned scratch: it is valid until
+// the next Measure, and callers that keep the values copy them.
+func (m *TraceMeasurement) LastResults() []cachesim.EventResult { return m.results }
+
+// LastLatencies returns track a's sorted per-request latencies (seconds)
+// from the most recent recorded Measure call. The slice aliases
+// measurement-owned scratch reused across checkpoints; treat it as
+// read-only and copy to keep. The sharded engine merges these buffers
+// across cells for exact global quantiles.
+func (m *TraceMeasurement) LastLatencies(a int) []float64 {
+	if a < 0 || a >= len(m.lats) {
+		return nil
+	}
+	return m.lats[a]
+}
+
+// MemoryBytes returns the heap bytes of the measurement's retained scratch
+// (the serving session plus the recorded window stats).
+func (m *TraceMeasurement) MemoryBytes() int64 {
+	var n int64
+	if m.session != nil {
+		n += m.session.MemoryBytes()
+	}
+	n += int64(cap(m.hits)) * 8
+	for _, l := range m.lats {
+		n += int64(cap(l)) * 8
+	}
+	return n
 }
 
 // TraceTrigger re-places on measured (windowed) hit-ratio degradation: it
@@ -175,6 +243,22 @@ type TraceTrigger struct {
 
 	baseline float64
 	recent   []float64
+}
+
+// TriggerCloner is the optional replication hook of a stateful Trigger:
+// CloneTrigger returns a fresh trigger with the same policy parameters and
+// no accumulated state. The shard layer requires it to give every cell its
+// own trigger instance — sharing one stateful trigger by value across cells
+// would mix their measurement histories.
+type TriggerCloner interface {
+	Trigger
+	CloneTrigger() Trigger
+}
+
+// CloneTrigger implements TriggerCloner: same Window and Degradation, empty
+// measurement history.
+func (t *TraceTrigger) CloneTrigger() Trigger {
+	return &TraceTrigger{Window: t.Window, Degradation: t.Degradation}
 }
 
 // Name implements Trigger.

@@ -83,6 +83,20 @@ func (r *Source) Split(label string) *Source {
 	return New(mix ^ h)
 }
 
+// SplitInto reseeds dst to the exact stream Split(label) would return,
+// without allocating a Source, so long-lived loops can re-derive labelled
+// child streams into caller-owned storage. dst is returned for convenience.
+func (r *Source) SplitInto(dst *Source, label string) *Source {
+	h := uint64(14695981039346656037) // FNV-64 offset basis
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= 1099511628211
+	}
+	_, mix := splitmix64(r.seed ^ 0xa5a5a5a5deadbeef)
+	dst.Reseed(mix ^ h)
+	return dst
+}
+
 // SplitIndex derives an independent child stream for an integer index, e.g.
 // one stream per Monte-Carlo trial.
 func (r *Source) SplitIndex(prefix string, idx int) *Source {

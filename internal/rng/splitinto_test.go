@@ -26,6 +26,37 @@ func TestSplitIndexIntoMatchesSplitIndex(t *testing.T) {
 	}
 }
 
+// TestSplitIntoMatchesSplit pins the labelled variant the same way: the
+// trace synthesizer re-derives its per-window arrival stream with SplitInto
+// and must land on the exact stream Split would return.
+func TestSplitIntoMatchesSplit(t *testing.T) {
+	parent := New(42)
+	var dst Source
+	for _, label := range []string{"arrivals", "serve", "", "x/y", "user/17"} {
+		want := parent.Split(label)
+		got := parent.SplitInto(&dst, label)
+		if got != &dst {
+			t.Fatalf("SplitInto must return dst")
+		}
+		for draw := 0; draw < 4; draw++ {
+			w, g := want.Uint64(), got.Uint64()
+			if w != g {
+				t.Fatalf("label %q draw %d: %#x, want %#x", label, draw, g, w)
+			}
+		}
+	}
+}
+
+func TestSplitIntoAllocFree(t *testing.T) {
+	parent := New(7)
+	var dst Source
+	if avg := testing.AllocsPerRun(100, func() {
+		parent.SplitInto(&dst, "arrivals")
+	}); avg != 0 {
+		t.Fatalf("SplitInto allocates %.1f times per run, want 0", avg)
+	}
+}
+
 func TestSplitIndexIntoAllocFree(t *testing.T) {
 	parent := New(7)
 	var dst Source

@@ -28,24 +28,47 @@ package shard
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
+	"trimcaching/internal/cachesim"
 	"trimcaching/internal/dynamics"
 	"trimcaching/internal/geom"
 	"trimcaching/internal/memprof"
 	"trimcaching/internal/mobility"
 	"trimcaching/internal/rng"
 	"trimcaching/internal/scenario"
+	"trimcaching/internal/stats"
 	"trimcaching/internal/topology"
 	"trimcaching/internal/workload"
 )
 
+// TraceConfig selects trace-driven serving as the sharded measurement: each
+// cell synthesizes its owned users' slice of the global request window
+// (arrival streams keyed by global user id, so a user's request stream is
+// bit-stable across cell handoffs) and serves it through its own
+// cachesim.ServeSession. Checkpoints then report request-weighted global
+// hit ratios and exact global latency quantiles (per-cell sorted latency
+// buffers merged, not quantiles of quantiles) in Step.Serve.
+type TraceConfig struct {
+	// RequestsPerUserPerHour is the Poisson arrival rate per user. Zero
+	// synthesizes empty windows.
+	RequestsPerUserPerHour float64
+	// WindowS is the serving window length in seconds; 0 means the
+	// checkpoint length (CheckpointMin * 60).
+	WindowS float64
+	// Event configures the serving simulator; a zero CloudRateBps selects
+	// cachesim.DefaultEventConfig.
+	Event cachesim.EventConfig
+}
+
 // Config parameterizes one sharded timeline run. The dynamics fields
 // (Tracks through Mode) mean exactly what they mean in dynamics.Config;
-// measurement is the Monte-Carlo fading track (trace-driven measurement
-// binds per-engine sessions to one instance and is not sharded yet).
+// measurement is the Monte-Carlo fading track unless Trace selects the
+// request-level serving track.
 type Config struct {
 	// Instance is the global t = 0 problem instance. The engine reads its
 	// topology, workload, library, and wireless configuration to build the
@@ -56,17 +79,25 @@ type Config struct {
 	// Capacities is the per-server storage budget, global server ids.
 	Capacities []int64
 	// Tracks are the algorithms evaluated side by side; every cell solves
-	// its own placement per track. Triggers are shared by value across
-	// cells, so stateful triggers (dynamics.Resetter implementers) are
-	// rejected when Shards > 1.
+	// its own placement per track. Stateful triggers (dynamics.Resetter
+	// implementers) must also implement dynamics.TriggerCloner when
+	// Shards > 1 — each cell then fires its own clone on its own measured
+	// degradation; sharing one trigger's history across cells would mix
+	// their measurements. A cell grown by slot-table overflow restarts its
+	// triggers from a fresh clone.
 	Tracks []dynamics.Track
 	// DurationMin and CheckpointMin shape the timeline.
 	DurationMin   int
 	CheckpointMin int
 	// SlotS is the mobility slot length.
 	SlotS float64
-	// Realizations is the fading realizations per cell measurement.
+	// Realizations is the fading realizations per cell measurement
+	// (Monte-Carlo track only; ignored when Trace is set).
 	Realizations int
+	// Trace selects trace-driven serving as the measurement: per-cell
+	// synthesizers and ServeSessions instead of the fading Monte-Carlo.
+	// Nil keeps the fading track.
+	Trace *TraceConfig
 	// Mode selects how cells refresh: Incremental (default) threads
 	// ReviseUsers deltas; Rebuild reconstructs each cell instance from its
 	// live slot table every checkpoint — the reference path the
@@ -110,8 +141,10 @@ func (c Config) Validate() error {
 		if tr.Algorithm == nil {
 			return fmt.Errorf("shard: track %d has no algorithm", a)
 		}
-		if _, ok := tr.Trigger.(dynamics.Resetter); ok && c.Shards > 1 {
-			return fmt.Errorf("shard: track %d has a stateful trigger; cells share triggers by value", a)
+		if _, stateful := tr.Trigger.(dynamics.Resetter); stateful && c.Shards > 1 {
+			if _, cloneable := tr.Trigger.(dynamics.TriggerCloner); !cloneable {
+				return fmt.Errorf("shard: track %d has a stateful trigger without CloneTrigger; cells cannot share its history", a)
+			}
 		}
 	}
 	if c.DurationMin <= 0 || c.CheckpointMin <= 0 || c.DurationMin < c.CheckpointMin {
@@ -120,8 +153,16 @@ func (c Config) Validate() error {
 	if c.SlotS <= 0 {
 		return fmt.Errorf("shard: SlotS must be positive")
 	}
-	if c.Realizations <= 0 {
+	if c.Trace == nil && c.Realizations <= 0 {
 		return fmt.Errorf("shard: Realizations must be positive")
+	}
+	if c.Trace != nil {
+		if c.Trace.RequestsPerUserPerHour < 0 {
+			return fmt.Errorf("shard: Trace.RequestsPerUserPerHour must be >= 0, got %v", c.Trace.RequestsPerUserPerHour)
+		}
+		if c.Trace.WindowS < 0 {
+			return fmt.Errorf("shard: Trace.WindowS must be >= 0, got %v", c.Trace.WindowS)
+		}
 	}
 	if c.Mode != dynamics.Incremental && c.Mode != dynamics.Rebuild {
 		return fmt.Errorf("shard: unknown mode %d", int(c.Mode))
@@ -136,13 +177,26 @@ func (c Config) Validate() error {
 }
 
 // FromDynamics lifts an unsharded dynamics configuration into a sharded
-// one, so the two engines can run the same scenario side by side. A
-// configured Measurement is rejected rather than dropped: sharding runs
-// the fading Monte-Carlo track only, and silently measuring something
-// other than what the caller configured would poison comparisons.
+// one, so the two engines can run the same scenario side by side. A nil
+// Measurement lifts to the fading Monte-Carlo track and a
+// *dynamics.TraceMeasurement to the trace-driven serving track; any other
+// measurement is rejected rather than dropped — silently measuring
+// something other than what the caller configured would poison comparisons.
 func FromDynamics(dc dynamics.Config, shards int) (Config, error) {
-	if dc.Measurement != nil {
-		return Config{}, fmt.Errorf("shard: sharded dynamics supports the fading measurement only (Measurement %q not liftable)", dc.Measurement.Name())
+	var tc *TraceConfig
+	switch m := dc.Measurement.(type) {
+	case nil:
+	case *dynamics.TraceMeasurement:
+		if m.UserKey != nil || m.StreamSalt != 0 {
+			return Config{}, fmt.Errorf("shard: TraceMeasurement with a custom UserKey or StreamSalt is not liftable (the sharded engine derives both per cell)")
+		}
+		tc = &TraceConfig{
+			RequestsPerUserPerHour: m.RequestsPerUserPerHour,
+			WindowS:                m.WindowS,
+			Event:                  m.Event,
+		}
+	default:
+		return Config{}, fmt.Errorf("shard: Measurement %q is not liftable", dc.Measurement.Name())
 	}
 	return Config{
 		Instance:       dc.Instance,
@@ -152,6 +206,7 @@ func FromDynamics(dc dynamics.Config, shards int) (Config, error) {
 		CheckpointMin:  dc.CheckpointMin,
 		SlotS:          dc.SlotS,
 		Realizations:   dc.Realizations,
+		Trace:          tc,
 		Mode:           dc.Mode,
 		Shards:         shards,
 		MeasureWorkers: dc.Workers,
@@ -258,6 +313,14 @@ type cell struct {
 	lastStep     dynamics.Step
 	lastMass     float64
 	lastBaseline []float64
+
+	// Trace-mode serving state: the cell's trace measurement plus
+	// cell-owned copies of the last checkpoint's per-track window stats and
+	// sorted latency buffers (the measurement's scratch is overwritten
+	// every Measure; the aggregate reads these after the parallel phase).
+	traceMeas *dynamics.TraceMeasurement
+	lastServe []cachesim.EventResult
+	lastLats  [][]float64
 }
 
 // Revision levels: a mass-only revision swapped just the probability row
@@ -276,6 +339,14 @@ type Step struct {
 	HitRatio []float64 `json:"hitRatio"`
 	// Replaced reports, per track, whether any cell re-placed here.
 	Replaced []bool `json:"replaced"`
+	// Serve is, per track, the request-level serving aggregate of this
+	// checkpoint's measurement windows — counts summed over cells, the hit
+	// ratio request-weighted (ΣQoSHits/ΣRequests), and the latency
+	// quantiles exact (computed on the merge of the cells' sorted latency
+	// buffers, not quantiles of per-cell quantiles). Nil unless the engine
+	// runs the trace-driven track (Config.Trace). With one cell the cell's
+	// EventResult passes through verbatim.
+	Serve []cachesim.EventResult `json:"serve,omitempty"`
 }
 
 // Result is a completed sharded timeline.
@@ -330,6 +401,13 @@ type Engine struct {
 	planScratch []int     // plan-phase localCells backing, reused
 	aggStep     Step      // aggregate's reused result; valid until the next call
 	aggNum      []float64 // aggregate's weighted-sum scratch
+
+	// Trace-mode aggregation scratch: the per-track serve aggregates and
+	// the k-way merge of the cells' sorted latency buffers, reused across
+	// checkpoints.
+	aggServe []cachesim.EventResult
+	mergeBuf []float64
+	mergeIdx []int
 }
 
 // NewEngine validates the configuration, partitions servers into cells,
@@ -394,9 +472,17 @@ func NewEngine(cfg Config, src *rng.Source) (*Engine, error) {
 		if len(sh.servers) == 0 {
 			return nil, fmt.Errorf("shard: cell %d owns no servers; use fewer shards or a denser deployment", c)
 		}
-		if cfg.Shards == 1 {
+		switch {
+		case cfg.Shards == 1:
 			sh.src = src
-		} else {
+		case cfg.Trace != nil:
+			// Trace mode shares the global seed across cells on purpose: the
+			// per-checkpoint chain "fading"/cp → "arrivals" → "user"/globalID
+			// is then cell-independent, so a user's arrival stream survives
+			// handoffs bit for bit. Serving fades are decorrelated per cell
+			// through the measurement's StreamSalt instead.
+			sh.src = src
+		default:
 			sh.src = src.SplitIndex("cell", c)
 		}
 	}
@@ -558,16 +644,68 @@ func (e *Engine) buildCell(sh *cell, locals []int) error {
 			measureWorkers = 1
 		}
 	}
+	// Stateful triggers are cloned per cell (fresh history; see
+	// Config.Tracks). A grown cell passes through here again, so its
+	// triggers restart from an empty measurement window — the rebuilt
+	// engine re-baselines anyway.
+	tracks := e.cfg.Tracks
+	if e.cfg.Shards > 1 {
+		for a := range tracks {
+			if _, ok := tracks[a].Trigger.(dynamics.TriggerCloner); ok {
+				cloned := make([]dynamics.Track, len(e.cfg.Tracks))
+				copy(cloned, e.cfg.Tracks)
+				for b := range cloned {
+					if tc, ok := cloned[b].Trigger.(dynamics.TriggerCloner); ok {
+						cloned[b].Trigger = tc.CloneTrigger()
+					}
+				}
+				tracks = cloned
+				break
+			}
+		}
+	}
+	sh.traceMeas = nil
+	var meas dynamics.Measurement
+	if e.cfg.Trace != nil {
+		windowS := e.cfg.Trace.WindowS
+		if windowS == 0 {
+			windowS = float64(e.cfg.CheckpointMin) * 60
+		}
+		tm := &dynamics.TraceMeasurement{
+			RequestsPerUserPerHour: e.cfg.Trace.RequestsPerUserPerHour,
+			WindowS:                windowS,
+			Event:                  e.cfg.Trace.Event,
+			// Cell 0 keeps the unsalted serving stream, so a Shards=1 run
+			// (and cell 0 of any run) serves bit-identically to the
+			// unsharded trace track.
+			StreamSalt: sh.id,
+		}
+		if e.cfg.Shards > 1 {
+			// Slot → global id for handoff-stable arrival streams; ghosts
+			// (owned elsewhere) and parked slots synthesize nothing, so each
+			// global request is served by exactly one cell. The closure reads
+			// this cell's slot table and the global owner map, both mutated
+			// only in the serial plan phase — race-free under parallel cells,
+			// the same argument as the rank provider above.
+			tm.UserKey = func(slot int) (int, bool) {
+				g := sh.slots[slot]
+				return int(g), g >= 0 && int(e.owner[g]) == sh.id
+			}
+		}
+		sh.traceMeas = tm
+		meas = tm
+	}
 	eng, err := dynamics.NewEngine(dynamics.Config{
 		Instance:         cellIns,
 		Capacities:       sh.caps,
-		Tracks:           e.cfg.Tracks,
+		Tracks:           tracks,
 		DurationMin:      e.cfg.DurationMin,
 		CheckpointMin:    e.cfg.CheckpointMin,
 		SlotS:            e.cfg.SlotS,
 		Realizations:     e.cfg.Realizations,
 		Workers:          measureWorkers,
 		Mode:             e.cfg.Mode,
+		Measurement:      meas,
 		ExternalMobility: true,
 	}, sh.src)
 	if err != nil {
@@ -575,6 +713,11 @@ func (e *Engine) buildCell(sh *cell, locals []int) error {
 	}
 	sh.work = work
 	sh.eng = eng
+	if sh.traceMeas != nil {
+		// Keep the t = 0 baseline window's serve stats for the first
+		// aggregate (NewEngine's baseline Measure recorded them).
+		sh.captureServe()
+	}
 	sh.pendingMove = make([]int32, slots)
 	sh.revLevel = make([]int8, slots)
 	sh.moveEpoch = make([]int32, slots)
@@ -584,6 +727,20 @@ func (e *Engine) buildCell(sh *cell, locals []int) error {
 		sh.lastBaseline[a] = eng.Baseline(a)
 	}
 	return nil
+}
+
+// captureServe copies the cell's last recorded per-track serve stats out
+// of the measurement scratch (overwritten every Measure) into cell-owned
+// buffers the aggregate reads after the parallel phase.
+func (sh *cell) captureServe() {
+	res := sh.traceMeas.LastResults()
+	sh.lastServe = append(sh.lastServe[:0], res...)
+	for len(sh.lastLats) < len(res) {
+		sh.lastLats = append(sh.lastLats, nil)
+	}
+	for a := range res {
+		sh.lastLats[a] = append(sh.lastLats[a][:0], sh.traceMeas.LastLatencies(a)...)
+	}
 }
 
 // setRef points user g's binding for cell c at slot s, replacing an
@@ -656,6 +813,15 @@ func (e *Engine) aggregate(timeMin float64) Step {
 		HitRatio: e.aggStep.HitRatio[:nt],
 		Replaced: e.aggStep.Replaced[:nt],
 	}
+	if e.cfg.Trace != nil {
+		if cap(e.aggServe) < nt {
+			e.aggServe = make([]cachesim.EventResult, nt)
+		}
+		step.Serve = e.aggServe[:nt]
+		for a := range step.Serve {
+			step.Serve[a] = e.mergeServe(a)
+		}
+	}
 	if len(e.cells) == 1 {
 		copy(step.HitRatio, e.cells[0].lastStep.HitRatio)
 		copy(step.Replaced, e.cells[0].lastStep.Replaced)
@@ -692,6 +858,98 @@ func (e *Engine) aggregate(timeMin float64) Step {
 		}
 	}
 	return step
+}
+
+// mergeServe folds the cells' recorded serving windows for track a into one
+// global EventResult: request counters sum (each request is synthesized and
+// served by exactly one cell), the hit ratio is the request-weighted
+// ΣQoSHits/ΣRequests, and the latency quantiles are exact — the per-cell
+// sorted latency buffers are k-way merged into one engine-owned buffer and
+// the quantiles read from it, never quantiles-of-quantiles. Peak concurrency
+// takes the max over cells, which is exact because cells partition the
+// servers. A single cell passes its window through verbatim, keeping
+// Shards = 1 bit-identical to the unsharded TraceMeasurement.
+func (e *Engine) mergeServe(a int) cachesim.EventResult {
+	if len(e.cells) == 1 {
+		sh := e.cells[0]
+		if a < len(sh.lastServe) {
+			return sh.lastServe[a]
+		}
+		return cachesim.EventResult{}
+	}
+	var res cachesim.EventResult
+	total := 0
+	for _, sh := range e.cells {
+		if a >= len(sh.lastServe) {
+			continue
+		}
+		r := sh.lastServe[a]
+		res.Requests += r.Requests
+		res.Direct += r.Direct
+		res.Relay += r.Relay
+		res.Cloud += r.Cloud
+		res.Failed += r.Failed
+		res.QoSHits += r.QoSHits
+		if r.PeakConcurrency > res.PeakConcurrency {
+			res.PeakConcurrency = r.PeakConcurrency
+		}
+		if a < len(sh.lastLats) {
+			total += len(sh.lastLats[a])
+		}
+	}
+	if res.Requests > 0 {
+		res.HitRatio = float64(res.QoSHits) / float64(res.Requests)
+	}
+	if total == 0 {
+		return res
+	}
+	if cap(e.mergeBuf) < total {
+		e.mergeBuf = make([]float64, 0, total)
+	}
+	if cap(e.mergeIdx) < len(e.cells) {
+		e.mergeIdx = make([]int, len(e.cells))
+	}
+	merged := e.mergeBuf[:0]
+	idx := e.mergeIdx[:len(e.cells)]
+	for c := range idx {
+		idx[c] = 0
+	}
+	// K-way merge of the per-cell sorted buffers. Cell counts are small
+	// (≤ 8 in every benchmark), so the linear min-scan beats a heap.
+	var sum float64
+	for len(merged) < total {
+		best, bestC := math.Inf(1), -1
+		for c, sh := range e.cells {
+			if a >= len(sh.lastLats) || idx[c] >= len(sh.lastLats[a]) {
+				continue
+			}
+			if v := sh.lastLats[a][idx[c]]; bestC < 0 || v < best {
+				best, bestC = v, c
+			}
+		}
+		if bestC < 0 {
+			break
+		}
+		idx[bestC]++
+		merged = append(merged, best)
+		sum += best
+	}
+	e.mergeBuf = merged
+	n := len(merged)
+	if n == 0 {
+		return res
+	}
+	res.MeanLatency = secToDur(sum / float64(n))
+	res.P50Latency = secToDur(stats.QuantileSorted(merged, 0.50))
+	res.P95Latency = secToDur(stats.QuantileSorted(merged, 0.95))
+	res.P99Latency = secToDur(stats.QuantileSorted(merged, 0.99))
+	return res
+}
+
+// secToDur converts seconds to a time.Duration with the same float op the
+// serving simulator uses, so merged quantiles round identically.
+func secToDur(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
 }
 
 // baselineStep assembles the t = 0 step from the cells' initial baselines.
@@ -986,6 +1244,9 @@ func (e *Engine) runCell(sh *cell, cp int) error {
 	sh.lastStep.HitRatio = append(sh.lastStep.HitRatio[:0], st.HitRatio...)
 	sh.lastStep.Replaced = append(sh.lastStep.Replaced[:0], st.Replaced...)
 	sh.lastMass = sh.eng.Instance().TotalMass()
+	if sh.traceMeas != nil {
+		sh.captureServe()
+	}
 	return nil
 }
 
@@ -1023,8 +1284,13 @@ func copyStep(st Step) Step {
 		TimeMin:  st.TimeMin,
 		HitRatio: append([]float64(nil), st.HitRatio...),
 		Replaced: append([]bool(nil), st.Replaced...),
+		Serve:    append([]cachesim.EventResult(nil), st.Serve...),
 	}
 }
+
+// unsafeSizeofEventResult is unsafe.Sizeof(cachesim.EventResult{}), kept as
+// a constant so memprof needs no unsafe import; a test guards the value.
+const unsafeSizeofEventResult = 96
 
 // MemoryFootprint returns the sharded engine's memory accounting: the sum
 // of every cell's engine breakdown plus the cells' slot tables and batch
@@ -1045,6 +1311,10 @@ func (e *Engine) MemoryFootprint() memprof.Footprint {
 		cellScratch += int64(cap(sh.revLevel)) + int64(cap(sh.overflow))*4
 		cellScratch += int64(cap(sh.movedPos)) * 16
 		cellScratch += int64(cap(sh.lastStep.HitRatio)+cap(sh.lastBaseline))*8 + int64(cap(sh.lastStep.Replaced))
+		cellScratch += int64(cap(sh.lastServe)) * int64(unsafeSizeofEventResult)
+		for _, l := range sh.lastLats {
+			cellScratch += int64(cap(l)) * 8
+		}
 		f.Scratch += cellScratch
 	}
 	g := e.cfg.Instance.MemoryFootprint()
@@ -1057,6 +1327,8 @@ func (e *Engine) MemoryFootprint() memprof.Footprint {
 	f.Coordinator += int64(cap(e.zeroRow)+cap(e.aggNum)+cap(e.aggStep.HitRatio))*8 +
 		int64(cap(e.aggStep.Replaced)) + int64(cap(e.planScratch))*8 + int64(cap(e.refBuf))*8 +
 		int64(cap(e.replacedBase))*8
+	f.Coordinator += int64(cap(e.aggServe))*int64(unsafeSizeofEventResult) +
+		int64(cap(e.mergeBuf))*8 + int64(cap(e.mergeIdx))*8
 	return f
 }
 

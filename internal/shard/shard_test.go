@@ -7,6 +7,7 @@ import (
 
 	"trimcaching/internal/dynamics"
 	"trimcaching/internal/geom"
+	"trimcaching/internal/placement"
 	"trimcaching/internal/rng"
 )
 
@@ -187,10 +188,18 @@ func TestConfigValidate(t *testing.T) {
 	if err := cfg.Validate(); err == nil {
 		t.Error("margin below coverage radius accepted")
 	}
+	// A stateful trigger that implements TriggerCloner is accepted at any
+	// shard count: each cell gets its own clone. One that does not must be
+	// rejected at Shards > 1 — sharing its history across cells would mix
+	// their measurement streams.
 	cfg = base()
 	cfg.Tracks = []dynamics.Track{{Algorithm: cfg.Tracks[0].Algorithm, Trigger: &dynamics.TraceTrigger{Degradation: 0.1}}}
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("clonable stateful trigger rejected with 2 shards: %v", err)
+	}
+	cfg.Tracks[0].Trigger = &statefulTrigger{}
 	if err := cfg.Validate(); err == nil {
-		t.Error("stateful trigger accepted with 2 shards")
+		t.Error("unclonable stateful trigger accepted with 2 shards")
 	}
 	cfg.Shards = 1
 	if err := cfg.Validate(); err != nil {
@@ -210,16 +219,45 @@ func TestConfigValidate(t *testing.T) {
 		t.Error("64 cells over 4 servers accepted")
 	}
 
-	// A configured Measurement must be rejected by FromDynamics, not
-	// silently replaced with the fading track.
+	// A plain TraceMeasurement lifts into Config.Trace; one that is already
+	// shard-specialized (UserKey or StreamSalt set) must be rejected, and so
+	// must any other custom measurement.
 	dc, err := dynamics.NewSmokeScaleConfig(dynamics.Incremental)
 	if err != nil {
 		t.Fatal(err)
 	}
 	dc.Measurement = &dynamics.TraceMeasurement{RequestsPerUserPerHour: 30, WindowS: 600}
-	if _, err := FromDynamics(dc, 2); err == nil {
-		t.Error("trace measurement lifted silently")
+	lifted, err := FromDynamics(dc, 2)
+	if err != nil {
+		t.Fatalf("plain trace measurement rejected: %v", err)
 	}
+	if lifted.Trace == nil || lifted.Trace.RequestsPerUserPerHour != 30 || lifted.Trace.WindowS != 600 {
+		t.Errorf("trace measurement lifted incorrectly: %+v", lifted.Trace)
+	}
+	dc.Measurement = &dynamics.TraceMeasurement{RequestsPerUserPerHour: 30, WindowS: 600, StreamSalt: 7}
+	if _, err := FromDynamics(dc, 2); err == nil {
+		t.Error("shard-specialized trace measurement lifted silently")
+	}
+	dc.Measurement = fakeMeasurement{}
+	if _, err := FromDynamics(dc, 2); err == nil {
+		t.Error("custom measurement lifted silently")
+	}
+}
+
+// statefulTrigger implements dynamics.Resetter but not TriggerCloner, so
+// Validate must reject it at Shards > 1.
+type statefulTrigger struct{}
+
+func (statefulTrigger) Name() string                    { return "stateful" }
+func (statefulTrigger) Fire(int, float64, float64) bool { return false }
+func (statefulTrigger) Reset()                          {}
+
+// fakeMeasurement is a custom Measurement FromDynamics cannot lift.
+type fakeMeasurement struct{}
+
+func (fakeMeasurement) Name() string { return "fake" }
+func (fakeMeasurement) Measure(*placement.Evaluator, []*placement.Placement, *rng.Source) ([]float64, error) {
+	return nil, nil
 }
 
 // TestBenchConfig keeps the benchmark scenario constructor honest at toy

@@ -111,6 +111,17 @@ func Quantile(xs []float64, q float64) float64 {
 	sorted := make([]float64, len(xs))
 	copy(sorted, xs)
 	sort.Float64s(sorted)
+	return QuantileSorted(sorted, q)
+}
+
+// QuantileSorted is Quantile over an already-ascending slice: no copy, no
+// sort, no allocation. Hot loops that keep their sample buffer sorted (the
+// serve path's latency scratch) use this to read several quantiles off one
+// sort.
+func QuantileSorted(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
 	if q <= 0 {
 		return sorted[0]
 	}

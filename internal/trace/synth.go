@@ -1,8 +1,9 @@
 package trace
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"trimcaching/internal/rng"
 	"trimcaching/internal/workload"
@@ -26,9 +27,20 @@ type Synthesizer struct {
 	windowS            float64
 
 	// Scratch reused across Window calls; see Window for the aliasing
-	// contract.
-	tr Trace
+	// contract. usrc is the caller-owned per-user stream so the hot loop
+	// derives K streams per window without allocating.
+	tr   Trace
+	usrc rng.Source
 }
+
+// UserMap translates a workload slot index into the identity that keys the
+// slot's arrival stream. It returns the global user id for the slot and
+// whether the slot should synthesize arrivals at all. Sharded engines map
+// cell-local slots to global user ids and report ghosts (slots visible for
+// load accounting but owned by another cell) as not-owned, so a user's
+// arrival stream is a function of their global id — bit-stable across cell
+// handoffs — and each request is synthesized by exactly one cell.
+type UserMap func(slot int) (global int, owned bool)
 
 // NewSynthesizer validates the arrival parameters. A zero rate is allowed
 // and synthesizes empty windows (a silent cell still measures: zero
@@ -46,8 +58,20 @@ func NewSynthesizer(ratePerUserPerHour, windowS float64) (*Synthesizer, error) {
 // Window synthesizes one measurement window's request arrivals against the
 // given workload. The returned trace aliases the synthesizer's scratch and
 // is only valid until the next Window call; callers that need to keep it
-// must copy the Requests slice.
+// must copy the Requests slice. It is WindowMapped with the identity map:
+// every slot is its own global id and every slot is owned.
 func (s *Synthesizer) Window(work *workload.Workload, src *rng.Source) (*Trace, error) {
+	return s.WindowMapped(work, src, nil)
+}
+
+// WindowMapped synthesizes one window with request attribution keyed by um.
+// A nil um is the identity map (slot == global id, all slots owned). The
+// emitted Request.User remains the local slot index — it must index the
+// serving instance — while the arrival stream (times and model draws) is
+// derived from the global id, so the stream survives slot renumbering.
+// Steady state allocates nothing: requests reuse the trace scratch once it
+// has grown to the high-water window size.
+func (s *Synthesizer) WindowMapped(work *workload.Workload, src *rng.Source, um UserMap) (*Trace, error) {
 	if work == nil {
 		return nil, fmt.Errorf("trace: workload is required")
 	}
@@ -61,7 +85,15 @@ func (s *Synthesizer) Window(work *workload.Workload, src *rng.Source) (*Trace, 
 	}
 	ratePerSec := s.ratePerUserPerHour / 3600
 	for k := 0; k < work.NumUsers(); k++ {
-		usrc := src.SplitIndex("user", k)
+		g := k
+		if um != nil {
+			global, owned := um(k)
+			if !owned {
+				continue
+			}
+			g = global
+		}
+		usrc := src.SplitIndexInto(&s.usrc, "user", g)
 		probRow := work.ProbRow(k)
 		for t := usrc.Exp() / ratePerSec; t < s.windowS; t += usrc.Exp() / ratePerSec {
 			s.tr.Requests = append(s.tr.Requests, Request{
@@ -71,12 +103,11 @@ func (s *Synthesizer) Window(work *workload.Workload, src *rng.Source) (*Trace, 
 			})
 		}
 	}
-	reqs := s.tr.Requests
-	sort.Slice(reqs, func(a, b int) bool {
-		if reqs[a].TimeS != reqs[b].TimeS {
-			return reqs[a].TimeS < reqs[b].TimeS
+	slices.SortFunc(s.tr.Requests, func(a, b Request) int {
+		if c := cmp.Compare(a.TimeS, b.TimeS); c != 0 {
+			return c
 		}
-		return reqs[a].User < reqs[b].User
+		return cmp.Compare(a.User, b.User)
 	})
 	return &s.tr, nil
 }

@@ -1,11 +1,24 @@
 package trace
 
 import (
+	"cmp"
+	"slices"
 	"testing"
 
 	"trimcaching/internal/rng"
 	"trimcaching/internal/workload"
 )
+
+// sortRequests orders requests by (TimeS, User), the synthesizer's emission
+// order, so windows assembled from multiple owners can be compared.
+func sortRequests(reqs []Request) {
+	slices.SortFunc(reqs, func(a, b Request) int {
+		if c := cmp.Compare(a.TimeS, b.TimeS); c != 0 {
+			return c
+		}
+		return cmp.Compare(a.User, b.User)
+	})
+}
 
 func synthWorkload(t *testing.T, numUsers, numModels int) *workload.Workload {
 	t.Helper()
@@ -196,5 +209,169 @@ func TestSynthesizerScratchReuse(t *testing.T) {
 	if len(snapshot.Requests) == len(second.Requests) && len(snapshot.Requests) > 0 &&
 		snapshot.Requests[0] == second.Requests[0] && snapshot.Requests[len(snapshot.Requests)-1] == second.Requests[len(second.Requests)-1] {
 		t.Fatal("second window left the first window's content in place")
+	}
+}
+
+// TestWindowMappedIdentity pins Window == WindowMapped(nil) == WindowMapped
+// with an explicit identity map: the nil shortcut and the mapped path share
+// one synthesis loop, and the unsharded engines rely on that identity.
+func TestWindowMappedIdentity(t *testing.T) {
+	work := synthWorkload(t, 7, 9)
+	s, err := NewSynthesizer(90, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := rng.New(21)
+	plain, err := s.Window(work, root.SplitIndex("ckpt", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cloneTrace(plain)
+	mapped, err := s.WindowMapped(work, root.SplitIndex("ckpt", 2), func(slot int) (int, bool) { return slot, true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mapped.Requests) != len(want.Requests) {
+		t.Fatalf("identity map: %d requests, want %d", len(mapped.Requests), len(want.Requests))
+	}
+	for i := range want.Requests {
+		if mapped.Requests[i] != want.Requests[i] {
+			t.Fatalf("identity map request %d: %+v, want %+v", i, mapped.Requests[i], want.Requests[i])
+		}
+	}
+}
+
+// TestWindowMappedPartition pins the sharding contract: if ownership of the
+// user population is partitioned across two maps, the union of the two
+// mapped windows is exactly the identity window — every request synthesized
+// by exactly one owner, times and model draws untouched by the split.
+func TestWindowMappedPartition(t *testing.T) {
+	work := synthWorkload(t, 9, 11)
+	root := rng.New(33)
+	ref, err := NewSynthesizer(120, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := ref.Window(work, root.SplitIndex("ckpt", 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cloneTrace(plain)
+
+	var union []Request
+	for half := 0; half < 2; half++ {
+		s, err := NewSynthesizer(120, 400)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := s.WindowMapped(work, root.SplitIndex("ckpt", 0), func(slot int) (int, bool) {
+			return slot, slot%2 == half
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		union = append(union, tr.Requests...)
+	}
+	if len(union) != len(want.Requests) {
+		t.Fatalf("partition union has %d requests, identity window %d", len(union), len(want.Requests))
+	}
+	sortRequests(union)
+	for i := range want.Requests {
+		if union[i] != want.Requests[i] {
+			t.Fatalf("partition union request %d: %+v, want %+v", i, union[i], want.Requests[i])
+		}
+	}
+}
+
+// TestWindowMappedGlobalKey pins that the arrival stream is keyed by the
+// GLOBAL id, not the slot index: a slot table that binds global user g into
+// an arbitrary slot reproduces g's identity-window arrival times bit for
+// bit, with only the User field renumbered. This is what makes a sharded
+// user's request stream survive cell handoffs.
+func TestWindowMappedGlobalKey(t *testing.T) {
+	work := synthWorkload(t, 6, 8)
+	root := rng.New(44)
+	ref, err := NewSynthesizer(100, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := ref.Window(work, root.SplitIndex("ckpt", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cloneTrace(plain)
+
+	// A 3-slot cell binding globals {5, 1, 3} into slots {0, 1, 2}.
+	globals := []int{5, 1, 3}
+	cellWork, err := workload.NewAliased(len(globals), work.NumModels())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for slot, g := range globals {
+		if err := cellWork.SetUserRows(slot, work.ProbRow(g), work.DeadlineRow(g), work.InferRow(g)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := NewSynthesizer(100, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := s.WindowMapped(cellWork, root.SplitIndex("ckpt", 1), func(slot int) (int, bool) {
+		return globals[slot], true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-key the cell window to global ids and compare against the identity
+	// window restricted to the bound globals.
+	rekeyed := make([]Request, len(tr.Requests))
+	for i, r := range tr.Requests {
+		rekeyed[i] = Request{TimeS: r.TimeS, User: globals[r.User], Model: r.Model}
+	}
+	sortRequests(rekeyed)
+	bound := map[int]bool{}
+	for _, g := range globals {
+		bound[g] = true
+	}
+	var restricted []Request
+	for _, r := range want.Requests {
+		if bound[r.User] {
+			restricted = append(restricted, r)
+		}
+	}
+	if len(rekeyed) != len(restricted) {
+		t.Fatalf("cell window has %d requests, identity restriction %d", len(rekeyed), len(restricted))
+	}
+	for i := range restricted {
+		if rekeyed[i] != restricted[i] {
+			t.Fatalf("cell request %d: %+v, want %+v", i, rekeyed[i], restricted[i])
+		}
+	}
+}
+
+// TestWindowSteadyStateAllocFree pins the synthesis hot path at zero
+// allocations once the request scratch has reached its high-water mark.
+func TestWindowSteadyStateAllocFree(t *testing.T) {
+	work := synthWorkload(t, 20, 12)
+	s, err := NewSynthesizer(200, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := rng.New(55)
+	var ckptSrc rng.Source
+	// Warm up the scratch to its high-water mark across several windows.
+	for cp := 0; cp < 12; cp++ {
+		if _, err := s.Window(work, root.SplitIndexInto(&ckptSrc, "ckpt", cp)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cp := 0
+	if avg := testing.AllocsPerRun(8, func() {
+		cp++
+		if _, err := s.Window(work, root.SplitIndexInto(&ckptSrc, "ckpt", cp%12)); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Fatalf("steady-state Window allocates %.1f times per run, want 0", avg)
 	}
 }
