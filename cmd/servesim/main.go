@@ -16,10 +16,11 @@
 // aggregate; combined with -trace each cell serves its owned users'
 // arrivals and the timeline adds the aggregated per-window request counts
 // and exact latency quantiles. With -gallery <name> it runs one
-// scenario-gallery timeline (outage, flashcrowd, diurnal, churn) through
-// BOTH the unsharded and the sharded engine and prints the event-annotated
-// trajectories; unset flags keep the gallery's golden defaults, so a bare
-// -gallery run reproduces the checked-in artifacts.
+// scenario-gallery timeline (outage, flashcrowd, diurnal, churn, degrade,
+// regional) through BOTH the unsharded and the sharded engine and prints
+// the event-annotated trajectories; unset flags keep the gallery's golden
+// defaults, so a bare -gallery run reproduces the checked-in artifacts. An
+// unknown name fails with the list of available families.
 //
 // Usage:
 //
@@ -81,7 +82,7 @@ func run(args []string, stdout io.Writer) error {
 	traceDriven := fs.Bool("trace", false, "trace-driven mobility: measure checkpoints by serving synthesized request windows at -rate instead of fading Monte-Carlo")
 	triggerWindow := fs.Int("trigger-window", 1, "checkpoints averaged by the trace-driven replacement trigger")
 	shards := fs.Int("shards", 1, "partition the area into this many geographic cells with per-cell engines (mobility or trace mode)")
-	gallery := fs.String("gallery", "", "run this scenario-gallery timeline (outage, flashcrowd, diurnal, churn) through both engines instead of serving a trace")
+	gallery := fs.String("gallery", "", "run this scenario-gallery timeline (outage, flashcrowd, diurnal, churn, degrade, regional) through both engines instead of serving a trace")
 	reserveModels := fs.Int("reserve-models", 0, "extra adapters held back for gallery grow events (gallery mode)")
 	galleryJSON := fs.String("gallery-json", "", "also write the gallery artifact (both legs) to this JSON file")
 	if err := fs.Parse(args); err != nil {

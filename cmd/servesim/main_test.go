@@ -139,3 +139,44 @@ func TestRunTraceDrivenSharded(t *testing.T) {
 		}
 	}
 }
+
+func TestRunGalleryUnknownFamily(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-gallery", "nosuch"}, &out)
+	if err == nil {
+		t.Fatal("unknown gallery family must error")
+	}
+	for _, want := range []string{"outage", "flashcrowd", "diurnal", "churn", "degrade", "regional"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("unknown-family error does not list %q: %v", want, err)
+		}
+	}
+}
+
+func TestRunGalleryDegradeFamily(t *testing.T) {
+	// A reduced-clock degrade run through both engines: the timeline must
+	// carry the shrink and restore event labels and a recovery line.
+	var out bytes.Buffer
+	err := run([]string{"-gallery", "degrade", "-users", "120", "-mobility", "60"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"degrade(3 servers -> 2.02GB)", "degrade(3 servers restored)", "recovery", "sharded"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("degrade gallery output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunGalleryRegionalFamily(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-gallery", "regional", "-users", "120", "-mobility", "60"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"regional(disk down)", "regional(rect -> 2.02GB)", "regional(disk recovered)", "regional(rect recovered)"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("regional gallery output missing %q:\n%s", want, out.String())
+		}
+	}
+}

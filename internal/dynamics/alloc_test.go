@@ -46,6 +46,60 @@ func TestCheckpointAllocFree(t *testing.T) {
 	}
 }
 
+// TestFaultCheckpointAllocFree pins the allocation contract across fault
+// events: after an outage plus a partial-capacity degradation (and the
+// forced replaces on their edges), steady-state checkpoints between fault
+// events are still allocation-free. The events themselves may allocate —
+// they are event-rate, not checkpoint-rate — and the fused kernel's
+// capacity-mask scratch grows once during the first degraded measurement,
+// so the pin re-warms after the faults before counting.
+func TestFaultCheckpointAllocFree(t *testing.T) {
+	cfg, err := NewSmokeScaleConfig(Incremental)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Tracks[0].Trigger = NeverTrigger{}
+	cfg.Workers = 1
+	e, err := NewEngine(cfg, rng.New(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := 0
+	checkpoint := func() {
+		cp++
+		if err := e.Advance(); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Refresh(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Step(cp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		checkpoint()
+	}
+	if err := e.SetServersDown([]int{0}, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SetServerCapacity(1, e.ServerCapacityBytes(1)/2); err != nil {
+		t.Fatal(err)
+	}
+	for a := range cfg.Tracks {
+		cp++
+		if _, err := e.Replace(a, cp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 6; i++ {
+		checkpoint()
+	}
+	if avg := testing.AllocsPerRun(5, checkpoint); avg != 0 {
+		t.Fatalf("degraded steady-state checkpoint allocates %.1f times per run, want 0", avg)
+	}
+}
+
 // TestTraceCheckpointAllocFree is the same pin for the trace-driven
 // measurement track: synthesis (per-user Poisson streams), the event-driven
 // serve, and the recorded window stats must all reuse their scratch, so a

@@ -124,6 +124,13 @@ type Config struct {
 	Instance *scenario.Instance
 	// Capacities is the per-server storage budget.
 	Capacities []int64
+	// BaselineCapacities, when set, is the configured (pristine) per-server
+	// budget SetServerCapacity restores to; nil means Capacities. Callers
+	// rebuilding an engine mid-degradation (the shard layer's grow path)
+	// pass the already-degraded budgets as Capacities — so the t = 0 solve
+	// respects them — and the pristine ones here, so a later restore does
+	// not resurrect the degraded value as the configured one.
+	BaselineCapacities []int64
 	// Tracks are the algorithms evaluated side by side on identical
 	// mobility and fading draws.
 	Tracks []Track
@@ -163,6 +170,9 @@ func (c Config) Validate() error {
 	}
 	if len(c.Capacities) != c.Instance.NumServers() {
 		return fmt.Errorf("dynamics: %d capacities for %d servers", len(c.Capacities), c.Instance.NumServers())
+	}
+	if c.BaselineCapacities != nil && len(c.BaselineCapacities) != len(c.Capacities) {
+		return fmt.Errorf("dynamics: %d baseline capacities for %d servers", len(c.BaselineCapacities), len(c.Capacities))
 	}
 	if len(c.Tracks) == 0 {
 		return fmt.Errorf("dynamics: at least one track is required")
@@ -228,6 +238,9 @@ type Engine struct {
 	baselines  []float64
 	accPairs   []bitset.Set // per track: reach pairs changed since its last solve
 
+	caps  []int64 // live per-server capacities (SetServerCapacity mutates)
+	caps0 []int64 // pristine configured capacities (restore target)
+
 	measureSrc   rng.Source // per-checkpoint stream, reseeded in place
 	stepHit      []float64  // reused Step buffers; valid until the next Step
 	stepReplaced []bool
@@ -282,6 +295,8 @@ func NewEngine(cfg Config, src *rng.Source) (*Engine, error) {
 		placements:         make([]*placement.Placement, len(cfg.Tracks)),
 		baselines:          make([]float64, len(cfg.Tracks)),
 		accPairs:           make([]bitset.Set, len(cfg.Tracks)),
+		caps:               append([]int64(nil), cfg.Capacities...),
+		caps0:              append([]int64(nil), caps0(cfg)...),
 		stepHit:            make([]float64, len(cfg.Tracks)),
 		stepReplaced:       make([]bool, len(cfg.Tracks)),
 		slotsPerCheckpoint: int(float64(cfg.CheckpointMin*60)/cfg.SlotS + 0.5),
@@ -299,7 +314,7 @@ func NewEngine(cfg Config, src *rng.Source) (*Engine, error) {
 	}
 	for a, tr := range cfg.Tracks {
 		e.accPairs[a] = bitset.New(ins.NumServers() * ins.NumModels())
-		p, err := tr.Algorithm.Place(eval, cfg.Capacities)
+		p, err := tr.Algorithm.Place(eval, e.caps)
 		if err != nil {
 			return nil, fmt.Errorf("dynamics: %s: %w", tr.Algorithm.Name(), err)
 		}
@@ -311,6 +326,14 @@ func NewEngine(cfg Config, src *rng.Source) (*Engine, error) {
 	}
 	copy(e.baselines, base)
 	return e, nil
+}
+
+// caps0 returns the configured capacity vector restores target.
+func caps0(cfg Config) []int64 {
+	if cfg.BaselineCapacities != nil {
+		return cfg.BaselineCapacities
+	}
+	return cfg.Capacities
 }
 
 // Instance returns the engine's current instance (the configured one in
@@ -447,9 +470,9 @@ func (e *Engine) resolve(a int) (*placement.Placement, error) {
 	tr := e.cfg.Tracks[a]
 	if ws, ok := tr.Algorithm.(placement.WarmStartAlgorithm); ok && e.cfg.Mode == Incremental {
 		d := &scenario.Delta{Gen: e.ins.Generation(), Pairs: e.accPairs[a]}
-		return ws.Repair(e.eval, e.cfg.Capacities, e.placements[a], d)
+		return ws.Repair(e.eval, e.caps, e.placements[a], d)
 	}
-	return tr.Algorithm.Place(e.eval, e.cfg.Capacities)
+	return tr.Algorithm.Place(e.eval, e.caps)
 }
 
 // Replace re-places track a on the current instance — warm-start repair
@@ -496,6 +519,90 @@ func (e *Engine) SetServersDown(servers []int, down bool) error {
 	}
 	for a := range e.accPairs {
 		e.accPairs[a].Or(delta.Pairs)
+	}
+	return nil
+}
+
+// SetServerCapacity degrades server m to the given storage budget in bytes
+// (negative restores the configured capacity) and threads the resulting
+// delta through the evaluator and every track's accumulated repair set,
+// exactly like SetServersDown. The live capacity vector feeds every
+// subsequent solve — warm repairs evict whatever no longer fits — and
+// scenario.Instance.Rebuild replays the instance-level budget on every
+// Rebuild-mode refresh, so the Incremental == Rebuild pin holds through
+// degradations. The caller decides when tracks re-place (typically Replace
+// right after, on both the shrink and the restore).
+func (e *Engine) SetServerCapacity(m int, bytes int64) error {
+	if m < 0 || m >= len(e.caps) {
+		return fmt.Errorf("dynamics: server %d out of range [0,%d)", m, len(e.caps))
+	}
+	budgetBits := int64(-1)
+	if bytes < 0 {
+		e.caps[m] = e.caps0[m]
+	} else {
+		e.caps[m] = bytes
+		budgetBits = 8 * bytes
+	}
+	delta, err := e.ins.SetServerCapacity(m, budgetBits)
+	if err != nil {
+		return fmt.Errorf("dynamics: %w", err)
+	}
+	if err := e.eval.ApplyDelta(delta); err != nil {
+		return fmt.Errorf("dynamics: %w", err)
+	}
+	for a := range e.accPairs {
+		e.accPairs[a].Or(delta.Pairs)
+	}
+	return nil
+}
+
+// ServerCapacityBytes returns server m's live storage capacity in bytes —
+// the configured value unless a SetServerCapacity degradation is active.
+func (e *Engine) ServerCapacityBytes(m int) int64 { return e.caps[m] }
+
+// ServersInRegion returns the ascending list of servers whose position the
+// region contains — the failure domain of a correlated regional event.
+func (e *Engine) ServersInRegion(r geom.Region) ([]int, error) {
+	if err := r.Validate(); err != nil {
+		return nil, fmt.Errorf("dynamics: %w", err)
+	}
+	topo := e.ins.Topology()
+	var list []int
+	for m := 0; m < topo.NumServers(); m++ {
+		if r.Contains(topo.ServerPos(m)) {
+			list = append(list, m)
+		}
+	}
+	return list, nil
+}
+
+// SetRegionDown takes every server in the region out of (or back into)
+// service in one correlated event — a single delta, a single evaluator
+// application. An empty region is a no-op.
+func (e *Engine) SetRegionDown(r geom.Region, down bool) error {
+	servers, err := e.ServersInRegion(r)
+	if err != nil {
+		return err
+	}
+	if len(servers) == 0 {
+		return nil
+	}
+	return e.SetServersDown(servers, down)
+}
+
+// DegradeRegion applies one storage budget to every server in the region
+// (negative restores each server's configured capacity) — the partial
+// counterpart of SetRegionDown, for failure domains that lose storage
+// rather than power.
+func (e *Engine) DegradeRegion(r geom.Region, bytes int64) error {
+	servers, err := e.ServersInRegion(r)
+	if err != nil {
+		return err
+	}
+	for _, m := range servers {
+		if err := e.SetServerCapacity(m, bytes); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -721,6 +828,7 @@ func (e *Engine) MemoryFootprint() memprof.Footprint {
 	if m, ok := e.measure.(interface{ MemoryBytes() int64 }); ok {
 		f.Measurement += m.MemoryBytes()
 	}
+	f.Scratch += int64(cap(e.caps))*8 + int64(cap(e.caps0))*8
 	f.Scratch += int64(cap(e.allUsers))*8 + int64(cap(e.positions))*16
 	f.Scratch += int64(cap(e.movedSeen)) + int64(cap(e.baselines))*8
 	f.Scratch += int64(cap(e.stepHit))*8 + int64(cap(e.stepReplaced))

@@ -1,10 +1,11 @@
 // This file is the scenario gallery: a declarative event schedule (Timeline)
 // injected into a dynamics timeline run — server outages with forced repair
-// and recovery, flash-crowd and diurnal demand revisions through the
-// mass-only revise path, and rolling model-library churn via mid-timeline
-// instance rebuilds — executed identically through the unsharded engine
-// (RunGallery, externally-driven mobility) and the sharded engine
-// (RunGallerySharded). Each run emits a golden-pinnable GalleryResult: the
+// and recovery, partial-capacity degradations and correlated regional
+// failures over geometric failure domains, flash-crowd and diurnal demand
+// revisions through the mass-only revise path, and rolling model-library
+// churn via mid-timeline instance rebuilds — executed identically through
+// the unsharded engine (RunGallery, externally-driven mobility) and the
+// sharded engine (RunGallerySharded). Each run emits a golden-pinnable GalleryResult: the
 // hit-ratio trajectory per checkpoint, which events landed where, the
 // re-placement count, and the measured recovery latency after an outage.
 package experiments
@@ -46,6 +47,17 @@ const (
 	// EventGrow appends Models adapters from the reserve library and
 	// rebuilds placements over the grown library at the current positions.
 	EventGrow EventKind = "grow"
+	// EventDegrade shrinks each of Servers to the CapacityBytes storage
+	// budget (partial-capacity degradation: the server keeps serving, with
+	// less room) and forces a re-placement; a negative CapacityBytes
+	// restores each server's configured capacity.
+	EventDegrade EventKind = "degrade"
+	// EventRegional is a correlated failure of every server whose position
+	// Region contains: CapacityBytes == 0 takes the whole region down,
+	// CapacityBytes > 0 degrades every server in it to that budget, and a
+	// negative CapacityBytes recovers the region (servers back up, budgets
+	// restored). Each variant forces a re-placement.
+	EventRegional EventKind = "regional"
 )
 
 // Event is one timestamped scenario event. Events fire at the start of
@@ -68,6 +80,12 @@ type Event struct {
 	MassScale float64 `json:"massScale,omitempty"`
 	// Models is how many reserve adapters a grow event appends.
 	Models int `json:"models,omitempty"`
+	// CapacityBytes is the storage budget of a degrade or regional event:
+	// positive shrinks to this budget, negative restores the configured
+	// capacity, and zero (regional only) means a full outage of the region.
+	CapacityBytes int64 `json:"capacityBytes,omitempty"`
+	// Region is the failure domain of a regional event.
+	Region *geom.Region `json:"region,omitempty"`
 }
 
 // Timeline is a declarative event schedule, ordered by checkpoint.
@@ -203,6 +221,25 @@ func (c GalleryConfig) Validate() error {
 				return fmt.Errorf("gallery: event %d grows by %d models", e, ev.Models)
 			}
 			grown += ev.Models
+		case EventDegrade:
+			if len(ev.Servers) == 0 {
+				return fmt.Errorf("gallery: event %d (%s) names no servers", e, ev.Kind)
+			}
+			for _, m := range ev.Servers {
+				if m < 0 || m >= c.Servers {
+					return fmt.Errorf("gallery: event %d: server %d out of range [0,%d)", e, m, c.Servers)
+				}
+			}
+			if ev.CapacityBytes == 0 {
+				return fmt.Errorf("gallery: event %d (degrade) names no budget; use > 0 to shrink or < 0 to restore", e)
+			}
+		case EventRegional:
+			if ev.Region == nil {
+				return fmt.Errorf("gallery: event %d (regional) names no region", e)
+			}
+			if err := ev.Region.Validate(); err != nil {
+				return fmt.Errorf("gallery: event %d: %w", e, err)
+			}
 		default:
 			return fmt.Errorf("gallery: event %d has unknown kind %q", e, ev.Kind)
 		}
@@ -214,7 +251,9 @@ func (c GalleryConfig) Validate() error {
 }
 
 // GalleryNames lists the built-in scenarios in gallery order.
-func GalleryNames() []string { return []string{"outage", "flashcrowd", "diurnal", "churn"} }
+func GalleryNames() []string {
+	return []string{"outage", "flashcrowd", "diurnal", "churn", "degrade", "regional"}
+}
 
 // GalleryScenario fills base's Name and Timeline with one of the built-in
 // scenario families, scheduled relative to base's checkpoint count:
@@ -227,6 +266,12 @@ func GalleryNames() []string { return []string{"outage", "flashcrowd", "diurnal"
 //     wave toward each user's reversed profile — a different population
 //     waking up through the day.
 //   - "churn": the reserve adapters roll in as two library grows.
+//   - "degrade": a quarter of the servers lose storage a third of the way
+//     in — shrunk to the foundation plus ~2 adapters, so they keep serving
+//     a reduced slice — and get their capacity back at two thirds.
+//   - "regional": a correlated failure at a third — a disk-shaped blackout
+//     around one corner of the grid plus a brownout (degraded budgets)
+//     across the opposite half — recovered and restored at two thirds.
 func GalleryScenario(name string, base GalleryConfig) (GalleryConfig, error) {
 	cfg := base
 	cfg.Name = name
@@ -262,6 +307,25 @@ func GalleryScenario(name string, base GalleryConfig) (GalleryConfig, error) {
 			{Checkpoint: third, Kind: EventGrow, Models: first},
 			{Checkpoint: twoThirds, Kind: EventGrow, Models: second},
 		}}
+	case "degrade":
+		shrunk := make([]int, 0, (cfg.Servers+3)/4)
+		for m := 0; m < (cfg.Servers+3)/4; m++ {
+			shrunk = append(shrunk, m)
+		}
+		cfg.Timeline = Timeline{Events: []Event{
+			{Checkpoint: third, Kind: EventDegrade, Servers: shrunk, CapacityBytes: galleryDegradeBytes},
+			{Checkpoint: twoThirds, Kind: EventDegrade, Servers: shrunk, CapacityBytes: -1},
+		}}
+	case "regional":
+		side := gallerySideM(cfg.Servers)
+		corner := geom.DiskRegion(side/4, side/4, side/3)
+		band := geom.RectRegion(side/2, 0, side, side)
+		cfg.Timeline = Timeline{Events: []Event{
+			{Checkpoint: third, Kind: EventRegional, Region: &corner},
+			{Checkpoint: third, Kind: EventRegional, Region: &band, CapacityBytes: galleryDegradeBytes},
+			{Checkpoint: twoThirds, Kind: EventRegional, Region: &corner, CapacityBytes: -1},
+			{Checkpoint: twoThirds, Kind: EventRegional, Region: &band, CapacityBytes: -1},
+		}}
 	default:
 		return GalleryConfig{}, fmt.Errorf("gallery: unknown scenario %q (have %v)", name, GalleryNames())
 	}
@@ -294,11 +358,13 @@ type GalleryResult struct {
 	// FinalModels is the active library size at the end (grows included).
 	FinalModels int `json:"finalModels"`
 	// PreOutageHit is the hit ratio of the checkpoint preceding the first
-	// outage (0 when the timeline has no outage).
+	// fault event — outage, degrade, or regional failure (0 when the
+	// timeline has none).
 	PreOutageHit float64 `json:"preOutageHit,omitempty"`
 	// RecoveryCheckpoints is how many checkpoints after the recovery event
-	// the hit ratio first reached RecoveryFrac times PreOutageHit; -1 when
-	// the timeline has no recovery or the run never recovered.
+	// (or capacity restore) the hit ratio first reached RecoveryFrac times
+	// PreOutageHit; -1 when the timeline has no recovery or the run never
+	// recovered.
 	RecoveryCheckpoints int `json:"recoveryCheckpoints"`
 	// Handoffs and Grows are sharded-leg counters (cell ownership changes
 	// and slot-table overflow rebuilds).
@@ -309,6 +375,19 @@ type GalleryResult struct {
 // galleryFoundationParams sizes the shared foundation model (1B parameters,
 // 2 GB at fp16), as in the shard benchmark deployment.
 const galleryFoundationParams = 1_000_000_000
+
+// galleryDegradeBytes is the degraded per-server budget the built-in
+// degrade and regional families shrink to: the 2 GB foundation plus ~2 of
+// the 10 MB adapters, down from the default 6 — a brownout that evicts
+// most of a server's cached slice without blocking the library outright.
+const galleryDegradeBytes = 2_020_000_000
+
+// gallerySideM is the square deployment side at the paper's density (10
+// servers per km²) — shared by the topology draw and the regional
+// failure-domain geometry, so built-in regions stay aligned with the grid.
+func gallerySideM(servers int) float64 {
+	return 1000 * math.Sqrt(float64(servers)/10)
+}
 
 // gallerySetup is the state shared by both gallery legs: the master
 // library and workload (Models+ReserveModels wide), the fixed topology
@@ -355,7 +434,7 @@ func newGallerySetup(cfg GalleryConfig) (*gallerySetup, error) {
 	wl := workload.DefaultConfig()
 	wl.DeadlineMinS, wl.DeadlineMaxS = 60, 180
 	wl.InferMinS, wl.InferMaxS = 1, 5
-	side := 1000 * math.Sqrt(float64(cfg.Servers)/10)
+	side := gallerySideM(cfg.Servers)
 	src := rng.New(cfg.Seed).Split("instance")
 	topo, err := topology.Generate(topology.Config{
 		AreaSideM:       side,
@@ -504,6 +583,20 @@ func eventLabel(ev Event, active int) string {
 		return fmt.Sprintf("demand(hot=%d w=%.3f mass=%.3f)", ev.HotModel, ev.Weight, mass)
 	case EventGrow:
 		return fmt.Sprintf("grow(+%d -> %d models)", ev.Models, active)
+	case EventDegrade:
+		if ev.CapacityBytes < 0 {
+			return fmt.Sprintf("degrade(%d servers restored)", len(ev.Servers))
+		}
+		return fmt.Sprintf("degrade(%d servers -> %.2fGB)", len(ev.Servers), float64(ev.CapacityBytes)/1e9)
+	case EventRegional:
+		switch {
+		case ev.CapacityBytes == 0:
+			return fmt.Sprintf("regional(%s down)", ev.Region.Kind)
+		case ev.CapacityBytes < 0:
+			return fmt.Sprintf("regional(%s recovered)", ev.Region.Kind)
+		default:
+			return fmt.Sprintf("regional(%s -> %.2fGB)", ev.Region.Kind, float64(ev.CapacityBytes)/1e9)
+		}
 	default:
 		return string(ev.Kind)
 	}
@@ -546,17 +639,24 @@ func RunGallery(cfg GalleryConfig) (*GalleryResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	// liveCaps tracks per-server live storage budgets across degrade and
+	// regional events. It doubles as the engine's Capacities (copied at
+	// construction), so a grow-rebuilt engine solves its t = 0 placement
+	// over the degraded budgets while BaselineCapacities keeps the pristine
+	// restore targets — mirroring the shard layer's cell rebuild.
+	liveCaps := append([]int64(nil), s.caps...)
 	dcfg := dynamics.Config{
-		Instance:         ins,
-		Capacities:       s.caps,
-		Tracks:           s.tracks,
-		DurationMin:      cfg.DurationMin,
-		CheckpointMin:    cfg.CheckpointMin,
-		SlotS:            cfg.SlotS,
-		Realizations:     cfg.Realizations,
-		Workers:          cfg.Workers,
-		Mode:             cfg.Mode,
-		ExternalMobility: true,
+		Instance:           ins,
+		Capacities:         liveCaps,
+		BaselineCapacities: s.caps,
+		Tracks:             s.tracks,
+		DurationMin:        cfg.DurationMin,
+		CheckpointMin:      cfg.CheckpointMin,
+		SlotS:              cfg.SlotS,
+		Realizations:       cfg.Realizations,
+		Workers:            cfg.Workers,
+		Mode:               cfg.Mode,
+		ExternalMobility:   true,
 	}
 	eng, err := dynamics.NewEngine(dcfg, root)
 	if err != nil {
@@ -630,6 +730,16 @@ func RunGallery(cfg GalleryConfig) (*GalleryResult, error) {
 						return nil, err
 					}
 				}
+				// Re-apply live degradations so the grown t = 0 solve is over
+				// the reduced budgets too (capacities are bits at the
+				// scenario seam, bytes everywhere above).
+				for m, b := range liveCaps {
+					if b != s.caps[m] {
+						if _, err := grown.SetServerCapacity(m, 8*b); err != nil {
+							return nil, err
+						}
+					}
+				}
 				replacements += eng.Replacements(0) + 1
 				dcfg.Instance = grown
 				eng, err = dynamics.NewEngine(dcfg, root.SplitIndex("grow", cp))
@@ -637,6 +747,62 @@ func RunGallery(cfg GalleryConfig) (*GalleryResult, error) {
 					return nil, err
 				}
 				awork = gwork
+				forced = true
+			case EventDegrade:
+				if ev.CapacityBytes > 0 && res.PreOutageHit == 0 {
+					res.PreOutageHit = res.Steps[len(res.Steps)-1].HitRatio
+				}
+				if ev.CapacityBytes < 0 {
+					recoveryCp = cp
+				}
+				for _, m := range ev.Servers {
+					if err := eng.SetServerCapacity(m, ev.CapacityBytes); err != nil {
+						return nil, err
+					}
+					liveCaps[m] = eng.ServerCapacityBytes(m)
+				}
+				if _, err := eng.Replace(0, cp); err != nil {
+					return nil, err
+				}
+				forced = true
+			case EventRegional:
+				servers, err := eng.ServersInRegion(*ev.Region)
+				if err != nil {
+					return nil, err
+				}
+				if ev.CapacityBytes >= 0 && res.PreOutageHit == 0 {
+					res.PreOutageHit = res.Steps[len(res.Steps)-1].HitRatio
+				}
+				if ev.CapacityBytes < 0 {
+					recoveryCp = cp
+				}
+				switch {
+				case ev.CapacityBytes == 0:
+					if err := eng.SetServersDown(servers, true); err != nil {
+						return nil, err
+					}
+				case ev.CapacityBytes < 0:
+					if err := eng.SetServersDown(servers, false); err != nil {
+						return nil, err
+					}
+					for _, m := range servers {
+						if err := eng.SetServerCapacity(m, -1); err != nil {
+							return nil, err
+						}
+						liveCaps[m] = eng.ServerCapacityBytes(m)
+					}
+				default:
+					for _, m := range servers {
+						if err := eng.SetServerCapacity(m, ev.CapacityBytes); err != nil {
+							return nil, err
+						}
+						liveCaps[m] = ev.CapacityBytes
+					}
+				}
+				currentDown = eng.Instance().DownServers()
+				if _, err := eng.Replace(0, cp); err != nil {
+					return nil, err
+				}
 				forced = true
 			}
 			labels = append(labels, eventLabel(ev, active))
@@ -758,6 +924,50 @@ func RunGallerySharded(cfg GalleryConfig) (*GalleryResult, error) {
 					return nil, err
 				}
 				awork = gwork
+				forced = true
+			case EventDegrade:
+				if ev.CapacityBytes > 0 && res.PreOutageHit == 0 {
+					res.PreOutageHit = res.Steps[len(res.Steps)-1].HitRatio
+				}
+				if ev.CapacityBytes < 0 {
+					recoveryCp = cp
+				}
+				for _, m := range ev.Servers {
+					if err := se.SetServerCapacity(m, ev.CapacityBytes); err != nil {
+						return nil, err
+					}
+				}
+				if err := se.ForceReplace(cp); err != nil {
+					return nil, err
+				}
+				forced = true
+			case EventRegional:
+				if ev.CapacityBytes >= 0 && res.PreOutageHit == 0 {
+					res.PreOutageHit = res.Steps[len(res.Steps)-1].HitRatio
+				}
+				if ev.CapacityBytes < 0 {
+					recoveryCp = cp
+				}
+				switch {
+				case ev.CapacityBytes == 0:
+					if err := se.SetRegionDown(*ev.Region, true); err != nil {
+						return nil, err
+					}
+				case ev.CapacityBytes < 0:
+					if err := se.SetRegionDown(*ev.Region, false); err != nil {
+						return nil, err
+					}
+					if err := se.DegradeRegion(*ev.Region, -1); err != nil {
+						return nil, err
+					}
+				default:
+					if err := se.DegradeRegion(*ev.Region, ev.CapacityBytes); err != nil {
+						return nil, err
+					}
+				}
+				if err := se.ForceReplace(cp); err != nil {
+					return nil, err
+				}
 				forced = true
 			}
 			labels = append(labels, eventLabel(ev, active))

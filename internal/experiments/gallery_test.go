@@ -93,13 +93,13 @@ func assertGalleryShape(t *testing.T, cfg GalleryConfig, res *GalleryResult) {
 		}
 	}
 	switch cfg.Name {
-	case "outage":
+	case "outage", "degrade", "regional":
 		if res.PreOutageHit <= 0 {
-			t.Errorf("%s: no pre-outage hit recorded", leg)
+			t.Errorf("%s: no pre-fault hit recorded", leg)
 		}
 		third := (checkpoints + 2) / 3
 		if dip := res.Steps[third].HitRatio; dip >= res.PreOutageHit {
-			t.Errorf("%s: outage did not dent the hit ratio: %v -> %v", leg, res.PreOutageHit, dip)
+			t.Errorf("%s: %s did not dent the hit ratio: %v -> %v", leg, cfg.Name, res.PreOutageHit, dip)
 		}
 		if res.RecoveryCheckpoints < 0 {
 			t.Errorf("%s: timeline never recovered to %v of %v", leg, cfg.RecoveryFrac, res.PreOutageHit)

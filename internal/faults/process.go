@@ -1,0 +1,151 @@
+// Package faults is the deterministic chaos harness: a per-region Markov
+// fault process (up / degraded / down, with drawn brownout severities) that
+// compiles into the gallery's declarative Timeline of regional events, and
+// a soak (RunSoak) that replays randomized schedules through the unsharded
+// and sharded engines asserting the engine invariants at every checkpoint —
+// no placement mass on dark servers, feasibility under the live degraded
+// budgets, request-mass conservation, incremental == rebuild, and
+// worker-count / shard-count determinism.
+package faults
+
+import (
+	"fmt"
+	"sort"
+
+	"trimcaching/internal/experiments"
+	"trimcaching/internal/geom"
+	"trimcaching/internal/rng"
+)
+
+// regionState is one region's chain state.
+type regionState int
+
+const (
+	stateUp regionState = iota
+	stateDegraded
+	stateDown
+)
+
+// Config parameterizes the fault process. Each region runs an independent
+// three-state Markov chain, stepped once per checkpoint on its own
+// rng.SplitIndex sub-stream, so schedules are deterministic in (config,
+// seed) and adding a region never perturbs the others' draws.
+type Config struct {
+	// Regions are the failure domains. They may overlap; a server inside
+	// several regions follows whichever region's event fired last.
+	Regions []geom.Region `json:"regions"`
+	// Checkpoints is the timeline length the schedule spans.
+	Checkpoints int `json:"checkpoints"`
+	// PDegrade is the per-checkpoint probability an up region browns out
+	// (every server shrunk to one drawn budget).
+	PDegrade float64 `json:"pDegrade"`
+	// PFail is the per-checkpoint probability an up region blacks out, and
+	// of a degraded region escalating to a blackout.
+	PFail float64 `json:"pFail"`
+	// PRecover is the per-checkpoint probability a degraded or down region
+	// returns to full service (servers up, budgets restored).
+	PRecover float64 `json:"pRecover"`
+	// MinBytes and MaxBytes bound the drawn brownout budget.
+	MinBytes int64 `json:"minBytes"`
+	MaxBytes int64 `json:"maxBytes"`
+}
+
+// Validate reports the first invalid field, if any.
+func (c Config) Validate() error {
+	if len(c.Regions) == 0 {
+		return fmt.Errorf("faults: at least one region is required")
+	}
+	for r, region := range c.Regions {
+		if err := region.Validate(); err != nil {
+			return fmt.Errorf("faults: region %d: %w", r, err)
+		}
+	}
+	if c.Checkpoints <= 0 {
+		return fmt.Errorf("faults: Checkpoints must be positive, got %d", c.Checkpoints)
+	}
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{{"PDegrade", c.PDegrade}, {"PFail", c.PFail}, {"PRecover", c.PRecover}} {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("faults: %s %v outside [0, 1]", p.name, p.v)
+		}
+	}
+	if c.PDegrade+c.PFail > 1 {
+		return fmt.Errorf("faults: PDegrade + PFail = %v exceeds 1", c.PDegrade+c.PFail)
+	}
+	if c.PRecover+c.PFail > 1 {
+		return fmt.Errorf("faults: PRecover + PFail = %v exceeds 1", c.PRecover+c.PFail)
+	}
+	if c.MinBytes <= 0 || c.MaxBytes < c.MinBytes {
+		return fmt.Errorf("faults: budget bounds [%d, %d] invalid", c.MinBytes, c.MaxBytes)
+	}
+	return nil
+}
+
+// Schedule draws one fault schedule: each region's chain is stepped once
+// per checkpoint, and every transition emits one regional gallery event —
+// CapacityBytes 0 for a blackout, the drawn budget for a brownout, -1 for
+// recovery. Events are ordered by checkpoint (region order within one).
+func Schedule(cfg Config, src *rng.Source) (experiments.Timeline, error) {
+	if err := cfg.Validate(); err != nil {
+		return experiments.Timeline{}, err
+	}
+	if src == nil {
+		return experiments.Timeline{}, fmt.Errorf("faults: a random source is required")
+	}
+	var tl experiments.Timeline
+	for r := range cfg.Regions {
+		region := cfg.Regions[r]
+		stream := src.SplitIndex("region", r)
+		state := stateUp
+		emit := func(cp int, bytes int64) {
+			tl.Events = append(tl.Events, experiments.Event{
+				Checkpoint:    cp,
+				Kind:          experiments.EventRegional,
+				Region:        &region,
+				CapacityBytes: bytes,
+			})
+		}
+		for cp := 1; cp <= cfg.Checkpoints; cp++ {
+			u := stream.Float64()
+			switch state {
+			case stateUp:
+				switch {
+				case u < cfg.PFail:
+					state = stateDown
+					emit(cp, 0)
+				case u < cfg.PFail+cfg.PDegrade:
+					state = stateDegraded
+					emit(cp, drawBudget(cfg, stream))
+				}
+			case stateDegraded:
+				switch {
+				case u < cfg.PRecover:
+					state = stateUp
+					emit(cp, -1)
+				case u < cfg.PRecover+cfg.PFail:
+					state = stateDown
+					emit(cp, 0)
+				}
+			case stateDown:
+				if u < cfg.PRecover {
+					state = stateUp
+					emit(cp, -1)
+				}
+			}
+		}
+	}
+	sort.SliceStable(tl.Events, func(i, j int) bool {
+		return tl.Events[i].Checkpoint < tl.Events[j].Checkpoint
+	})
+	return tl, nil
+}
+
+// drawBudget draws a brownout severity in [MinBytes, MaxBytes].
+func drawBudget(cfg Config, stream *rng.Source) int64 {
+	if cfg.MaxBytes == cfg.MinBytes {
+		return cfg.MinBytes
+	}
+	return cfg.MinBytes + int64(stream.Float64()*float64(cfg.MaxBytes-cfg.MinBytes))
+}

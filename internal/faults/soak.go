@@ -1,0 +1,310 @@
+// This file is the chaos soak: randomized fault schedules replayed through
+// the unsharded engine (where per-checkpoint engine invariants are
+// asserted) and cross-checked bit-identical against a Rebuild-mode /
+// multi-worker replica, the Shards = 1 sharded engine, and a multi-cell
+// sharded engine at two worker counts.
+package faults
+
+import (
+	"fmt"
+
+	"trimcaching/internal/dynamics"
+	"trimcaching/internal/experiments"
+	"trimcaching/internal/placement"
+	"trimcaching/internal/rng"
+	"trimcaching/internal/shard"
+)
+
+// SoakConfig parameterizes RunSoak.
+type SoakConfig struct {
+	// NewBase builds a fresh base deployment per engine replay. A factory
+	// rather than a value: every replay mutates its instance through fault
+	// events, so replays must not share one. The returned config's
+	// DurationMin / CheckpointMin must match Process.Checkpoints.
+	NewBase func() (dynamics.Config, error)
+	// Process is the fault process every schedule is drawn from.
+	Process Config
+	// Schedules is how many randomized schedules to replay.
+	Schedules int
+	// Shards is the multi-cell leg's cell count; 0 means 2.
+	Shards int
+	// Seed makes the whole soak deterministic: schedule n is drawn from
+	// rng.New(Seed).SplitIndex("schedule", n).
+	Seed uint64
+}
+
+// SoakReport summarizes a completed soak.
+type SoakReport struct {
+	// Schedules is how many schedules were replayed.
+	Schedules int `json:"schedules"`
+	// Blackouts, Brownouts, and Recoveries count the fault events across
+	// all schedules.
+	Blackouts  int `json:"blackouts"`
+	Brownouts  int `json:"brownouts"`
+	Recoveries int `json:"recoveries"`
+	// CheckedCheckpoints is how many checkpoints had the full invariant
+	// suite asserted.
+	CheckedCheckpoints int `json:"checkedCheckpoints"`
+}
+
+// RunSoak draws Schedules fault schedules and replays each through five
+// engines: the invariant-checked primary (Incremental, one worker), a
+// Rebuild-mode four-worker replica, the Shards = 1 sharded engine, and a
+// multi-cell sharded engine at one and four workers. All five hit-ratio
+// timelines must be bit-identical; any invariant violation or divergence
+// is an error naming the schedule and checkpoint.
+func RunSoak(cfg SoakConfig) (*SoakReport, error) {
+	if cfg.NewBase == nil {
+		return nil, fmt.Errorf("faults: NewBase is required")
+	}
+	if cfg.Schedules <= 0 {
+		return nil, fmt.Errorf("faults: Schedules must be positive, got %d", cfg.Schedules)
+	}
+	shards := cfg.Shards
+	if shards == 0 {
+		shards = 2
+	}
+	rep := &SoakReport{Schedules: cfg.Schedules}
+	for n := 0; n < cfg.Schedules; n++ {
+		src := rng.New(cfg.Seed).SplitIndex("schedule", n)
+		tl, err := Schedule(cfg.Process, src.Split("process"))
+		if err != nil {
+			return nil, err
+		}
+		for _, ev := range tl.Events {
+			switch {
+			case ev.CapacityBytes == 0:
+				rep.Blackouts++
+			case ev.CapacityBytes < 0:
+				rep.Recoveries++
+			default:
+				rep.Brownouts++
+			}
+		}
+		engSeed := src.Split("engine").Uint64()
+
+		primary, err := replayDynamics(cfg.NewBase, engSeed, tl, dynamics.Incremental, 1, rep)
+		if err != nil {
+			return nil, fmt.Errorf("faults: schedule %d: %w", n, err)
+		}
+		rebuild, err := replayDynamics(cfg.NewBase, engSeed, tl, dynamics.Rebuild, 4, nil)
+		if err != nil {
+			return nil, fmt.Errorf("faults: schedule %d: %w", n, err)
+		}
+		if err := sameTimelines("rebuild/4-worker vs primary", rebuild, primary); err != nil {
+			return nil, fmt.Errorf("faults: schedule %d: %w", n, err)
+		}
+		single, err := replayShard(cfg.NewBase, engSeed, tl, 1, 1)
+		if err != nil {
+			return nil, fmt.Errorf("faults: schedule %d: %w", n, err)
+		}
+		if err := sameTimelines("shards=1 vs primary", single, primary); err != nil {
+			return nil, fmt.Errorf("faults: schedule %d: %w", n, err)
+		}
+		multi1, err := replayShard(cfg.NewBase, engSeed, tl, shards, 1)
+		if err != nil {
+			return nil, fmt.Errorf("faults: schedule %d: %w", n, err)
+		}
+		multi4, err := replayShard(cfg.NewBase, engSeed, tl, shards, 4)
+		if err != nil {
+			return nil, fmt.Errorf("faults: schedule %d: %w", n, err)
+		}
+		if err := sameTimelines(fmt.Sprintf("shards=%d 4-worker vs 1-worker", shards), multi4, multi1); err != nil {
+			return nil, fmt.Errorf("faults: schedule %d: %w", n, err)
+		}
+	}
+	return rep, nil
+}
+
+// eventsAt returns the schedule's events firing at checkpoint cp, in
+// schedule order (mirroring the gallery's replay order).
+func eventsAt(tl experiments.Timeline, cp int) []experiments.Event {
+	var evs []experiments.Event
+	for _, ev := range tl.Events {
+		if ev.Checkpoint == cp {
+			evs = append(evs, ev)
+		}
+	}
+	return evs
+}
+
+// replayDynamics drives one unsharded engine through the schedule and
+// returns its per-checkpoint hit ratios (per track, including t = 0). A
+// non-nil report enables the per-checkpoint invariant suite.
+func replayDynamics(newBase func() (dynamics.Config, error), seed uint64, tl experiments.Timeline, mode dynamics.Mode, workers int, rep *SoakReport) ([][]float64, error) {
+	base, err := newBase()
+	if err != nil {
+		return nil, err
+	}
+	base.Mode = mode
+	base.Workers = workers
+	eng, err := dynamics.NewEngine(base, rng.New(seed))
+	if err != nil {
+		return nil, err
+	}
+	tracks := len(base.Tracks)
+	var eval *placement.Evaluator
+	var mass0 float64
+	if rep != nil {
+		if eval, err = placement.NewEvaluator(eng.Instance()); err != nil {
+			return nil, err
+		}
+		mass0 = eng.Instance().TotalMass()
+	}
+	t0 := make([]float64, tracks)
+	for a := range t0 {
+		t0[a] = eng.Baseline(a)
+	}
+	steps := [][]float64{t0}
+	for cp := 1; cp <= eng.Checkpoints(); cp++ {
+		faulted := false
+		for _, ev := range eventsAt(tl, cp) {
+			if err := applyDynamics(eng, ev); err != nil {
+				return nil, fmt.Errorf("checkpoint %d: %w", cp, err)
+			}
+			faulted = true
+		}
+		if faulted {
+			for a := 0; a < tracks; a++ {
+				if _, err := eng.Replace(a, cp); err != nil {
+					return nil, fmt.Errorf("checkpoint %d: %w", cp, err)
+				}
+			}
+		}
+		if err := eng.Advance(); err != nil {
+			return nil, err
+		}
+		if err := eng.Refresh(); err != nil {
+			return nil, err
+		}
+		st, err := eng.Step(cp)
+		if err != nil {
+			return nil, err
+		}
+		steps = append(steps, append([]float64(nil), st.HitRatio...))
+		if rep != nil {
+			if err := verifyInvariants(eng, eval, tracks, mass0); err != nil {
+				return nil, fmt.Errorf("checkpoint %d: %w", cp, err)
+			}
+			rep.CheckedCheckpoints++
+		}
+	}
+	return steps, nil
+}
+
+// replayShard drives one sharded engine through the same schedule.
+func replayShard(newBase func() (dynamics.Config, error), seed uint64, tl experiments.Timeline, shards, workers int) ([][]float64, error) {
+	base, err := newBase()
+	if err != nil {
+		return nil, err
+	}
+	scfg, err := shard.FromDynamics(base, shards)
+	if err != nil {
+		return nil, err
+	}
+	scfg.Workers = workers
+	scfg.MeasureWorkers = workers
+	se, err := shard.NewEngine(scfg, rng.New(seed))
+	if err != nil {
+		return nil, err
+	}
+	steps := [][]float64{append([]float64(nil), se.InitialStep().HitRatio...)}
+	for cp := 1; cp <= se.Checkpoints(); cp++ {
+		faulted := false
+		for _, ev := range eventsAt(tl, cp) {
+			if err := applyShard(se, ev); err != nil {
+				return nil, fmt.Errorf("checkpoint %d: %w", cp, err)
+			}
+			faulted = true
+		}
+		if faulted {
+			if err := se.ForceReplace(cp); err != nil {
+				return nil, fmt.Errorf("checkpoint %d: %w", cp, err)
+			}
+		}
+		st, err := se.Checkpoint(cp)
+		if err != nil {
+			return nil, err
+		}
+		steps = append(steps, append([]float64(nil), st.HitRatio...))
+	}
+	return steps, nil
+}
+
+// applyDynamics replays one regional event on the unsharded engine, with
+// the gallery's semantics: 0 is a blackout, negative recovers and restores,
+// positive is a brownout budget.
+func applyDynamics(eng *dynamics.Engine, ev experiments.Event) error {
+	switch {
+	case ev.CapacityBytes == 0:
+		return eng.SetRegionDown(*ev.Region, true)
+	case ev.CapacityBytes < 0:
+		if err := eng.SetRegionDown(*ev.Region, false); err != nil {
+			return err
+		}
+		return eng.DegradeRegion(*ev.Region, -1)
+	default:
+		return eng.DegradeRegion(*ev.Region, ev.CapacityBytes)
+	}
+}
+
+// applyShard replays one regional event on the sharded engine.
+func applyShard(se *shard.Engine, ev experiments.Event) error {
+	switch {
+	case ev.CapacityBytes == 0:
+		return se.SetRegionDown(*ev.Region, true)
+	case ev.CapacityBytes < 0:
+		if err := se.SetRegionDown(*ev.Region, false); err != nil {
+			return err
+		}
+		return se.DegradeRegion(*ev.Region, -1)
+	default:
+		return se.DegradeRegion(*ev.Region, ev.CapacityBytes)
+	}
+}
+
+// verifyInvariants asserts the engine invariants on the primary replica at
+// one checkpoint: request mass is conserved, no placement occupies a dark
+// server, and every track's placement is feasible under the live (possibly
+// degraded) budgets.
+func verifyInvariants(eng *dynamics.Engine, eval *placement.Evaluator, tracks int, mass0 float64) error {
+	ins := eng.Instance()
+	if got := ins.TotalMass(); got != mass0 {
+		return fmt.Errorf("request mass drifted: %v, want %v", got, mass0)
+	}
+	caps := make([]int64, ins.NumServers())
+	for m := range caps {
+		caps[m] = eng.ServerCapacityBytes(m)
+	}
+	down := ins.DownServers()
+	for a := 0; a < tracks; a++ {
+		p := eng.Placement(a)
+		for _, m := range down {
+			if n := p.Models(m).Count(); n != 0 {
+				return fmt.Errorf("track %d: %d models placed on dark server %d", a, n, m)
+			}
+		}
+		if err := eval.CheckFeasible(p, caps); err != nil {
+			return fmt.Errorf("track %d: %w", a, err)
+		}
+	}
+	return nil
+}
+
+// sameTimelines compares two hit-ratio timelines bit-for-bit.
+func sameTimelines(label string, got, want [][]float64) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("%s: %d steps, want %d", label, len(got), len(want))
+	}
+	for cp := range want {
+		if len(got[cp]) != len(want[cp]) {
+			return fmt.Errorf("%s: checkpoint %d has %d tracks, want %d", label, cp, len(got[cp]), len(want[cp]))
+		}
+		for a := range want[cp] {
+			if got[cp][a] != want[cp][a] {
+				return fmt.Errorf("%s: checkpoint %d track %d hit ratio %v, want %v", label, cp, a, got[cp][a], want[cp][a])
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,72 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// RegionKind selects a region's shape.
+type RegionKind string
+
+const (
+	// RegionDisk is a closed disk around Center with radius Radius.
+	RegionDisk RegionKind = "disk"
+	// RegionRect is a closed axis-aligned rectangle [Min.X, Max.X] x
+	// [Min.Y, Max.Y].
+	RegionRect RegionKind = "rect"
+)
+
+// Region is a serializable failure domain over the deployment area: a disk
+// (a power substation or backhaul aggregation point with a service radius)
+// or an axis-aligned rectangle (a street grid or campus block). Correlated
+// regional failures down or degrade every server whose position a region
+// contains.
+type Region struct {
+	Kind RegionKind `json:"kind"`
+	// Center and Radius define a disk region (metres).
+	Center Point   `json:"center,omitempty"`
+	Radius float64 `json:"radius,omitempty"`
+	// Min and Max define a rect region (metres, inclusive).
+	Min Point `json:"min,omitempty"`
+	Max Point `json:"max,omitempty"`
+}
+
+// DiskRegion returns the disk of the given radius around (x, y).
+func DiskRegion(x, y, radius float64) Region {
+	return Region{Kind: RegionDisk, Center: Point{X: x, Y: y}, Radius: radius}
+}
+
+// RectRegion returns the axis-aligned rectangle [x0, x1] x [y0, y1].
+func RectRegion(x0, y0, x1, y1 float64) Region {
+	return Region{Kind: RegionRect, Min: Point{X: x0, Y: y0}, Max: Point{X: x1, Y: y1}}
+}
+
+// Validate reports the first invalid field, if any.
+func (r Region) Validate() error {
+	switch r.Kind {
+	case RegionDisk:
+		if r.Radius < 0 || math.IsNaN(r.Radius) || math.IsInf(r.Radius, 0) {
+			return fmt.Errorf("geom: invalid disk radius %v", r.Radius)
+		}
+	case RegionRect:
+		if r.Max.X < r.Min.X || r.Max.Y < r.Min.Y {
+			return fmt.Errorf("geom: empty rect region [%v,%v]x[%v,%v]", r.Min.X, r.Max.X, r.Min.Y, r.Max.Y)
+		}
+	default:
+		return fmt.Errorf("geom: unknown region kind %q", r.Kind)
+	}
+	return nil
+}
+
+// Contains reports whether the region contains p. Boundaries are closed in
+// both shapes, so a server exactly on the edge of the failure domain fails
+// with it.
+func (r Region) Contains(p Point) bool {
+	switch r.Kind {
+	case RegionDisk:
+		return r.Center.Dist(p) <= r.Radius
+	case RegionRect:
+		return p.X >= r.Min.X && p.X <= r.Max.X && p.Y >= r.Min.Y && p.Y <= r.Max.Y
+	}
+	return false
+}

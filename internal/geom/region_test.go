@@ -1,0 +1,66 @@
+package geom
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestRegionContains(t *testing.T) {
+	disk := DiskRegion(100, 100, 50)
+	rect := RectRegion(0, 0, 200, 100)
+	cases := []struct {
+		name string
+		r    Region
+		p    Point
+		want bool
+	}{
+		{"disk center", disk, Point{100, 100}, true},
+		{"disk boundary", disk, Point{150, 100}, true},
+		{"disk outside", disk, Point{151, 100}, false},
+		{"rect inside", rect, Point{50, 50}, true},
+		{"rect corner", rect, Point{200, 100}, true},
+		{"rect outside", rect, Point{200.5, 50}, false},
+		{"unknown kind", Region{Kind: "hex"}, Point{0, 0}, false},
+	}
+	for _, tc := range cases {
+		if got := tc.r.Contains(tc.p); got != tc.want {
+			t.Errorf("%s: Contains = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestRegionValidate(t *testing.T) {
+	if err := DiskRegion(0, 0, 100).Validate(); err != nil {
+		t.Errorf("valid disk: %v", err)
+	}
+	if err := RectRegion(0, 0, 10, 10).Validate(); err != nil {
+		t.Errorf("valid rect: %v", err)
+	}
+	for _, bad := range []Region{
+		{Kind: RegionDisk, Radius: -1},
+		{Kind: RegionRect, Min: Point{10, 0}, Max: Point{0, 10}},
+		{Kind: "hex"},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("%+v validated", bad)
+		}
+	}
+}
+
+// TestRegionRoundTrip pins the JSON shape: fault schedules and gallery
+// timelines serialize regions, so the encoding must survive a round trip.
+func TestRegionRoundTrip(t *testing.T) {
+	for _, r := range []Region{DiskRegion(250, 750, 120), RectRegion(0, 0, 500, 500)} {
+		raw, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Region
+		if err := json.Unmarshal(raw, &back); err != nil {
+			t.Fatal(err)
+		}
+		if back != r {
+			t.Errorf("round trip %+v -> %s -> %+v", r, raw, back)
+		}
+	}
+}

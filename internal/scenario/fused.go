@@ -57,6 +57,8 @@ type FadeScratch struct {
 	dirCuts   []int32   // matching threshold rank cutoffs
 	cols      [][]uint64
 	views     []ServerColumns
+	maskedBuf []uint64   // capacity-masked column copies (see maskCapCols)
+	masked    [][]uint64 // per-view slices into maskedBuf
 }
 
 // MemoryBytes returns the heap bytes the scratch owns at its current
@@ -64,8 +66,8 @@ type FadeScratch struct {
 func (s *FadeScratch) MemoryBytes() int64 {
 	n := int64(cap(s.linkStart)+cap(s.cursor)+cap(s.dirWords)+cap(s.dirCuts)) * 4
 	n += int64(cap(s.rates)+cap(s.relay)+cap(s.rowBuf)+cap(s.dirRates)) * 8
-	n += int64(cap(s.hits)+cap(s.covMask)+cap(s.dirBits)) * 8
-	n += int64(cap(s.cols)+cap(s.views)) * 24
+	n += int64(cap(s.hits)+cap(s.covMask)+cap(s.dirBits)+cap(s.maskedBuf)) * 8
+	n += int64(cap(s.cols)+cap(s.views)+cap(s.masked)) * 24
 	return n
 }
 
@@ -141,6 +143,35 @@ func (s *FadeScratch) gatherCols(views []ServerColumns, words int) ([][]uint64, 
 		}
 	}
 	return cols, nil
+}
+
+// maskCapCols substitutes capacity-masked copies for the gathered
+// placement columns when any server carries a finite storage budget: a
+// blocked (server, model) bit must not score as a direct or relay hit,
+// exactly as its reachability bits are cleared on the two-pass path. The
+// caller's columns are read-only (they alias live placements), so the
+// masked copies live in scratch-owned memory — grown once, then reused —
+// and the common unconstrained case returns the input untouched.
+func (ins *Instance) maskCapCols(cols [][]uint64, s *FadeScratch) [][]uint64 {
+	if ins.capBlock == nil {
+		return cols
+	}
+	words := len(ins.capBlock)
+	if need := len(cols) * words; cap(s.maskedBuf) < need {
+		s.maskedBuf = make([]uint64, need)
+	}
+	if cap(s.masked) < len(cols) {
+		s.masked = make([][]uint64, len(cols))
+	}
+	masked := s.masked[:len(cols)]
+	for a, col := range cols {
+		dst := s.maskedBuf[a*words : (a+1)*words]
+		for x, w := range col {
+			dst[x] = w &^ ins.capBlock[x]
+		}
+		masked[a] = dst
+	}
+	return masked
 }
 
 // fadeRates fills the per-link faded rates (covering pairs only) and the
@@ -337,6 +368,7 @@ func (ins *Instance) FadedHitMass(gains [][]float64, views []ServerColumns, dst 
 	if err != nil {
 		return err
 	}
+	cols = ins.maskCapCols(cols, scratch)
 	if err := ins.fillLinkRatesGains(gains, scratch); err != nil {
 		return err
 	}
@@ -376,6 +408,7 @@ func (ins *Instance) FadedHitMassBlock(srcs []*rng.Source, views []ServerColumns
 	if err != nil {
 		return err
 	}
+	cols = ins.maskCapCols(cols, scratch)
 	if err := ins.fillLinkRatesSampled(srcs, scratch); err != nil {
 		return err
 	}

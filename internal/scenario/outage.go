@@ -163,6 +163,12 @@ func (ins *Instance) SetServersDown(servers []int, down bool) (*Delta, error) {
 			i := int(relOrder[j])
 			row := rows[i*sw : (i+1)*sw]
 			for wd, word := range tog {
+				if ins.capBlock != nil {
+					// Capacity-blocked bits were never set and must not
+					// come back on recovery; masking the outage clears too
+					// keeps both directions exact.
+					word &^= ins.capBlock[i*sw+wd]
+				}
 				if word == 0 {
 					continue
 				}

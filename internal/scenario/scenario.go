@@ -40,7 +40,19 @@ type Instance struct {
 	// are pinned to 0, it leaves the relay candidate set, and the up-servers
 	// mask (updFullRow) drops its bit so no reachability row — average or
 	// faded — ever includes it. nil means every server is up.
-	down      []bool
+	down []bool
+	// capBits[m] is server m's storage budget in bits (SetServerCapacity);
+	// -1 means unconstrained. capBlock packs the per-(model, server) storage
+	// verdict in placement-column layout — capBlock[i*serverWords+w] bit m
+	// set iff server m cannot store model i even alone (sizeBits[i] >
+	// capBits[m]) — so every reachability fill AND-NOTs one word per row and
+	// the fused kernel masks placement columns with the very same words.
+	// Storage is orthogonal to radio: a capacity-blocked server keeps its
+	// link rates and stays a relay last hop, it just cannot be the serving
+	// server for the blocked models. nil means no server is constrained (the
+	// common case pays one nil check per row).
+	capBits   []int64
+	capBlock  []uint64
 	totalMass float64
 	sizeBits  []float64 // sizeBits[i]: model size in bits, hoisted out of hot loops
 	// userHasMass[k] caches whether user k's probability row carries any
@@ -326,6 +338,7 @@ func (ins *Instance) fillReachRows(k int, covering []int, rates []float64, relay
 	sw := ins.serverWords
 	minDir := ins.minDirRate[k*I : (k+1)*I]
 	minRel := ins.minRelRate[k*I : (k+1)*I]
+	capBlock := ins.capBlock
 	if sw == 1 {
 		// Single-word masks (M ≤ 64): each row is one uint64.
 		fullWord := full[0]
@@ -342,6 +355,9 @@ func (ins *Instance) fillReachRows(k int, covering []int, rates []float64, relay
 						w &^= 1 << uint(m)
 					}
 				}
+			}
+			if capBlock != nil {
+				w &^= capBlock[i]
 			}
 			rows[i] = w
 		}
@@ -363,6 +379,11 @@ func (ins *Instance) fillReachRows(k int, covering []int, rates []float64, relay
 				}
 			}
 		}
+		if capBlock != nil {
+			for wd, word := range capBlock[i*sw : (i+1)*sw] {
+				row[wd] &^= word
+			}
+		}
 	}
 }
 
@@ -372,6 +393,9 @@ func (ins *Instance) fillReachRows(k int, covering []int, rates []float64, relay
 func (ins *Instance) latency(m, k, i int, rates []float64, relayRate []float64) float64 {
 	if ins.serverDown(m) {
 		return math.Inf(1) // the serving server is out of service
+	}
+	if ins.capBlocked(m, i) {
+		return math.Inf(1) // the serving server cannot store the model
 	}
 	sizeBits := ins.sizeBits[i]
 	infer := ins.work.InferS(k, i)
@@ -459,6 +483,14 @@ func (ins *Instance) Rebuild(users []geom.Point) (*Instance, error) {
 	if downList := ins.DownServers(); len(downList) > 0 {
 		if _, err := fresh.SetServersDown(downList, true); err != nil {
 			return nil, err
+		}
+	}
+	// Capacity degradations survive rebuilds the same way.
+	for m, bits := range ins.capBits {
+		if bits >= 0 {
+			if _, err := fresh.SetServerCapacity(m, bits); err != nil {
+				return nil, err
+			}
 		}
 	}
 	return fresh, nil
@@ -1169,6 +1201,11 @@ func (ins *Instance) flipUserRows(k int, covering []int, oldRelay, newRelay floa
 			i := int(relOrder[j])
 			row := bitset.Set(rows[i*sw : (i+1)*sw])
 			for wd, word := range nonCov {
+				if ins.capBlock != nil {
+					// Blocked bits were never set, so masking the clears
+					// too keeps both directions of the flip exact.
+					word &^= ins.capBlock[i*sw+wd]
+				}
 				if set {
 					row[wd] |= word
 				} else {
@@ -1188,9 +1225,13 @@ func (ins *Instance) flipUserRows(k int, covering []int, oldRelay, newRelay floa
 		if oldRate == newRate {
 			continue
 		}
+		mw, mb := m>>6, uint64(1)<<uint(m&63)
 		lo, hi, set := flipRange(dirVals, oldRate, newRate)
 		for j := lo; j < hi; j++ {
 			i := int(dirOrder[j])
+			if ins.capBlock != nil && ins.capBlock[i*sw+mw]&mb != 0 {
+				continue // m cannot store i: the bit stays clear
+			}
 			row := bitset.Set(rows[i*sw : (i+1)*sw])
 			if set {
 				row.Set(m)
@@ -1198,7 +1239,7 @@ func (ins *Instance) flipUserRows(k int, covering []int, oldRelay, newRelay floa
 				row.Clear(m)
 			}
 			if track {
-				w.emit(i, k, m>>6, set, 1<<uint(m&63))
+				w.emit(i, k, mw, set, mb)
 			}
 		}
 	}
@@ -1231,6 +1272,7 @@ func (ins *Instance) recomputeUserRows(k int, covering []int, w *updWorker, trac
 		if relay <= 0 {
 			fullWord = 0 // relay verdict constant-false; compare below can't pass
 		}
+		capBlock := ins.capBlock
 		rows := ins.reachSrv[k*I : (k+1)*I : (k+1)*I]
 		minRel, minDir := minRel[:len(rows)], minDir[:len(rows)]
 		for i := range rows {
@@ -1244,6 +1286,9 @@ func (ins *Instance) recomputeUserRows(k int, covering []int, w *updWorker, trac
 				} else {
 					word &^= dirBits[j]
 				}
+			}
+			if capBlock != nil {
+				word &^= capBlock[i]
 			}
 			if !track {
 				rows[i] = word
@@ -1302,7 +1347,8 @@ func (ins *Instance) MemoryFootprint() memprof.Footprint {
 	}
 	f.Workload = ins.work.MemoryBytes()
 	f.Topology = ins.topo.MemoryBytes()
-	f.Scratch = int64(cap(ins.updDirty)+cap(ins.updForce)+cap(ins.userHasMass)) * 1
+	f.Scratch = int64(cap(ins.updDirty)+cap(ins.updForce)+cap(ins.userHasMass)+cap(ins.down)) * 1
+	f.Scratch += int64(cap(ins.capBits)+cap(ins.capBlock)) * 8
 	f.Scratch += int64(cap(ins.updUsers)+cap(ins.updOff)+cap(ins.updCur)+cap(ins.updBounds)+cap(ins.updRevised)) * 8
 	f.Scratch += int64(cap(ins.updFullRow)+cap(ins.updTouched)) * 8
 	f.Scratch += int64(cap(ins.updOps)) * 16

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sort"
 
+	"trimcaching/internal/geom"
 	"trimcaching/internal/scenario"
 	"trimcaching/internal/workload"
 )
@@ -55,6 +56,91 @@ func (e *Engine) SetServersDown(servers []int, down bool) error {
 				}
 			}
 			sh.downLocal = kept
+		}
+	}
+	return nil
+}
+
+// SetServerCapacity degrades the given global server to the given storage
+// budget in bytes (negative restores its configured capacity). Each server
+// belongs to exactly one cell, so the operation becomes one engine-level
+// SetServerCapacity against that cell's local index, threaded through the
+// cell's evaluator and warm-start state like any refresh. The override is
+// remembered per cell and re-applied whenever the cell is rebuilt (grows,
+// library growth), so degradations survive rebuilds. Call between
+// checkpoints; the caller decides when placements react (typically
+// ForceReplace — a degradation trigger never fires on a restore).
+func (e *Engine) SetServerCapacity(m int, bytes int64) error {
+	M := e.cfg.Instance.NumServers()
+	if m < 0 || m >= M {
+		return fmt.Errorf("shard: server %d out of range [0,%d)", m, M)
+	}
+	for _, sh := range e.cells {
+		j := sort.SearchInts(sh.servers, m)
+		if j >= len(sh.servers) || sh.servers[j] != m {
+			continue
+		}
+		if err := sh.eng.SetServerCapacity(j, bytes); err != nil {
+			return fmt.Errorf("shard: cell %d: %w", sh.id, err)
+		}
+		if bytes < 0 {
+			if sh.capLocal != nil {
+				sh.capLocal[j] = -1
+			}
+			return nil
+		}
+		if sh.capLocal == nil {
+			sh.capLocal = make([]int64, len(sh.servers))
+			for x := range sh.capLocal {
+				sh.capLocal[x] = -1
+			}
+		}
+		sh.capLocal[j] = bytes
+		return nil
+	}
+	return fmt.Errorf("shard: server %d owned by no cell", m)
+}
+
+// ServersInRegion returns the ascending list of global servers whose
+// position the region contains — the failure domain of a correlated
+// regional event, identical to the unsharded engine's selector.
+func (e *Engine) ServersInRegion(r geom.Region) ([]int, error) {
+	if err := r.Validate(); err != nil {
+		return nil, fmt.Errorf("shard: %w", err)
+	}
+	topo := e.cfg.Instance.Topology()
+	var list []int
+	for m := 0; m < topo.NumServers(); m++ {
+		if r.Contains(topo.ServerPos(m)) {
+			list = append(list, m)
+		}
+	}
+	return list, nil
+}
+
+// SetRegionDown takes every server in the region out of (or back into)
+// service in one correlated event. An empty region is a no-op.
+func (e *Engine) SetRegionDown(r geom.Region, down bool) error {
+	servers, err := e.ServersInRegion(r)
+	if err != nil {
+		return err
+	}
+	if len(servers) == 0 {
+		return nil
+	}
+	return e.SetServersDown(servers, down)
+}
+
+// DegradeRegion applies one storage budget to every server in the region
+// (negative restores each server's configured capacity).
+func (e *Engine) DegradeRegion(r geom.Region, bytes int64) error {
+	servers, err := e.ServersInRegion(r)
+	if err != nil {
+		return err
+	}
+	for _, m := range servers {
+		if err := e.SetServerCapacity(m, bytes); err != nil {
+			return err
 		}
 	}
 	return nil
